@@ -1,0 +1,44 @@
+"""Bench A5 -- churn ablation (Section 2.4's architectural claim).
+
+"HyRec allows clients to have offline users within their KNN, thus
+leveraging clients that are not concurrently online."  Under the same
+on/off pattern:
+
+* the P2P overlay's neighborhood quality must degrade monotonically
+  with the per-cycle leave rate (unreachable peers get evicted);
+* HyRec's server-side KNN table must stay essentially unaffected.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.churn import run_churn_ablation
+
+
+def test_churn_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        run_churn_ablation,
+        scale=0.05,
+        seed=0,
+        leave_rates=(0.0, 0.2, 0.4),
+    )
+    attach_report(benchmark, result)
+
+    levels = sorted(result.p2p)
+    # P2P: monotone degradation with churn.
+    p2p_values = [result.p2p[level] for level in levels]
+    assert p2p_values == sorted(p2p_values, reverse=True)
+    assert result.degradation("p2p") > 0.10
+
+    # HyRec: flat within noise.
+    assert result.degradation("hyrec") < 0.05
+    for level in levels:
+        # At zero churn both systems converge to the same quality (tie
+        # within noise); under churn HyRec must clearly dominate.
+        slack = 0.005 if level == 0.0 else 0.0
+        assert result.hyrec[level] >= result.p2p[level] - slack, level
+
+    benchmark.extra_info["p2p_degradation"] = round(result.degradation("p2p"), 3)
+    benchmark.extra_info["hyrec_degradation"] = round(
+        result.degradation("hyrec"), 3
+    )

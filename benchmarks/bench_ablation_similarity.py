@@ -1,0 +1,34 @@
+"""Bench A3 -- similarity-metric ablation.
+
+The paper uses cosine "but any other metric could be used"
+(``setSimilarity()`` in Table 1).  This bench swaps in Jaccard and
+overlap and checks the system stays healthy: every metric's achieved
+view similarity approaches its own ideal, and recommendation quality
+stays in the same ballpark across metrics.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.ablations import run_similarity_ablation
+
+
+def test_similarity_metric_ablation(benchmark):
+    result = run_once(benchmark, run_similarity_ablation, scale=0.08, seed=0)
+    attach_report(benchmark, result)
+
+    for metric in ("cosine", "jaccard", "overlap"):
+        achieved = result.view_similarity[metric]
+        ideal = result.ideal[metric]
+        assert ideal > 0, metric
+        assert achieved >= 0.6 * ideal, metric
+
+    qualities = result.quality_at_10
+    assert all(q > 0 for q in qualities.values())
+    best = max(qualities.values())
+    worst = min(qualities.values())
+    assert worst >= best * 0.5  # same ballpark
+
+    benchmark.extra_info["quality_at_10"] = dict(qualities)
+    benchmark.extra_info["view_similarity"] = {
+        name: round(value, 4) for name, value in result.view_similarity.items()
+    }

@@ -1,0 +1,41 @@
+"""Bench F10 -- regenerate Figure 10 (message size vs profile size).
+
+Paper shapes to check:
+
+* raw JSON size grows ~linearly with profile size;
+* gzip removes around 71% of the bytes at large profiles;
+* compressed sizes stay far below the raw ones everywhere.
+
+Doubles as ablation A4 (gzip on/off): both curves come from the same
+jobs.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig10 import run_fig10
+
+
+def test_fig10_message_sizes(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig10,
+        profile_sizes=(10, 50, 100, 200, 350, 500),
+        num_users=300,
+        jobs_per_point=15,
+        seed=0,
+    )
+    attach_report(benchmark, result)
+
+    sizes = result.profile_sizes
+    # Approximate linearity: bytes per profile entry stays flat.
+    per_entry = [result.raw_bytes[ps] / ps for ps in sizes[1:]]
+    assert max(per_entry) / min(per_entry) < 1.6
+
+    for ps in sizes:
+        assert result.gzip_bytes[ps] < result.raw_bytes[ps]
+    ratio_500 = result.compression_ratio(500)
+    assert 0.6 < ratio_500 < 0.85  # paper: ~71%
+    benchmark.extra_info["compression_at_500"] = round(ratio_500, 3)
+    benchmark.extra_info["gzip_kb_at_500"] = round(
+        result.gzip_bytes[500] / 1000, 1
+    )

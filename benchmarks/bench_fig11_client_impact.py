@@ -1,0 +1,36 @@
+"""Bench F11 -- regenerate Figure 11 (widget impact on a busy client).
+
+Paper shapes to check:
+
+* the baseline monitor progress declines gently (~22%) from idle to
+  fully stress-loaded;
+* running the HyRec widget costs about as much as the display
+  operation and strictly less than the baseline;
+* the decentralized recommender's steady overlay traffic costs less
+  per window than HyRec's compute burst (paper: "an even lower
+  impact"), but it never stops, unlike HyRec.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig11_13 import run_fig11
+
+
+def test_fig11_client_interference(benchmark):
+    result = run_once(benchmark, run_fig11, loads=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0))
+    attach_report(benchmark, result)
+
+    baseline = result.progress["Baseline"]
+    hyrec = result.progress["HyRec operation"]
+    display = result.progress["Display operation"]
+    p2p = result.progress["Decentralized"]
+
+    decline = 1.0 - baseline[-1] / baseline[0]
+    assert 0.15 < decline < 0.30  # paper: ~185M -> ~145M
+
+    for index in range(len(result.loads)):
+        assert baseline[index] > p2p[index] > hyrec[index]
+        # HyRec ~ display operation (within 15%).
+        assert abs(hyrec[index] - display[index]) / display[index] < 0.15
+
+    benchmark.extra_info["baseline_decline"] = round(decline, 3)

@@ -1,0 +1,35 @@
+"""Bench F12 -- regenerate Figure 12 (widget time vs client CPU load).
+
+Paper shapes to check (at profile size 100):
+
+* under 10ms on the laptop and under 60ms on the smartphone at 50%
+  CPU load;
+* the laptop's time grows only slowly with load;
+* the smartphone is slower than the laptop everywhere.
+
+Driven by the real operation count of a real personalization job on
+the calibrated device models.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig11_13 import run_fig12
+
+
+def test_fig12_cpu_load_sweep(benchmark):
+    result = run_once(
+        benchmark, run_fig12, loads=(0.0, 0.25, 0.5, 0.75, 1.0), profile_size=100
+    )
+    attach_report(benchmark, result)
+
+    laptop = result.times_ms["laptop"]
+    smartphone = result.times_ms["smartphone"]
+
+    assert laptop[2] < 10.0  # 50% load
+    assert smartphone[2] < 60.0  # 50% load
+    assert laptop[-1] / laptop[0] < 1.35  # gentle slope
+    for fast, slow in zip(laptop, smartphone):
+        assert slow > fast
+
+    benchmark.extra_info["laptop_ms_at_50"] = round(laptop[2], 2)
+    benchmark.extra_info["smartphone_ms_at_50"] = round(smartphone[2], 2)

@@ -1,0 +1,50 @@
+"""Bench F13 -- regenerate Figure 13 (widget time vs profile size).
+
+Paper shapes to check:
+
+* from profile size 10 to 500, widget time grows by less than x1.5 on
+  the laptop and about x7.2 on the smartphone;
+* k=20 jobs cost more than k=10 jobs at every profile size;
+* the widget also *actually runs* each job here, confirming the real
+  Python execution stays well within interactive budgets.
+"""
+
+import time
+
+from conftest import attach_report, run_once
+
+from repro.core.client import HyRecWidget
+from repro.eval.fig11_13 import run_fig13, synth_job
+
+
+def test_fig13_profile_size_sweep(benchmark):
+    result = run_once(
+        benchmark, run_fig13, profile_sizes=(10, 50, 100, 250, 500), ks=(10, 20)
+    )
+    attach_report(benchmark, result)
+
+    assert result.growth_factor("laptop k=10") < 1.55
+    assert 6.0 < result.growth_factor("smartphone k=10") < 8.5
+    for device in ("laptop", "smartphone"):
+        for ps in result.profile_sizes:
+            assert (
+                result.times_ms[f"{device} k=20"][ps]
+                > result.times_ms[f"{device} k=10"][ps]
+            )
+
+    # Ground truth: really execute the ps=500, k=10 job once.
+    widget = HyRecWidget()
+    job = synth_job(500, k=10, seed=0)
+    start = time.perf_counter()
+    widget.process_job(job)
+    real_ms = (time.perf_counter() - start) * 1e3
+    print(f"\nreal widget execution at ps=500/k=10: {real_ms:.1f}ms")
+    assert real_ms < 2000.0  # interactive even in pure Python
+
+    benchmark.extra_info["laptop_growth"] = round(
+        result.growth_factor("laptop k=10"), 2
+    )
+    benchmark.extra_info["smartphone_growth"] = round(
+        result.growth_factor("smartphone k=10"), 2
+    )
+    benchmark.extra_info["real_python_ms_ps500"] = round(real_ms, 1)

@@ -1,0 +1,37 @@
+"""Bench F3 -- regenerate Figure 3 (view similarity over time, ML1).
+
+Paper shapes to check:
+
+* every system's average view similarity grows over the trace;
+* the ideal KNN dominates all approximations;
+* HyRec k=10 ends within a modest gap of the ideal (paper: 20%; the
+  bound here is looser because the benched scale is small);
+* the IR=7 variant (requests at least weekly) ends at least as high
+  as plain k=10 (extra iterations can only help).
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig3_fig4 import run_fig3
+
+
+def test_fig3_view_similarity_over_time(benchmark):
+    result = run_once(benchmark, run_fig3, scale=0.1, seed=0, probes=10)
+    attach_report(benchmark, result)
+
+    for name, series in result.series.items():
+        assert series[-1][1] >= series[0][1], name
+
+    ideal = dict(result.series["Ideal upper bound"])
+    for name, series in result.series.items():
+        if name == "Ideal upper bound":
+            continue
+        for day, value in series:
+            assert value <= ideal[day] + 0.02, (name, day)
+
+    gap_k10 = result.final_gap_to_ideal("HyRec k=10")
+    assert gap_k10 <= 0.25  # paper: within 20% at full scale
+    gap_ir = result.final_gap_to_ideal("HyRec k=10 IR=7")
+    assert gap_ir <= gap_k10 + 0.05
+    benchmark.extra_info["final_gap_k10"] = round(gap_k10, 4)
+    benchmark.extra_info["final_gap_ir7"] = round(gap_ir, 4)

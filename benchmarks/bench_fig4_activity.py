@@ -1,0 +1,29 @@
+"""Bench F4 -- regenerate Figure 4 (KNN quality vs user activity).
+
+Paper shapes to check: quality correlates with activity (more
+iterations -> closer to the ideal), and "the vast majority of users
+have view-similarity ratios above 70%".
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig3_fig4 import run_fig4
+
+
+def test_fig4_activity_correlation(benchmark):
+    result = run_once(benchmark, run_fig4, scale=0.1, seed=0)
+    attach_report(benchmark, result)
+
+    assert result.points
+    # Split users at the median profile size; the active half must be
+    # at least as close to the ideal on average.
+    sizes = sorted(size for size, _ in result.points)
+    median = sizes[len(sizes) // 2]
+    low = [ratio for size, ratio in result.points if size < median]
+    high = [ratio for size, ratio in result.points if size >= median]
+    if low and high:
+        assert sum(high) / len(high) >= sum(low) / len(low) - 0.02
+
+    above_70 = result.fraction_above(0.7)
+    assert above_70 >= 0.6
+    benchmark.extra_info["fraction_above_70pct"] = round(above_70, 3)

@@ -1,0 +1,29 @@
+"""Bench F5 -- regenerate Figure 5 (candidate-set size convergence).
+
+Paper shapes to check: the mean candidate-set size converges well
+below the ``2k + k^2`` bound (to ~55 for k=10 at full ML1 scale), and
+larger k means larger candidate sets throughout.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig5 import run_fig5
+
+
+def test_fig5_candidate_set_convergence(benchmark):
+    result = run_once(
+        benchmark, run_fig5, scale=0.15, seed=0, ks=(5, 10), buckets=10
+    )
+    attach_report(benchmark, result)
+
+    for name in ("k=5", "k=10"):
+        final = result.final_mean(name)
+        bound = result.upper_bounds[name]
+        assert 0 < final < bound
+    # Larger neighborhoods sample more candidates.
+    assert result.final_mean("k=10") > result.final_mean("k=5")
+    # Convergence: the final mean sits below the mid-replay peak.
+    peak_k10 = max(v for _, v in result.series["k=10"])
+    assert result.final_mean("k=10") <= peak_k10
+    benchmark.extra_info["final_k10"] = round(result.final_mean("k=10"), 1)
+    benchmark.extra_info["bound_k10"] = result.upper_bounds["k=10"]

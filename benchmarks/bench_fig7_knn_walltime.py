@@ -1,0 +1,49 @@
+"""Bench F7 -- regenerate Figure 7 (offline KNN back-end wall-clock).
+
+Paper shapes to check:
+
+* Offline-CRec is the fastest back-end on (almost) every workload --
+  the paper allows one exception (ClusMahout on the smallest set);
+* the exhaustive all-pairs pass is the slowest on the larger sets;
+* ClusMahout (2 nodes) is at least as fast as MahoutSingle (1 node);
+* the Exhaustive/CRec gap grows with dataset size.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig7 import run_fig7
+
+#: Per-workload scales keeping Table 2's size ordering laptop-sized
+#: while putting every workload past the quadratic/linear crossover.
+SCALES = {"ML1": 0.8, "ML2": 0.16, "ML3": 0.018, "Digg": 0.025}
+
+
+def test_fig7_backend_walltimes(benchmark):
+    result = run_once(benchmark, run_fig7, scales=SCALES, seed=0, k=10)
+    attach_report(benchmark, result)
+
+    for dataset, walltimes in result.walltimes.items():
+        assert walltimes["ClusMahout"] <= walltimes["MahoutSingle"] * 1.1, dataset
+
+    # CRec is the fastest back-end on the larger workloads (the paper
+    # allows one exception, on its smallest dataset).
+    by_users = sorted(result.users, key=result.users.get)
+    for dataset in by_users[2:]:
+        walltimes = result.walltimes[dataset]
+        assert walltimes["CRec"] == min(walltimes.values()), dataset
+
+    # The exhaustive pass loses ground as datasets grow: compare the
+    # Exhaustive/CRec ratio on the smallest vs the largest user count.
+    small, large = by_users[0], by_users[-1]
+    ratio_small = (
+        result.walltimes[small]["Exhaustive"] / result.walltimes[small]["CRec"]
+    )
+    ratio_large = (
+        result.walltimes[large]["Exhaustive"] / result.walltimes[large]["CRec"]
+    )
+    assert ratio_large > ratio_small
+    assert ratio_large > 1.0  # exhaustive has lost by the largest set
+    benchmark.extra_info["exhaustive_over_crec"] = {
+        small: round(ratio_small, 2),
+        large: round(ratio_large, 2),
+    }

@@ -1,0 +1,52 @@
+"""Bench F8 -- regenerate Figure 8 (front-end response time vs ps).
+
+Paper shapes to check:
+
+* HyRec answers faster than CRec on average, and the gap grows with
+  profile size ("this is clearer as the size of profiles increases");
+* Online-Ideal is far slower than both (the paper calls it
+  inapplicable);
+* response time grows with profile size for both front-ends.
+
+All service times here are *measured* executions of the real code
+paths (fragment-gzip rendering for HyRec, Algorithm 2 for CRec,
+global KNN for Online-Ideal).
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig8_fig9 import run_fig8
+
+
+def test_fig8_response_time_vs_profile_size(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        profile_sizes=(10, 100, 500),
+        num_users=300,
+        requests=120,
+        seed=0,
+    )
+    attach_report(benchmark, result)
+
+    hyrec = result.mean_ms["HyRec k=10"]
+    crec = result.mean_ms["CRec k=10"]
+    ideal = result.mean_ms["Online Ideal k=10"]
+
+    for mean_by_ps in (hyrec, crec):
+        assert mean_by_ps[500] > mean_by_ps[10]
+
+    # HyRec wins on average across profile sizes...
+    hyrec_avg = sum(hyrec.values()) / len(hyrec)
+    crec_avg = sum(crec.values()) / len(crec)
+    assert hyrec_avg < crec_avg
+    # ...and decisively at large profiles.
+    assert hyrec[500] < crec[500]
+    # Online-Ideal is the worst (its margin widens with the user
+    # count, which is deliberately small at bench scale).
+    assert ideal[500] > 1.3 * crec[500]
+    assert ideal[500] > 3.0 * hyrec[500]
+
+    benchmark.extra_info["hyrec_ms"] = {k: round(v, 2) for k, v in hyrec.items()}
+    benchmark.extra_info["crec_ms"] = {k: round(v, 2) for k, v in crec.items()}
+    benchmark.extra_info["crec_over_hyrec_avg"] = round(crec_avg / hyrec_avg, 2)

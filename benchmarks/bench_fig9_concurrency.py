@@ -1,0 +1,58 @@
+"""Bench F9 -- regenerate Figure 9 (response time vs concurrency).
+
+Paper shapes to check:
+
+* hockey-stick curves: flat below saturation, then (closed-loop)
+  linear growth;
+* smaller profiles are served faster at every concurrency;
+* HyRec sustains at least as much concurrency as CRec at equal
+  profile size (the paper's scalability claim, measured via the
+  concurrency that keeps mean response under a threshold).
+
+Also reports the Section 5.5 headline: how HyRec at profile size 1000
+compares with CRec at profile size 10.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.fig8_fig9 import run_fig9, scalability_factor
+
+
+def test_fig9_concurrency_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig9,
+        concurrencies=(1, 25, 100, 400, 1000),
+        profile_sizes=(10, 100),
+        num_users=250,
+        calibration_requests=80,
+        seed=0,
+    )
+    attach_report(benchmark, result)
+
+    for name, curve in result.curves.items():
+        assert curve[-1].mean_response_ms > curve[0].mean_response_ms, name
+
+    for system in ("HyRec", "CRec"):
+        small = result.curves[f"{system} ps=10"]
+        large = result.curves[f"{system} ps=100"]
+        for point_small, point_large in zip(small, large):
+            assert point_small.mean_response_s <= point_large.mean_response_s * 1.2
+
+    hyrec_capacity = result.saturation_capacity("HyRec ps=100", 200.0)
+    crec_capacity = result.saturation_capacity("CRec ps=100", 200.0)
+    assert hyrec_capacity >= crec_capacity
+
+    factors = scalability_factor(num_users=200, requests=50, seed=0)
+    print(
+        f"\nSection 5.5 claim: HyRec ps=1000 service "
+        f"{factors['hyrec_service_ms']:.2f}ms vs CRec ps=10 "
+        f"{factors['crec_service_ms']:.2f}ms -> capacity ratio "
+        f"{factors['capacity_ratio']:.2f} at a 100x profile-size ratio"
+    )
+    # Direction of the claim: serving 100x larger profiles must cost
+    # far less than 100x the capacity.
+    assert factors["capacity_ratio"] * factors["profile_size_ratio"] > 2.0
+    benchmark.extra_info["scalability"] = {
+        k: round(v, 3) for k, v in factors.items()
+    }

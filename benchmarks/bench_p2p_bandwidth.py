@@ -1,0 +1,31 @@
+"""Bench X1 -- Section 5.6's bandwidth headline (P2P vs HyRec, Digg).
+
+Paper shape to check: a P2P node spends megabytes over the two-week
+Digg trace (the paper measures ~24MB) while a HyRec widget spends
+kilobytes (~8kB) -- two to three orders of magnitude apart, because
+gossip never stops while HyRec only talks when its user shows up.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.p2p_bandwidth import run_p2p_bandwidth
+
+
+def test_p2p_vs_hyrec_bandwidth(benchmark):
+    result = run_once(
+        benchmark, run_p2p_bandwidth, scale=0.005, seed=0, measured_cycles=20
+    )
+    attach_report(benchmark, result)
+
+    # Orders of magnitude: MBs vs tens of kBs per node.
+    assert result.p2p_bytes_per_node > 1_000_000
+    assert result.hyrec_bytes_per_widget < 200_000
+    assert result.ratio < 0.02  # paper: ~0.0003
+
+    benchmark.extra_info["p2p_mb_per_node"] = round(
+        result.p2p_bytes_per_node / 1e6, 1
+    )
+    benchmark.extra_info["hyrec_kb_per_widget"] = round(
+        result.hyrec_bytes_per_widget / 1e3, 1
+    )
+    benchmark.extra_info["hyrec_over_p2p"] = round(result.ratio, 5)

@@ -1,0 +1,25 @@
+"""Bench T2 -- regenerate Table 2 (dataset statistics).
+
+Paper shape to check: four workloads whose user/item/rating counts
+scale as in Table 2, with average profile sizes of ~106/166/143 for
+MovieLens and ~13 for Digg.
+"""
+
+from conftest import attach_report, run_once
+
+from repro.eval.table2 import run_table2
+
+
+def test_table2_dataset_statistics(benchmark):
+    result = run_once(benchmark, run_table2, scale=0.05, seed=0)
+    attach_report(benchmark, result)
+
+    stats = result.stats
+    # Table 2's load-bearing column: average ratings per user.
+    assert 90 <= stats["ML1"].avg_ratings_per_user <= 125
+    assert 120 <= stats["ML2"].avg_ratings_per_user <= 185
+    assert 120 <= stats["ML3"].avg_ratings_per_user <= 165
+    assert 9 <= stats["Digg"].avg_ratings_per_user <= 18
+    benchmark.extra_info["avg_ratings"] = {
+        name: round(s.avg_ratings_per_user, 1) for name, s in stats.items()
+    }

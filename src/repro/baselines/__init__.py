@@ -1,0 +1,60 @@
+"""Every competitor system the paper evaluates HyRec against.
+
+Section 5.1 ("Competitors"):
+
+* **Offline-Ideal** -- periodic brute-force exact KNN on a back-end;
+  recommendations computed on demand on the front-end
+  (:mod:`repro.baselines.offline_ideal`).
+* **Online-Ideal** -- exact KNN recomputed before *every*
+  recommendation; the quality upper bound, "inapplicable due to its
+  huge response times" (:mod:`repro.baselines.online_ideal`).
+* **Offline-CRec** -- HyRec's own sampling KNN run offline on a
+  map-reduce back-end; its front-end (CRec) answers requests with
+  server-side item recommendation (:mod:`repro.baselines.crec`).
+* **MahoutSingle / ClusMahout** -- Mahout's user-based CF on Hadoop
+  over one / two 4-core nodes (:mod:`repro.baselines.mahout`).
+* **Decentralized (P2P)** -- gossip overlay + epidemic clustering on
+  every user machine (:mod:`repro.baselines.p2p`).
+
+:mod:`repro.baselines.exact` provides the shared exact-KNN engine
+(numpy-blocked all-pairs similarity) that the ideal baselines and the
+view-similarity metric build on.
+"""
+
+from repro.baselines.exact import ExactKnnIndex, exact_knn_table
+from repro.baselines.offline_ideal import CentralizedOfflineSystem, OfflineIdealBackend
+from repro.baselines.online_ideal import OnlineIdealSystem
+from repro.baselines.crec import CRecFrontend, OfflineCRecBackend
+from repro.baselines.mahout import (
+    clus_mahout_engine,
+    mahout_single_engine,
+    phoenix_engine,
+    run_clus_mahout,
+    run_crec_backend,
+    run_exhaustive,
+    run_mahout_single,
+)
+from repro.baselines.p2p import P2PRecommender, P2PTrafficReport
+from repro.baselines.tivo import TivoClient, TivoServer, TivoSystem
+
+__all__ = [
+    "ExactKnnIndex",
+    "exact_knn_table",
+    "CentralizedOfflineSystem",
+    "OfflineIdealBackend",
+    "OnlineIdealSystem",
+    "CRecFrontend",
+    "OfflineCRecBackend",
+    "clus_mahout_engine",
+    "mahout_single_engine",
+    "phoenix_engine",
+    "run_clus_mahout",
+    "run_crec_backend",
+    "run_exhaustive",
+    "run_mahout_single",
+    "P2PRecommender",
+    "P2PTrafficReport",
+    "TivoClient",
+    "TivoServer",
+    "TivoSystem",
+]

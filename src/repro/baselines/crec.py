@@ -1,0 +1,165 @@
+"""Offline-CRec: HyRec's algorithm run centrally (the cost baseline).
+
+Section 5.4 picks Offline-CRec as the cheapest centralized solution:
+the *same* sampling-based KNN as HyRec, but executed periodically on a
+map-reduce back-end instead of in browsers.  Its front-end (called
+simply **CRec** in Figures 8-9) answers requests in real time by
+running item recommendation *server-side* over the candidate set built
+from the KNN table -- the exact work HyRec offloads to the widget.
+
+Both halves here do real work and are *measured*, not modeled:
+
+* :class:`OfflineCRecBackend` runs the sampling iterations on a
+  :class:`~repro.mapreduce.engine.MapReduceEngine` (real results,
+  modeled 4-core wall-clock -- the Figure 7 / Table 3 numbers);
+* :class:`CRecFrontend.serve` runs Algorithm 2 in-process and reports
+  its measured service time (the Figure 8 / 9 numbers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.recommend import recommend_most_popular
+from repro.core.sampler import HyRecSampler
+from repro.core.tables import KnnTable, ProfileTable
+from repro.mapreduce.engine import MapReduceEngine, MapReduceResult
+from repro.mapreduce.jobs import crec_knn_job
+from repro.sim.clock import DAY
+from repro.sim.randomness import derive_rng
+
+
+@dataclass
+class BackendRun:
+    """One offline KNN-selection pass of the CRec back-end."""
+
+    at: float
+    wall_clock_s: float  # modeled 4-core cluster time
+    cpu_seconds: float  # measured single-thread work
+    users: int
+
+
+class OfflineCRecBackend:
+    """Periodic sampling-based KNN on the map-reduce substrate."""
+
+    def __init__(
+        self,
+        profiles: ProfileTable,
+        k: int = 10,
+        period_s: float = 2 * DAY,
+        iterations: int = 4,
+        engine: MapReduceEngine | None = None,
+        seed: int = 0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.profiles = profiles
+        self.k = k
+        self.period_s = period_s
+        self.iterations = iterations
+        self.engine = engine if engine is not None else MapReduceEngine(
+            workers=4, task_overhead_s=1e-3, name="phoenix-4core"
+        )
+        self.seed = seed
+        self.knn_table = KnnTable()
+        self.history: list[BackendRun] = []
+        self._next_due = 0.0
+
+    def maybe_recompute(self, now: float) -> bool:
+        """Run the periodic job if due (same schedule semantics as
+        :class:`~repro.baselines.offline_ideal.OfflineIdealBackend`)."""
+        if now < self._next_due:
+            return False
+        self.recompute(now)
+        periods_elapsed = int(now / self.period_s) + 1
+        self._next_due = periods_elapsed * self.period_s
+        return True
+
+    def recompute(self, now: float = 0.0) -> MapReduceResult:
+        """One full back-end pass; returns the map-reduce profile."""
+        liked = self.profiles.liked_sets()
+        table, result = crec_knn_job(
+            self.engine,
+            liked,
+            k=self.k,
+            iterations=self.iterations,
+            seed=derive_rng(self.seed, f"crec:run:{len(self.history)}").randrange(
+                2**31
+            ),
+        )
+        for user, neighbors in table.items():
+            self.knn_table.update(user, neighbors)
+        self.history.append(
+            BackendRun(
+                at=now,
+                wall_clock_s=result.wall_clock_s,
+                cpu_seconds=result.cpu_seconds,
+                users=len(liked),
+            )
+        )
+        return result
+
+
+@dataclass
+class FrontendResponse:
+    """One CRec front-end answer with its measured cost."""
+
+    user_id: int
+    recommendations: list[int]
+    candidate_count: int
+    service_time_s: float
+
+
+class CRecFrontend:
+    """Real-time server-side recommendation from the offline table."""
+
+    def __init__(
+        self,
+        profiles: ProfileTable,
+        knn_table: KnnTable,
+        k: int = 10,
+        r: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.profiles = profiles
+        self.knn_table = knn_table
+        self.k = k
+        self.r = r
+        self.sampler = HyRecSampler(
+            knn_table,
+            user_registry=profiles.users(),
+            k=k,
+            rng=derive_rng(seed, "crec:frontend"),
+        )
+
+    def register_user(self, user_id: int) -> None:
+        """Keep the random-candidate registry in sync with profiles."""
+        self.sampler.register_user(user_id)
+
+    def serve(self, user_id: int) -> FrontendResponse:
+        """Answer one request; measured server-side work.
+
+        This is the per-request work the paper times for CRec in
+        Figure 8: build the candidate set from the KNN table and run
+        item recommendation over the candidate profiles, all on the
+        server.
+        """
+        start = time.perf_counter()
+        profile = self.profiles.get_or_create(user_id)
+        candidate_ids = self.sampler.sample(user_id)
+        candidate_liked = {
+            uid: self.profiles.get(uid).liked_items()
+            for uid in candidate_ids
+            if uid in self.profiles
+        }
+        recommendations = recommend_most_popular(
+            profile.rated_items(), candidate_liked, self.r
+        )
+        elapsed = time.perf_counter() - start
+        return FrontendResponse(
+            user_id=user_id,
+            recommendations=[rec.item_id for rec in recommendations],
+            candidate_count=len(candidate_liked),
+            service_time_s=elapsed,
+        )

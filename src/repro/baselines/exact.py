@@ -1,0 +1,151 @@
+"""Exact (global-knowledge) KNN -- the paper's "ideal" reference.
+
+The ideal KNN of user ``u`` is the true top-k over *all* users by
+cosine similarity.  The evaluation uses it three ways:
+
+* as the periodic table of the Offline-Ideal baseline;
+* as the per-request table of the Online-Ideal baseline;
+* as the upper bound in the view-similarity metric (Figures 3-4).
+
+All-pairs cosine over binary profiles is a matrix product: with
+``A`` the users-by-items 0/1 matrix, ``A @ A.T`` counts intersections
+and the norms are row sums.  We block over rows so that the largest
+intermediate is ``block x N`` (ML3-scale tables fit comfortably).
+
+Tie-breaking matches :func:`repro.core.knn.knn_select` exactly
+(descending score, then ascending user id), so the exact and sampled
+paths are comparable neighbor-for-neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.knn import Neighbor
+
+LikedSets = Mapping[int, frozenset[int]]
+
+
+class ExactKnnIndex:
+    """Dense binary profile matrix with exact top-k queries."""
+
+    def __init__(self, liked_sets: LikedSets, metric: str = "cosine") -> None:
+        if metric not in ("cosine", "jaccard", "overlap"):
+            raise ValueError(f"unsupported exact metric {metric!r}")
+        self.metric = metric
+        self.user_ids: list[int] = sorted(liked_sets)
+        self._row_of = {uid: row for row, uid in enumerate(self.user_ids)}
+        items = sorted({item for liked in liked_sets.values() for item in liked})
+        self._col_of = {item: col for col, item in enumerate(items)}
+        self.num_items = len(items)
+
+        n = len(self.user_ids)
+        self.matrix = np.zeros((n, max(1, self.num_items)), dtype=np.float32)
+        for uid, liked in liked_sets.items():
+            row = self._row_of[uid]
+            for item in liked:
+                self.matrix[row, self._col_of[item]] = 1.0
+        self.sizes = self.matrix.sum(axis=1)  # |L_u| per row
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    # --- similarity -----------------------------------------------------------
+
+    def _similarity_block(self, rows: np.ndarray) -> np.ndarray:
+        """Similarity of ``rows`` (indices) against every user.
+
+        The float32 matrix product yields exact integer intersection
+        counts (they are far below 2^24); the division happens in
+        float64 so that scores -- and therefore tie-breaks -- agree
+        bitwise with the pure-Python :func:`repro.core.knn.knn_select`.
+        """
+        inter = (self.matrix[rows] @ self.matrix.T).astype(np.float64)
+        sizes_a = self.sizes.astype(np.float64)[rows][:, None]
+        sizes_b = self.sizes.astype(np.float64)[None, :]
+        if self.metric == "cosine":
+            denom = np.sqrt(sizes_a * sizes_b)
+        elif self.metric == "jaccard":
+            denom = sizes_a + sizes_b - inter
+        else:  # overlap
+            denom = np.minimum(sizes_a, sizes_b)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sims = np.where(denom > 0, inter / denom, 0.0)
+        return sims
+
+    # --- queries --------------------------------------------------------------------
+
+    def topk(self, user_id: int, k: int) -> list[Neighbor]:
+        """Exact k nearest neighbors of one user."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        row = self._row_of[user_id]
+        sims = self._similarity_block(np.array([row]))[0]
+        sims[row] = -np.inf  # never self
+        return self._rank_row(sims, k)
+
+    def table(self, k: int, block: int = 256) -> dict[int, list[int]]:
+        """Exact KNN table for every user (the Offline-Ideal output)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        result: dict[int, list[int]] = {}
+        n = len(self.user_ids)
+        for start in range(0, n, block):
+            rows = np.arange(start, min(start + block, n))
+            sims = self._similarity_block(rows)
+            for local, row in enumerate(rows):
+                row_sims = sims[local]
+                row_sims[row] = -np.inf
+                neighbors = self._rank_row(row_sims, k)
+                result[self.user_ids[row]] = [nb.user_id for nb in neighbors]
+        return result
+
+    def pair_similarity(self, user_a: int, user_b: int) -> float:
+        """Similarity of one specific pair (used by view-similarity)."""
+        row_a = self._row_of[user_a]
+        row_b = self._row_of[user_b]
+        inter = float(self.matrix[row_a] @ self.matrix[row_b])
+        size_a = float(self.sizes[row_a])
+        size_b = float(self.sizes[row_b])
+        if self.metric == "cosine":
+            denom = (size_a * size_b) ** 0.5
+        elif self.metric == "jaccard":
+            denom = size_a + size_b - inter
+        else:
+            denom = min(size_a, size_b)
+        return inter / denom if denom > 0 else 0.0
+
+    def _rank_row(self, sims: np.ndarray, k: int) -> list[Neighbor]:
+        """Top-k of one similarity row with knn_select's tie-breaks."""
+        n = sims.shape[0]
+        k_eff = min(k, n - 1) if n > 1 else 0
+        if k_eff <= 0:
+            return []
+        # Partial selection, then exact ordering of the selected slice.
+        candidate_count = min(n, k_eff + 16)
+        part = np.argpartition(-sims, candidate_count - 1)[:candidate_count]
+        order = sorted(part.tolist(), key=lambda r: (-float(sims[r]), self.user_ids[r]))
+        return [
+            Neighbor(user_id=self.user_ids[r], score=max(0.0, float(sims[r])))
+            for r in order[:k_eff]
+        ]
+
+
+def exact_knn_table(
+    liked_sets: LikedSets, k: int, metric: str = "cosine"
+) -> dict[int, list[int]]:
+    """One-shot exact KNN table (builds a throwaway index)."""
+    if not liked_sets:
+        return {}
+    return ExactKnnIndex(liked_sets, metric=metric).table(k)
+
+
+def average_pair_similarity(
+    index: ExactKnnIndex, pairs: Sequence[tuple[int, int]]
+) -> float:
+    """Mean similarity over explicit user pairs (view-similarity core)."""
+    if not pairs:
+        return 0.0
+    return sum(index.pair_similarity(a, b) for a, b in pairs) / len(pairs)

@@ -1,0 +1,100 @@
+"""The four back-end configurations of Figure 7.
+
+Engine factories encode the paper's hardware:
+
+* :func:`phoenix_engine` -- the single 4-core node running the
+  Phoenix-style in-memory map-reduce [46] used by both Offline-Ideal
+  ("Exhaustive") and Offline-CRec.  Task launch is micro-seconds.
+* :func:`mahout_single_engine` -- Mahout on Hadoop, one 4-core node.
+  Hadoop task launch is JVM-fork expensive (order of a second in
+  2014 deployments); shuffle stays on-node.
+* :func:`clus_mahout_engine` -- Mahout on Hadoop, two 4-core nodes:
+  eight slots, but the shuffle now crosses the network
+  (``shuffle_penalty``), so the speedup over MahoutSingle is real but
+  below 2x -- matching the paper's observation that ClusMahout only
+  beats Offline-CRec on the smallest dataset.
+
+The ``run_*`` helpers execute the real KNN jobs and return
+``(knn_table, MapReduceResult)``; ``MapReduceResult.wall_clock_s`` is
+the Figure 7 y-value.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceResult
+from repro.mapreduce.jobs import crec_knn_job, exhaustive_knn_job, mahout_knn_job
+
+LikedSets = Mapping[int, frozenset[int]]
+
+
+def phoenix_engine(workers: int = 4) -> MapReduceEngine:
+    """In-memory single-node map-reduce (Phoenix, HPCA 2007)."""
+    return MapReduceEngine(
+        workers=workers,
+        task_overhead_s=1e-3,
+        shuffle_cost_per_pair_s=5e-8,
+        shuffle_penalty=1.0,
+        name=f"phoenix-{workers}core",
+    )
+
+
+def mahout_single_engine() -> MapReduceEngine:
+    """Mahout/Hadoop on one 4-core node.
+
+    The task-launch overhead is scaled to this reproduction's compute
+    speed: Hadoop's JVM-fork launch costs ~1s against Java-speed
+    similarity kernels; our Python kernels run the same workloads in
+    correspondingly less absolute time, so the overhead shrinks by the
+    same factor to keep the overhead/compute ratio -- and therefore
+    Figure 7's orderings -- faithful.
+    """
+    return MapReduceEngine(
+        workers=4,
+        task_overhead_s=0.05,
+        shuffle_cost_per_pair_s=2e-7,
+        shuffle_penalty=1.0,
+        name="mahout-1node",
+    )
+
+
+def clus_mahout_engine() -> MapReduceEngine:
+    """Mahout/Hadoop on two 4-core nodes (cross-node shuffle)."""
+    return MapReduceEngine(
+        workers=8,
+        task_overhead_s=0.05,
+        shuffle_cost_per_pair_s=2e-7,
+        shuffle_penalty=3.0,
+        name="mahout-2node",
+    )
+
+
+def run_exhaustive(
+    liked_sets: LikedSets, k: int = 10
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """Offline-Ideal's all-pairs KNN on the Phoenix node."""
+    return exhaustive_knn_job(phoenix_engine(), liked_sets, k=k)
+
+
+def run_crec_backend(
+    liked_sets: LikedSets, k: int = 10, iterations: int = 4, seed: int = 0
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """Offline-CRec's sampling KNN on the Phoenix node."""
+    return crec_knn_job(
+        phoenix_engine(), liked_sets, k=k, iterations=iterations, seed=seed
+    )
+
+
+def run_mahout_single(
+    liked_sets: LikedSets, k: int = 10
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """Mahout user-based CF on one Hadoop node."""
+    return mahout_knn_job(mahout_single_engine(), liked_sets, k=k)
+
+
+def run_clus_mahout(
+    liked_sets: LikedSets, k: int = 10
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """Mahout user-based CF on the two-node Hadoop cluster."""
+    return mahout_knn_job(clus_mahout_engine(), liked_sets, k=k)

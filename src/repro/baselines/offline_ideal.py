@@ -1,0 +1,186 @@
+"""Offline-Ideal: periodic brute-force KNN on a back-end server.
+
+The centralized reference architecture of Figure 1 (top): the
+front-end answers recommendation requests in real time from the KNN
+table, while a back-end recomputes that table with global knowledge
+every ``period`` (one week in Figure 3; 24h/1h variants in Figure 6).
+
+Between two recomputations the neighborhoods are frozen -- that is
+the step-like behaviour of the Offline-Ideal curve in Figure 3 and
+the reason new users "will not benefit from any personalization" until
+the next offline cycle (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines.exact import exact_knn_table
+from repro.core.recommend import recommend_most_popular
+from repro.core.sampler import HyRecSampler
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Trace
+from repro.sim.clock import WEEK
+from repro.sim.randomness import derive_rng
+
+
+class DictKnnView:
+    """Adapter exposing a plain ``{uid: [neighbors]}`` dict to the
+    :class:`~repro.core.sampler.HyRecSampler` interface."""
+
+    def __init__(self, table_ref: Callable[[], dict[int, list[int]]]) -> None:
+        self._table_ref = table_ref
+
+    def neighbors_of(self, user_id: int) -> list[int]:
+        return list(self._table_ref().get(user_id, ()))
+
+
+@dataclass
+class RecomputeRecord:
+    """One back-end KNN-selection run."""
+
+    at: float  # simulated time of the run
+    wall_clock_s: float  # real (measured) computation time
+    users: int
+
+
+class OfflineIdealBackend:
+    """Periodic exact-KNN computation over profile snapshots."""
+
+    def __init__(
+        self,
+        profiles: ProfileTable,
+        k: int = 10,
+        period_s: float = WEEK,
+        metric: str = "cosine",
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.profiles = profiles
+        self.k = k
+        self.period_s = period_s
+        self.metric = metric
+        self.knn_table: dict[int, list[int]] = {}
+        self.history: list[RecomputeRecord] = []
+        self._next_due = 0.0
+
+    def maybe_recompute(self, now: float) -> bool:
+        """Run the periodic job if its schedule says so."""
+        if now < self._next_due:
+            return False
+        self.recompute(now)
+        # Catch up the schedule without replaying missed periods: a
+        # back-end that was due several times while nobody was active
+        # still only produces one fresh table.
+        periods_elapsed = int(now / self.period_s) + 1
+        self._next_due = periods_elapsed * self.period_s
+        return True
+
+    def recompute(self, now: float) -> None:
+        """One full back-end pass: snapshot profiles, exact KNN."""
+        liked = self.profiles.liked_sets()
+        start = time.perf_counter()
+        self.knn_table = exact_knn_table(liked, self.k, metric=self.metric)
+        elapsed = time.perf_counter() - start
+        self.history.append(
+            RecomputeRecord(at=now, wall_clock_s=elapsed, users=len(liked))
+        )
+
+    def neighbors_of(self, user_id: int) -> list[int]:
+        """The (possibly stale) neighborhood of ``user_id``."""
+        return list(self.knn_table.get(user_id, ()))
+
+    @property
+    def runs(self) -> int:
+        """Number of back-end passes executed so far."""
+        return len(self.history)
+
+
+@dataclass
+class CentralizedOutcome:
+    """One front-end recommendation response."""
+
+    user_id: int
+    timestamp: float
+    recommendations: list[int]
+    neighbors: list[int] = field(default_factory=list)
+
+
+class CentralizedOfflineSystem:
+    """Front-end + Offline-Ideal back-end, replayable like HyRec.
+
+    All of the paper's quality contenders "share the same front-end"
+    (Section 5.4): requests are answered by running Algorithm 2 over a
+    candidate set built exactly like CRec's and HyRec's --
+    ``Nu + KNN(Nu) + k randoms`` -- only here the KNN rows come from
+    the periodically recomputed *exact* table.  Recommendations are
+    live; neighborhoods are as stale as the back-end period, which is
+    precisely what Figure 6 isolates.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        r: int = 10,
+        period_s: float = WEEK,
+        metric: str = "cosine",
+        seed: int = 0,
+    ) -> None:
+        self.k = k
+        self.r = r
+        self.profiles = ProfileTable()
+        self.backend = OfflineIdealBackend(
+            self.profiles, k=k, period_s=period_s, metric=metric
+        )
+        self.sampler = HyRecSampler(
+            DictKnnView(lambda: self.backend.knn_table),
+            user_registry=None,
+            k=k,
+            rng=derive_rng(seed, "offline-ideal:frontend"),
+        )
+        self.requests_served = 0
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float = 0.0
+    ) -> None:
+        """Update the profile table with one fresh opinion."""
+        self.profiles.record(user_id, item, value, timestamp)
+        self.sampler.register_user(user_id)
+
+    def request(self, user_id: int, now: float = 0.0) -> CentralizedOutcome:
+        """Answer one recommendation request from the current table."""
+        self.backend.maybe_recompute(now)
+        profile = self.profiles.get_or_create(user_id)
+        candidates = self.sampler.sample(user_id)
+        candidate_liked = {
+            nid: self.profiles.get(nid).liked_items()
+            for nid in candidates
+            if nid in self.profiles
+        }
+        recommendations = recommend_most_popular(
+            profile.rated_items(), candidate_liked, self.r
+        )
+        self.requests_served += 1
+        return CentralizedOutcome(
+            user_id=user_id,
+            timestamp=now,
+            recommendations=[rec.item_id for rec in recommendations],
+            neighbors=self.backend.neighbors_of(user_id),
+        )
+
+    def replay(
+        self,
+        trace: Trace,
+        on_request: Optional[Callable[[CentralizedOutcome], None]] = None,
+    ) -> int:
+        """Replay a trace: every rating updates the profile and asks
+        for recommendations, exactly like the HyRec replay loop."""
+        served_before = self.requests_served
+        for rating in trace:
+            self.record_rating(rating.user, rating.item, rating.value, rating.timestamp)
+            outcome = self.request(rating.user, now=rating.timestamp)
+            if on_request is not None:
+                on_request(outcome)
+        return self.requests_served - served_before

@@ -1,0 +1,111 @@
+"""Online-Ideal: exact KNN before every single recommendation.
+
+The quality upper bound of Figures 3, 6 and 8.  The paper calls it
+"inapplicable due to its huge response times" -- which is precisely
+what Figure 8 shows and what our measured :attr:`last_service_time_s`
+feeds into the response-time experiments.
+
+Each request rebuilds a global similarity index over *all* profiles
+(no staleness whatsoever) and then serves the shared front-end recipe:
+Algorithm 2 over ``Nu + KNN(Nu) + k randoms``, with every row exact
+and fresh.  The per-request index build is the honest cost of global
+knowledge at request time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines.exact import ExactKnnIndex
+from repro.core.recommend import recommend_most_popular
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Trace
+from repro.sim.randomness import derive_rng
+
+
+@dataclass
+class OnlineIdealOutcome:
+    """One fully-fresh recommendation response."""
+
+    user_id: int
+    timestamp: float
+    recommendations: list[int]
+    neighbors: list[int] = field(default_factory=list)
+    service_time_s: float = 0.0
+
+
+class OnlineIdealSystem:
+    """Centralized recommender with per-request global KNN."""
+
+    def __init__(
+        self,
+        k: int = 10,
+        r: int = 10,
+        metric: str = "cosine",
+        seed: int = 0,
+    ) -> None:
+        self.k = k
+        self.r = r
+        self.metric = metric
+        self.profiles = ProfileTable()
+        self.requests_served = 0
+        self.last_service_time_s = 0.0
+        self._rng = derive_rng(seed, "online-ideal:frontend")
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float = 0.0
+    ) -> None:
+        """Update the profile table with one fresh opinion."""
+        self.profiles.record(user_id, item, value, timestamp)
+
+    def request(self, user_id: int, now: float = 0.0) -> OnlineIdealOutcome:
+        """Compute the ideal KNN *now*, then serve the shared front-end.
+
+        Candidate set = fresh exact ``Nu``, fresh exact ``KNN(Nu)``,
+        plus ``k`` random users -- the same recipe every other system
+        uses, with zero staleness anywhere.
+        """
+        start = time.perf_counter()
+        profile = self.profiles.get_or_create(user_id)
+        liked_sets = self.profiles.liked_sets()
+        index = ExactKnnIndex(liked_sets, metric=self.metric)
+
+        neighbors = [n.user_id for n in index.topk(user_id, self.k)]
+        candidates: set[int] = set(neighbors)
+        for neighbor in neighbors:
+            candidates.update(n.user_id for n in index.topk(neighbor, self.k))
+        others = [uid for uid in liked_sets if uid != user_id]
+        if others:
+            draw = min(self.k, len(others))
+            candidates.update(self._rng.sample(others, draw))
+        candidates.discard(user_id)
+
+        candidate_liked = {uid: liked_sets[uid] for uid in candidates}
+        recommendations = recommend_most_popular(
+            profile.rated_items(), candidate_liked, self.r
+        )
+        self.last_service_time_s = time.perf_counter() - start
+        self.requests_served += 1
+        return OnlineIdealOutcome(
+            user_id=user_id,
+            timestamp=now,
+            recommendations=[rec.item_id for rec in recommendations],
+            neighbors=neighbors,
+            service_time_s=self.last_service_time_s,
+        )
+
+    def replay(
+        self,
+        trace: Trace,
+        on_request: Optional[Callable[[OnlineIdealOutcome], None]] = None,
+    ) -> int:
+        """Replay a trace with a fresh ideal KNN at every rating."""
+        served_before = self.requests_served
+        for rating in trace:
+            self.record_rating(rating.user, rating.item, rating.value, rating.timestamp)
+            outcome = self.request(rating.user, now=rating.timestamp)
+            if on_request is not None:
+                on_request(outcome)
+        return self.requests_served - served_before

@@ -1,0 +1,211 @@
+"""TiVo-style item-based hybrid recommender (Section 2.4's contrast).
+
+    "TiVo [16] proposed a hybrid recommendation architecture similar
+    to ours but with several important differences.  First, it
+    considers an item-based CF system.  Second, it does not completely
+    decentralize the personalization process.  TiVo only offloads the
+    computation of item recommendation scores to clients.  The
+    computation of the correlations between items is achieved on the
+    server side.  Since the latter operation is extremely expensive,
+    TiVo's server only computes new correlations every two weeks,
+    while its clients identify new recommendations once a day.  This
+    makes TiVo unsuitable for dynamic websites dealing in real time
+    with continuous streams of items."
+
+This module implements that architecture faithfully so the claim can
+be measured (``benchmarks/bench_tivo_comparison.py``):
+
+* :class:`TivoServer` -- computes the item-item correlation matrix
+  (cosine over the items' rater sets) on a long period;
+* :class:`TivoClient` -- scores unseen items against the user's liked
+  items using the shipped correlation rows (the part TiVo offloads);
+* :class:`TivoSystem` -- the replayable whole.
+
+The failure mode is structural: an item published *after* the last
+correlation run has no row at all, so no client can ever recommend
+it until the next biweekly recompute -- fatal on a news workload
+where most items live for a day or two.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.baselines.exact import ExactKnnIndex
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Trace
+from repro.sim.clock import WEEK
+
+
+@dataclass
+class CorrelationRun:
+    """One server-side item-item correlation computation."""
+
+    at: float
+    wall_clock_s: float
+    items: int
+
+
+class TivoServer:
+    """Periodic item-item correlation computation (the expensive half)."""
+
+    def __init__(
+        self,
+        profiles: ProfileTable,
+        correlation_period_s: float = 2 * WEEK,
+        top_correlated: int = 30,
+    ) -> None:
+        if correlation_period_s <= 0:
+            raise ValueError("correlation period must be positive")
+        if top_correlated < 1:
+            raise ValueError("need at least one correlated item per row")
+        self.profiles = profiles
+        self.correlation_period_s = correlation_period_s
+        self.top_correlated = top_correlated
+        #: item -> [(correlated item, score)], best first.
+        self.correlations: dict[int, list[tuple[int, float]]] = {}
+        self.history: list[CorrelationRun] = []
+        self._next_due = 0.0
+
+    def maybe_recompute(self, now: float) -> bool:
+        """Run the biweekly job if its schedule says so."""
+        if now < self._next_due:
+            return False
+        self.recompute(now)
+        periods = int(now / self.correlation_period_s) + 1
+        self._next_due = periods * self.correlation_period_s
+        return True
+
+    def recompute(self, now: float = 0.0) -> None:
+        """Item-item cosine over the items' rater sets.
+
+        Transposes the profile table into item -> raters and reuses
+        the exact-KNN index machinery (an item is "similar" to items
+        liked by the same users -- classic item-based CF [38]).
+        """
+        start = time.perf_counter()
+        raters: dict[int, set[int]] = {}
+        for user in self.profiles.users():
+            for item in self.profiles.get(user).liked_items():
+                raters.setdefault(item, set()).add(user)
+        frozen = {item: frozenset(users) for item, users in raters.items()}
+        self.correlations = {}
+        if frozen:
+            index = ExactKnnIndex(frozen)
+            for item in frozen:
+                neighbors = index.topk(item, self.top_correlated)
+                self.correlations[item] = [
+                    (n.user_id, n.score) for n in neighbors if n.score > 0
+                ]
+        elapsed = time.perf_counter() - start
+        self.history.append(
+            CorrelationRun(at=now, wall_clock_s=elapsed, items=len(frozen))
+        )
+
+    def correlation_rows(
+        self, items: frozenset[int]
+    ) -> dict[int, list[tuple[int, float]]]:
+        """The rows a client needs: one per item the user liked.
+
+        Items unknown to the last correlation run simply have no row
+        -- the staleness hole at the heart of Section 2.4's argument.
+        """
+        return {
+            item: self.correlations[item]
+            for item in items
+            if item in self.correlations
+        }
+
+
+class TivoClient:
+    """Client-side scoring (the part TiVo offloads to set-top boxes)."""
+
+    @staticmethod
+    def recommend(
+        liked: frozenset[int],
+        rated: frozenset[int],
+        rows: dict[int, list[tuple[int, float]]],
+        r: int,
+    ) -> list[int]:
+        """Sum correlation scores from every liked item; top-r unseen."""
+        if r < 1:
+            raise ValueError("r must be at least 1")
+        scores: dict[int, float] = {}
+        for item in liked:
+            for other, score in rows.get(item, ()):
+                if other not in rated:
+                    scores[other] = scores.get(other, 0.0) + score
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [item for item, _ in ranked[:r]]
+
+
+@dataclass
+class TivoOutcome:
+    """One TiVo recommendation response."""
+
+    user_id: int
+    timestamp: float
+    recommendations: list[int]
+    rows_available: int = 0
+
+
+class TivoSystem:
+    """Replayable TiVo: biweekly server correlations + client scoring."""
+
+    def __init__(
+        self,
+        r: int = 10,
+        correlation_period_s: float = 2 * WEEK,
+        top_correlated: int = 30,
+    ) -> None:
+        self.r = r
+        self.profiles = ProfileTable()
+        self.server = TivoServer(
+            self.profiles,
+            correlation_period_s=correlation_period_s,
+            top_correlated=top_correlated,
+        )
+        self.client = TivoClient()
+        self.requests_served = 0
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float = 0.0
+    ) -> None:
+        """Update the profile table with one fresh opinion."""
+        self.profiles.record(user_id, item, value, timestamp)
+
+    def request(self, user_id: int, now: float = 0.0) -> TivoOutcome:
+        """One hybrid round trip: rows from the server, scoring client-side."""
+        self.server.maybe_recompute(now)
+        profile = self.profiles.get_or_create(user_id)
+        rows = self.server.correlation_rows(profile.liked_items())
+        recommendations = self.client.recommend(
+            profile.liked_items(), profile.rated_items(), rows, self.r
+        )
+        self.requests_served += 1
+        return TivoOutcome(
+            user_id=user_id,
+            timestamp=now,
+            recommendations=recommendations,
+            rows_available=len(rows),
+        )
+
+    def recommend_for(self, user_id: int, now: float, n: int) -> list[int]:
+        """Quality-protocol adapter surface."""
+        return self.request(user_id, now=now).recommendations[:n]
+
+    def replay(
+        self,
+        trace: Trace,
+        on_request: Optional[Callable[[TivoOutcome], None]] = None,
+    ) -> int:
+        """Replay a trace; every rating also asks for recommendations."""
+        served_before = self.requests_served
+        for rating in trace:
+            self.record_rating(rating.user, rating.item, rating.value, rating.timestamp)
+            outcome = self.request(rating.user, now=rating.timestamp)
+            if on_request is not None:
+                on_request(outcome)
+        return self.requests_served - served_before

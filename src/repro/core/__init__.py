@@ -1,0 +1,69 @@
+"""HyRec core: the paper's primary contribution.
+
+The hybrid recommender of Section 3 -- server-side orchestration
+(profile/KNN tables, sampler, anonymizer) plus browser-side execution
+of KNN selection (Algorithm 1) and item recommendation (Algorithm 2).
+"""
+
+from repro.core.anonymizer import AnonymousMapping, StaleTokenError
+from repro.core.api import WebApi, parse_neighbors_params
+from repro.core.client import HyRecWidget, make_job
+from repro.core.config import HyRecConfig
+from repro.core.jobs import JobResult, PersonalizationJob
+from repro.core.knn import Neighbor, knn_select
+from repro.core.privacy import LinkageAttack, LinkageReport
+from repro.core.profiles import Profile
+from repro.core.recommend import Recommendation, recommend_most_popular
+from repro.core.sampler import CandidateSampler, HyRecSampler
+from repro.core.server import HyRecServer, ServerStats
+from repro.core.similarity import (
+    cosine,
+    get_metric,
+    jaccard,
+    metric_names,
+    overlap,
+    register_metric,
+)
+from repro.core.system import HyRecSystem, RequestOutcome
+from repro.core.tables import KnnTable, ProfileTable
+from repro.core.weighted import (
+    get_payload_metric,
+    payload_cosine,
+    payload_pearson,
+)
+
+__all__ = [
+    "AnonymousMapping",
+    "StaleTokenError",
+    "WebApi",
+    "parse_neighbors_params",
+    "HyRecWidget",
+    "make_job",
+    "HyRecConfig",
+    "JobResult",
+    "PersonalizationJob",
+    "Neighbor",
+    "knn_select",
+    "LinkageAttack",
+    "LinkageReport",
+    "Profile",
+    "Recommendation",
+    "recommend_most_popular",
+    "CandidateSampler",
+    "HyRecSampler",
+    "HyRecServer",
+    "ServerStats",
+    "cosine",
+    "get_metric",
+    "jaccard",
+    "metric_names",
+    "overlap",
+    "register_metric",
+    "HyRecSystem",
+    "RequestOutcome",
+    "KnnTable",
+    "ProfileTable",
+    "get_payload_metric",
+    "payload_cosine",
+    "payload_pearson",
+]

@@ -1,0 +1,145 @@
+"""The HyRec client widget (Section 3.2).
+
+    "The widget does not need to maintain any local data structure: it
+    receives the necessary information from the server and forgets it
+    after displaying recommendations and sending the new KNN to the
+    server."
+
+:class:`HyRecWidget` is therefore a pure function from
+:class:`~repro.core.jobs.PersonalizationJob` to
+:class:`~repro.core.jobs.JobResult`.  The two customization hooks of
+Table 1 -- ``setSimilarity()`` and ``setRecommendedItems()`` -- map to
+the ``similarity`` and ``recommender`` constructor arguments.
+
+An optional :class:`~repro.sim.devices.Device` lets the widget report
+how long the job *would have taken* on a given machine under a given
+CPU load; Figures 12-13 are sweeps of that estimate driven by the real
+operation counts of real jobs.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, Mapping
+
+from repro.core.jobs import JobResult, PersonalizationJob
+from repro.core.knn import knn_select
+from repro.core.recommend import Recommendation, recommend_most_popular
+from repro.core.similarity import SetMetric, get_metric
+from repro.sim.devices import Device, widget_op_count
+
+RecommenderFn = Callable[
+    [AbstractSet[str], Mapping[str, AbstractSet[str]], int],
+    list[Recommendation],
+]
+
+
+class HyRecWidget:
+    """Stateless executor of personalization jobs."""
+
+    def __init__(
+        self,
+        similarity: SetMetric | None = None,
+        recommender: RecommenderFn | None = None,
+        device: Device | None = None,
+        payload_similarity=None,
+    ) -> None:
+        """
+        Args:
+            similarity: Override the similarity metric; by default the
+                widget applies the metric named inside each job.
+            recommender: Override Algorithm 2 with a custom item
+                selection (the paper's ``setRecommendedItems()``).
+            device: Optional device model used by
+                :meth:`estimated_time`.
+            payload_similarity: Score candidates on their *full*
+                wire-format profiles (``{item: value}``) instead of
+                liked sets -- the hook for the paper's non-binary
+                extension (see :mod:`repro.core.weighted`).  Takes
+                precedence over ``similarity``.
+        """
+        self._similarity_override = similarity
+        self._payload_similarity = payload_similarity
+        self._recommender: RecommenderFn = (
+            recommender if recommender is not None else recommend_most_popular
+        )
+        self.device = device
+
+    # --- job execution --------------------------------------------------------
+
+    def process_job(self, job: PersonalizationJob) -> JobResult:
+        """Run KNN selection and item recommendation for one job."""
+        user_liked = _liked_keys(job.user_profile)
+        user_rated = frozenset(job.user_profile)
+        candidate_liked = {
+            token: _liked_keys(profile) for token, profile in job.candidates.items()
+        }
+
+        if self._payload_similarity is not None:
+            # Non-binary mode: rank candidates on full score vectors.
+            neighbors = knn_select(
+                job.user_profile,
+                job.candidates,
+                k=job.k,
+                metric=self._payload_similarity,
+                exclude=job.user_token,
+            )
+        else:
+            metric = self._similarity_override or get_metric(job.metric)
+            neighbors = knn_select(
+                user_liked,
+                candidate_liked,
+                k=job.k,
+                metric=metric,
+                exclude=job.user_token,
+            )
+        recommendations = self._recommender(user_rated, candidate_liked, job.r)
+
+        return JobResult(
+            user_token=job.user_token,
+            neighbor_tokens=[n.user_id for n in neighbors],
+            recommended_items=[rec.item_id for rec in recommendations],
+            neighbor_scores=[n.score for n in neighbors],
+        )
+
+    # --- device-time estimation (Figures 12-13) ----------------------------------
+
+    def op_count(self, job: PersonalizationJob) -> int:
+        """Primitive operations this job costs (see ``widget_op_count``)."""
+        return widget_op_count(
+            len(job.user_profile),
+            (len(profile) for profile in job.candidates.values()),
+        )
+
+    def estimated_time(self, job: PersonalizationJob) -> float:
+        """Seconds the job would take on the configured device."""
+        if self.device is None:
+            raise RuntimeError("no device model configured on this widget")
+        return self.device.task_time(self.op_count(job))
+
+
+def _liked_keys(profile: Mapping[str, float]) -> frozenset[str]:
+    """Item keys with a positive opinion in a wire-format profile."""
+    return frozenset(key for key, value in profile.items() if value == 1.0)
+
+
+def make_job(
+    user_token: str,
+    user_profile: Mapping[str, float],
+    candidates: Mapping[str, Mapping[str, float]],
+    k: int = 10,
+    r: int = 10,
+    metric: str = "cosine",
+) -> PersonalizationJob:
+    """Convenience constructor for standalone widget experiments.
+
+    Lets client-side studies (Figures 11-13) synthesize jobs of exact
+    profile/candidate sizes without standing up a server.
+    """
+    return PersonalizationJob(
+        user_token=user_token,
+        user_profile=dict(user_profile),
+        candidates={t: dict(p) for t, p in candidates.items()},
+        k=k,
+        r=r,
+        metric=metric,
+    )

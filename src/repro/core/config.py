@@ -1,0 +1,49 @@
+"""HyRec system configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.similarity import get_metric
+
+
+@dataclass(frozen=True)
+class HyRecConfig:
+    """Tunables of a HyRec deployment.
+
+    Attributes:
+        k: Neighborhood size ("ranging from ten to a few tens").
+        r: Number of items per recommendation response.
+        metric: Name of the similarity metric the widget should apply
+            (must be registered in :mod:`repro.core.similarity`).
+        anonymize_items: Also replace item ids with anonymous tokens in
+            candidate profiles (the paper shuffles both user and item
+            identifiers; item anonymization is optional here because it
+            makes recommendations opaque to the client).
+        reshuffle_every: Number of online requests between anonymizer
+            epochs; ``0`` disables periodic reshuffling.
+        compress: gzip server responses (Section 4.2); disable to
+            measure raw JSON sizes (the "json" curve of Figure 10).
+        include_two_hop: Keep the ``KNN(Nu)`` sampler component
+            (ablation A2 turns it off).
+        num_random: Random users injected per sample (default ``k``;
+            ablation A1 sets it to 0).
+    """
+
+    k: int = 10
+    r: int = 10
+    metric: str = "cosine"
+    anonymize_items: bool = False
+    reshuffle_every: int = 0
+    compress: bool = True
+    include_two_hop: bool = True
+    num_random: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be at least 1, got {self.k}")
+        if self.r < 1:
+            raise ValueError(f"r must be at least 1, got {self.r}")
+        if self.reshuffle_every < 0:
+            raise ValueError("reshuffle_every cannot be negative")
+        get_metric(self.metric)  # fail fast on unknown metrics

@@ -1,0 +1,89 @@
+"""Personalization jobs: the messages between server and widget.
+
+A :class:`PersonalizationJob` is the payload of the server's response
+to ``GET /online/?uid=...`` (Arrow 2 in Figure 1): the user's own
+profile plus the profiles of every candidate, all under anonymous
+tokens.  A :class:`JobResult` is what the widget sends back via
+``GET /neighbors/?uid=...&id0=...`` (Arrow 3): the new KNN selection,
+plus the recommendations it displayed (so the server can log them).
+
+Both objects round-trip through JSON; the wire sizes of their encoded
+forms are exactly what Figure 10 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class PersonalizationJob:
+    """One unit of work shipped to a browser."""
+
+    user_token: str
+    user_profile: dict[str, float]  # item token/id string -> binary value
+    candidates: dict[str, dict[str, float]]  # user token -> profile payload
+    k: int
+    r: int
+    metric: str = "cosine"
+
+    def candidate_count(self) -> int:
+        """Size of the candidate set carried by this job."""
+        return len(self.candidates)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready dict (key names match the compactness of the
+        paper's messages: short keys keep Figure 10 honest)."""
+        return {
+            "u": self.user_token,
+            "p": self.user_profile,
+            "c": self.candidates,
+            "k": self.k,
+            "r": self.r,
+            "m": self.metric,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "PersonalizationJob":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            user_token=payload["u"],
+            user_profile={k: float(v) for k, v in payload["p"].items()},
+            candidates={
+                token: {k: float(v) for k, v in profile.items()}
+                for token, profile in payload["c"].items()
+            },
+            k=int(payload["k"]),
+            r=int(payload["r"]),
+            metric=payload.get("m", "cosine"),
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What the widget reports back after executing a job."""
+
+    user_token: str
+    neighbor_tokens: list[str]
+    recommended_items: list[str]
+    neighbor_scores: list[float] = field(default_factory=list)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready dict for the ``/neighbors/`` update call."""
+        return {
+            "u": self.user_token,
+            "n": list(self.neighbor_tokens),
+            "r": list(self.recommended_items),
+            "s": list(self.neighbor_scores),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "JobResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            user_token=payload["u"],
+            neighbor_tokens=list(payload["n"]),
+            recommended_items=list(payload["r"]),
+            neighbor_scores=[float(s) for s in payload.get("s", [])],
+        )

@@ -1,0 +1,61 @@
+"""Algorithm 1 -- KNN selection ``gamma(Pu, Su)``.
+
+    1: var similarity[];
+    2: for all uid : user in Su do
+    3:     similarity[uid] = score(Pu, Su[uid].getProfile());
+    4: end for
+    5: Nu = subList(k, sort(similarity));
+    6: return Nu, the k users with the highest similarity
+
+This is the piece of work HyRec offloads to the browser.  The function
+below is used verbatim by the client widget, by the P2P baseline's
+nodes, and by the offline CRec back-end -- one implementation, three
+deployments, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping
+
+from repro.core.similarity import SetMetric, cosine
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One selected neighbor with its similarity score."""
+
+    user_id: int
+    score: float
+
+
+def knn_select(
+    user_liked: AbstractSet[int],
+    candidates: Mapping[int, AbstractSet[int]],
+    k: int,
+    metric: SetMetric = cosine,
+    exclude: int | None = None,
+) -> list[Neighbor]:
+    """Return the ``k`` candidates most similar to the user.
+
+    Args:
+        user_liked: The user's liked-item set (``Pu`` restricted to
+            positive opinions, which is what cosine consumes).
+        candidates: Candidate user id -> liked-item set (``Su``).
+        k: Neighborhood size (10 to a few tens in the paper).
+        metric: Similarity function; cosine by default.
+        exclude: The user's own id, removed defensively -- a user must
+            never be her own neighbor.
+
+    Ties are broken by ascending user id so that results are
+    deterministic; fewer than ``k`` candidates yield a shorter list.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    scored = [
+        Neighbor(user_id=uid, score=metric(user_liked, liked))
+        for uid, liked in candidates.items()
+        if uid != exclude
+    ]
+    scored.sort(key=lambda n: (-n.score, n.user_id))
+    return scored[:k]

@@ -1,0 +1,113 @@
+"""Privacy analysis of the anonymous mapping (Section 6).
+
+The paper's concluding remarks are candid about the limits of
+HyRec's anonymization:
+
+    "De-anonymizing HyRec's anonymous mapping is difficult if the
+    data in profiles cannot be inferred from external sources [44]
+    or other datasets [43]." / "...this mechanism does not suffice in
+    the case of sensitive information (e.g., medical data) if
+    cross-checking items is possible."
+
+This module makes that caveat measurable.  :class:`LinkageAttack`
+plays a curious client who records the anonymized candidate profiles
+it receives before and after a reshuffle, then re-links new tokens to
+old ones purely by profile content (profiles are quasi-identifiers:
+a 100-movie history is essentially a fingerprint [43]).
+
+``repro.eval.privacy`` runs the attack against a live server and
+reports linkage accuracy as a function of profile size -- large
+distinctive profiles re-link almost perfectly, tiny Digg-like ones
+much less, which is exactly the boundary the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping
+
+from repro.core.similarity import SetMetric, cosine
+
+Observation = Mapping[str, AbstractSet]
+
+
+@dataclass(frozen=True)
+class LinkageReport:
+    """Outcome of one cross-epoch linkage attempt."""
+
+    linked: dict[str, str]  # new token -> guessed old token
+    attempted: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of re-identification guesses that were right."""
+        if self.attempted == 0:
+            return 0.0
+        return self.correct / self.attempted
+
+
+class LinkageAttack:
+    """Greedy best-match linking of anonymized profiles across epochs."""
+
+    def __init__(self, metric: SetMetric = cosine, threshold: float = 0.0) -> None:
+        """
+        Args:
+            metric: Content-similarity function between two observed
+                profiles (liked-item sets).
+            threshold: Minimum similarity to claim a link; below it
+                the attacker abstains for that token.
+        """
+        if threshold < 0:
+            raise ValueError("threshold cannot be negative")
+        self.metric = metric
+        self.threshold = threshold
+
+    def link(
+        self, before: Observation, after: Observation
+    ) -> dict[str, str]:
+        """Guess, for each post-reshuffle token, its old identity.
+
+        Greedy maximum-similarity matching without replacement: the
+        most confident pairs are claimed first, each old token used at
+        most once.
+        """
+        scored: list[tuple[float, str, str]] = []
+        for new_token, new_profile in after.items():
+            for old_token, old_profile in before.items():
+                similarity = self.metric(new_profile, old_profile)
+                if similarity > self.threshold:
+                    scored.append((similarity, new_token, old_token))
+        scored.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+
+        linked: dict[str, str] = {}
+        used_old: set[str] = set()
+        for _, new_token, old_token in scored:
+            if new_token in linked or old_token in used_old:
+                continue
+            linked[new_token] = old_token
+            used_old.add(old_token)
+        return linked
+
+    def evaluate(
+        self,
+        before: Observation,
+        after: Observation,
+        ground_truth: Mapping[str, str],
+    ) -> LinkageReport:
+        """Run the attack and score it against the true mapping.
+
+        ``ground_truth`` maps each post-reshuffle token to the
+        pre-reshuffle token of the same user (the experiment harness
+        reads it from the server's anonymizer -- the attacker, of
+        course, never sees it).
+        """
+        linked = self.link(before, after)
+        correct = sum(
+            1
+            for new_token, old_token in linked.items()
+            if ground_truth.get(new_token) == old_token
+        )
+        return LinkageReport(
+            linked=linked, attempted=len(linked), correct=correct
+        )

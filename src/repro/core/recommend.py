@@ -1,0 +1,68 @@
+"""Algorithm 2 -- item recommendation ``alpha(Su, Pu)``.
+
+    1: var popularity[];
+    2: for all uid : user in Su do
+    3:     for all iid : item in Su[uid].getProfile() do
+    4:         if Pu does not contain iid then
+    5:             popularity[iid]++;
+    6:         end if
+    7:     end for
+    8: end for
+    9: Ru = subList(r, sort(popularity));
+    10: return Ru, the r most popular items
+
+Section 3.2 clarifies that the recommendation exploits "the items
+*liked* by the (one- and two-hop) neighbors", so popularity counts
+liked items only; the exclusion test uses the full profile ``Pu``
+(anything the user has any opinion on is never re-recommended).
+
+Like Algorithm 1, this single implementation serves the HyRec widget,
+the CRec front-end (which runs it server-side) and the P2P nodes.
+The ``setRecommendedItems()`` customization hook of Table 1 maps to
+passing a different callable to the widget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended item with its popularity count."""
+
+    item_id: int
+    popularity: int
+
+
+def recommend_most_popular(
+    user_rated: AbstractSet[int],
+    candidate_liked: Mapping[int, AbstractSet[int]] | Iterable[AbstractSet[int]],
+    r: int,
+) -> list[Recommendation]:
+    """Return the ``r`` most popular unseen items among the candidates.
+
+    Args:
+        user_rated: Every item present in ``Pu`` (liked *or* disliked).
+        candidate_liked: Liked-item sets of the candidate users, either
+            as a mapping (ignored keys) or a plain iterable of sets.
+        r: Number of recommendations requested.
+
+    Ties are broken by ascending item id for determinism.
+    """
+    if r < 1:
+        raise ValueError(f"r must be at least 1, got {r}")
+    if isinstance(candidate_liked, Mapping):
+        liked_sets: Iterable[AbstractSet[int]] = candidate_liked.values()
+    else:
+        liked_sets = candidate_liked
+
+    popularity: dict[int, int] = {}
+    for liked in liked_sets:
+        for item in liked:
+            if item not in user_rated:
+                popularity[item] = popularity.get(item, 0) + 1
+
+    ranked = sorted(popularity.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [Recommendation(item_id=item, popularity=count) for item, count in ranked[:r]]

@@ -1,0 +1,154 @@
+"""The Sampler: candidate-set construction (Section 3.1).
+
+    "The sampler samples a candidate set Su(t) for a user u at time t
+    by aggregating three sets: (i) the current approximation of u's
+    KNN, Nu, (ii) the current KNN of the users in Nu, and (iii) k
+    random users.  Because these sets may contain duplicate entries
+    (more and more as the KNN tables converge), the size of the sample
+    is <= 2k + k^2."
+
+The random component is what guarantees eventual convergence (it stops
+the epidemic search from being trapped in a local optimum); the
+two-hop component is what makes convergence *fast*.  Both claims are
+checked empirically by ``benchmarks/bench_ablation_random_injection.py``.
+
+The paper exposes sampling as a server-side extension point
+(``interface Sampler`` in Table 1); we mirror that with the
+:class:`CandidateSampler` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.tables import KnnTable
+from repro.sim.randomness import make_rng, RngOrSeed
+
+
+class CandidateSampler(Protocol):
+    """Server-side sampling strategy (the paper's ``Sampler`` interface)."""
+
+    def sample(self, user_id: int) -> set[int]:
+        """Candidate user ids for the next KNN iteration of ``user_id``."""
+        ...
+
+
+class HyRecSampler:
+    """The paper's sampler: ``Nu`` + ``KNN(Nu)`` + ``k`` random users."""
+
+    def __init__(
+        self,
+        knn_table: KnnTable,
+        user_registry: Sequence[int] | None = None,
+        k: int = 10,
+        rng: RngOrSeed = None,
+        include_two_hop: bool = True,
+        num_random: int | None = None,
+    ) -> None:
+        """
+        Args:
+            knn_table: The server's live KNN table.
+            user_registry: Population to draw random users from.  The
+                server keeps this in sync with its profile table; it
+                can also be injected directly for testing.
+            k: Neighborhood size.
+            rng: Seed or generator for the random-user component.
+            include_two_hop: Ablation switch -- ``False`` drops the
+                ``KNN(Nu)`` component (slower convergence expected).
+            num_random: Ablation switch -- number of random users to
+                inject (default ``k``; ``0`` removes the component and
+                the convergence guarantee with it).
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.knn_table = knn_table
+        self.k = k
+        self.rng = make_rng(rng)
+        self.include_two_hop = include_two_hop
+        self.num_random = k if num_random is None else num_random
+        if self.num_random < 0:
+            raise ValueError("num_random cannot be negative")
+        self._registry: list[int] = list(user_registry) if user_registry else []
+        self._registered: set[int] = set(self._registry)
+        self._size_history: list[tuple[float, int]] = []
+
+    # --- registry maintenance ----------------------------------------------
+
+    def register_user(self, user_id: int) -> None:
+        """Make ``user_id`` eligible as a random candidate."""
+        if user_id not in self._registered:
+            self._registered.add(user_id)
+            self._registry.append(user_id)
+
+    @property
+    def population(self) -> int:
+        """Number of users the random component can draw from."""
+        return len(self._registry)
+
+    def registered_users(self) -> list[int]:
+        """Snapshot of the registry (random-candidate population)."""
+        return list(self._registry)
+
+    # --- sampling ---------------------------------------------------------------
+
+    def max_candidate_size(self) -> int:
+        """The paper's ``2k + k^2`` upper bound for the default config."""
+        return 2 * self.k + self.k * self.k
+
+    def sample(self, user_id: int, now: float | None = None) -> set[int]:
+        """Build the candidate set ``Su`` for ``user_id``.
+
+        ``now`` (optional simulated time) tags the size sample recorded
+        for Figure 5's convergence curves.
+        """
+        candidates: set[int] = set()
+
+        neighbors = self.knn_table.neighbors_of(user_id)
+        candidates.update(neighbors)
+
+        if self.include_two_hop:
+            for neighbor in neighbors:
+                candidates.update(self.knn_table.neighbors_of(neighbor))
+
+        candidates.update(self._draw_random_users(user_id, self.num_random))
+
+        candidates.discard(user_id)
+        if now is not None:
+            self._size_history.append((now, len(candidates)))
+        return candidates
+
+    def _draw_random_users(self, user_id: int, count: int) -> list[int]:
+        """Up to ``count`` distinct random users, never ``user_id``."""
+        eligible = len(self._registry) - (1 if user_id in self._registered else 0)
+        if eligible <= 0 or count == 0:
+            return []
+        if count >= eligible:
+            return [uid for uid in self._registry if uid != user_id]
+        drawn: list[int] = []
+        seen: set[int] = {user_id}
+        # Rejection sampling: the registry vastly exceeds `count` in
+        # any realistic configuration, so this terminates quickly.
+        attempts = 0
+        max_attempts = 20 * count + 20
+        while len(drawn) < count and attempts < max_attempts:
+            attempts += 1
+            candidate = self._registry[self.rng.randrange(len(self._registry))]
+            if candidate not in seen:
+                seen.add(candidate)
+                drawn.append(candidate)
+        if len(drawn) < count:
+            remaining = [u for u in self._registry if u not in seen]
+            self.rng.shuffle(remaining)
+            drawn.extend(remaining[: count - len(drawn)])
+        return drawn
+
+    # --- Figure 5 instrumentation ---------------------------------------------
+
+    @property
+    def size_history(self) -> list[tuple[float, int]]:
+        """(time, candidate-set size) samples recorded during replay."""
+        return list(self._size_history)
+
+    def clear_history(self) -> None:
+        """Drop recorded size samples."""
+        self._size_history.clear()

@@ -1,0 +1,263 @@
+"""The HyRec server (Section 3.1).
+
+The server owns the two global tables, orchestrates personalization
+jobs, and never computes a similarity itself -- that is the whole
+point of the architecture.  Its per-request work is:
+
+1. update the requesting user's profile (already done via
+   :meth:`HyRecServer.record_rating` as ratings arrive),
+2. ask the :class:`~repro.core.sampler.HyRecSampler` for a candidate
+   set,
+3. assemble a :class:`~repro.core.jobs.PersonalizationJob` with the
+   candidate profiles under anonymous tokens, and
+4. on the follow-up ``/neighbors/`` call, validate and store the new
+   KNN row.
+
+Traffic through the server is metered (raw and gzipped sizes) on two
+channels, ``server->client`` and ``client->server``; Figures 9-10 and
+the Section 5.6 bandwidth numbers read these meters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.anonymizer import AnonymousMapping
+from repro.core.config import HyRecConfig
+from repro.core.jobs import JobResult, PersonalizationJob
+from repro.core.profiles import Profile
+from repro.core.sampler import HyRecSampler
+from repro.core.tables import KnnTable, ProfileTable
+from repro.messages import MessageMeter
+from repro.sim.randomness import derive_rng
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Counters exposed for the evaluation harness."""
+
+    online_requests: int
+    knn_updates: int
+    reshuffles: int
+
+
+class HyRecServer:
+    """Profile/KNN tables + sampler + personalization orchestrator."""
+
+    def __init__(self, config: HyRecConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else HyRecConfig()
+        self.profiles = ProfileTable()
+        self.knn_table = KnnTable()
+        self.sampler = HyRecSampler(
+            self.knn_table,
+            user_registry=None,
+            k=self.config.k,
+            rng=derive_rng(seed, "server:sampler"),
+            include_two_hop=self.config.include_two_hop,
+            num_random=self.config.num_random,
+        )
+        self.anonymizer = AnonymousMapping(seed=derive_seed_for_anonymizer(seed))
+        self.meter = MessageMeter()
+        self._bootstrap_rng = derive_rng(seed, "server:bootstrap")
+        self._online_requests = 0
+        self._knn_updates = 0
+        self._reshuffles = 0
+
+    # --- profile management ---------------------------------------------------
+
+    def register_user(self, user_id: int) -> Profile:
+        """Create the user's (empty) profile and make her sampleable.
+
+        New users "start with random KNN" (Section 5.3): the server
+        seeds their row of the KNN table with up to ``k`` random
+        existing users so their very first candidate set is already a
+        full sample rather than just the random component.
+        """
+        if user_id in self.profiles:
+            return self.profiles.get(user_id)
+        profile = self.profiles.get_or_create(user_id)
+        existing = [
+            uid for uid in self.sampler.registered_users() if uid != user_id
+        ]
+        if existing:
+            count = min(self.config.k, len(existing))
+            bootstrap = self._bootstrap_rng.sample(existing, count)
+            self.knn_table.update(user_id, bootstrap)
+        self.sampler.register_user(user_id)
+        return profile
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float = 0.0
+    ) -> None:
+        """Update the Profile Table with one fresh opinion."""
+        self.register_user(user_id)
+        self.profiles.record(user_id, item, value, timestamp)
+
+    # --- orchestration -----------------------------------------------------------
+
+    def handle_online_request(
+        self, user_id: int, now: float = 0.0
+    ) -> PersonalizationJob:
+        """Build the personalization job answering ``/online/?uid=``.
+
+        A periodic anonymizer reshuffle (if configured) happens at the
+        *start* of a request so that the job and its result live in the
+        same epoch.  Wire metering happens in
+        :meth:`render_online_response`, which turns the job into bytes
+        exactly once.
+        """
+        self.register_user(user_id)
+        self._online_requests += 1
+        if (
+            self.config.reshuffle_every
+            and self._online_requests % self.config.reshuffle_every == 0
+        ):
+            self.anonymizer.reshuffle()
+            self._reshuffles += 1
+
+        candidate_ids = self.sampler.sample(user_id, now=now)
+        candidates = {
+            self.anonymizer.token_for_user(uid): self._profile_payload(uid)
+            for uid in candidate_ids
+            if uid in self.profiles
+        }
+        return PersonalizationJob(
+            user_token=self.anonymizer.token_for_user(user_id),
+            user_profile=self._profile_payload(user_id),
+            candidates=candidates,
+            k=self.config.k,
+            r=self.config.r,
+            metric=self.config.metric,
+        )
+
+    def render_online_response(self, job: PersonalizationJob) -> bytes:
+        """Serialize (and compress) a job; meters the wire bytes.
+
+        Fast path: the job JSON is assembled by joining each candidate
+        profile's cached fragment, and the gzip body by splicing each
+        profile's cached *deflate segment* -- per-request compression
+        work is just the envelope (tokens, braces) plus the CRC.  The
+        decompressed output is byte-identical to
+        ``encode_json(job.to_payload())`` (keys are emitted in sorted
+        order; fragments are themselves sorted-key encodings).
+
+        Item-anonymized jobs fall back to the generic encoder because
+        their item keys are per-epoch tokens that cannot be cached on
+        the profile.
+        """
+        from repro.messages import FragmentGzipWriter, encode_json, gzip_compress
+
+        if self.config.anonymize_items:
+            raw = encode_json(job.to_payload())
+            wire = gzip_compress(raw) if self.config.compress else raw
+            self.meter.record_bytes("server->client", len(raw), len(wire))
+            return wire
+
+        user = self.anonymizer.resolve_user(job.user_token)
+        tail = b',"k":%d,"m":%s,"p":' % (self.config.k, encode_json(job.metric))
+        end = b',"r":%d,"u":%s}' % (self.config.r, encode_json(job.user_token))
+
+        if self.config.compress:
+            # Fragments below this size are cheaper to re-compress
+            # inline than to splice (each splice costs a full flush).
+            splice_threshold = 256
+            writer = FragmentGzipWriter()
+            writer.write(b'{"c":{')
+            first = True
+            for token in sorted(job.candidates):
+                candidate = self.anonymizer.resolve_user(token)
+                profile = self.profiles.get(candidate)
+                writer.write(
+                    (b"" if first else b",") + b'"%s":' % token.encode("ascii")
+                )
+                first = False
+                fragment = profile.json_fragment()
+                if len(fragment) >= splice_threshold:
+                    writer.write_deflated(profile.deflated_fragment(), fragment)
+                else:
+                    writer.write(fragment)
+            writer.write(b"}" + tail)
+            own = self.profiles.get(user)
+            own_fragment = own.json_fragment()
+            if len(own_fragment) >= splice_threshold:
+                writer.write_deflated(own.deflated_fragment(), own_fragment)
+            else:
+                writer.write(own_fragment)
+            writer.write(end)
+            raw_size = writer.raw_size
+            wire = writer.finish()
+            self.meter.record_bytes("server->client", raw_size, len(wire))
+            return wire
+
+        parts: list[bytes] = [b'{"c":{']
+        first = True
+        for token in sorted(job.candidates):
+            candidate = self.anonymizer.resolve_user(token)
+            if not first:
+                parts.append(b",")
+            first = False
+            parts.append(b'"%s":' % token.encode("ascii"))
+            parts.append(self.profiles.get(candidate).json_fragment())
+        parts.append(b"}" + tail)
+        parts.append(self.profiles.get(user).json_fragment())
+        parts.append(end)
+        raw = b"".join(parts)
+        self.meter.record_bytes("server->client", len(raw), len(raw))
+        return raw
+
+    def handle_knn_update(self, user_id: int, result: JobResult) -> list[int]:
+        """Apply the widget's KNN selection; return recommended item ids.
+
+        The server re-validates everything a client reports: tokens
+        must resolve, neighbors must be known users, and the user can
+        never be her own neighbor (malicious widgets are contained to
+        their own recommendations, Section 6).
+        """
+        self.meter.record_payload(
+            "client->server", result.to_payload(), compress=self.config.compress
+        )
+        neighbor_ids: list[int] = []
+        for token in result.neighbor_tokens:
+            neighbor = self.anonymizer.resolve_user(token)
+            if neighbor != user_id and neighbor in self.profiles:
+                neighbor_ids.append(neighbor)
+        self.knn_table.update(user_id, neighbor_ids[: self.config.k])
+        self._knn_updates += 1
+        return [self._resolve_item_key(key) for key in result.recommended_items]
+
+    # --- helpers -------------------------------------------------------------------
+
+    def _profile_payload(self, user_id: int) -> dict[str, float]:
+        payload = self.profiles.get(user_id).to_payload()
+        if not self.config.anonymize_items:
+            return payload
+        return {
+            self.anonymizer.token_for_item(int(item)): value
+            for item, value in payload.items()
+        }
+
+    def _resolve_item_key(self, key: str) -> int:
+        if self.config.anonymize_items:
+            return self.anonymizer.resolve_item(key)
+        return int(key)
+
+    @property
+    def stats(self) -> ServerStats:
+        """Request counters for the evaluation harness."""
+        return ServerStats(
+            online_requests=self._online_requests,
+            knn_updates=self._knn_updates,
+            reshuffles=self._reshuffles,
+        )
+
+    @property
+    def num_users(self) -> int:
+        """Registered users."""
+        return len(self.profiles)
+
+
+def derive_seed_for_anonymizer(seed: int) -> int:
+    """Keep the anonymizer's stream independent of the sampler's."""
+    from repro.sim.randomness import derive_seed
+
+    return derive_seed(seed, "server:anonymizer")

@@ -1,0 +1,89 @@
+"""Similarity metrics over binary profiles.
+
+The paper uses cosine similarity (Section 2.1) "but any other metric
+could be used" -- the widget exposes a ``setSimilarity()`` hook
+(Table 1).  We provide the same extension point through a metric
+registry; cosine, Jaccard and overlap are built in.
+
+For binary (liked-set) vectors the cosine similarity reduces to
+
+    cos(u, v) = |L_u intersect L_v| / sqrt(|L_u| * |L_v|)
+
+which is what the JavaScript widget computes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Callable
+
+SetMetric = Callable[[AbstractSet[int], AbstractSet[int]], float]
+
+
+def cosine(a: AbstractSet[int], b: AbstractSet[int]) -> float:
+    """Cosine similarity of two binary item sets, in [0, 1]."""
+    if not a or not b:
+        return 0.0
+    # Iterate over the smaller set: intersection cost is O(min(|a|,|b|)).
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    overlap_count = sum(1 for item in small if item in large)
+    if overlap_count == 0:
+        return 0.0
+    return overlap_count / math.sqrt(len(a) * len(b))
+
+
+def jaccard(a: AbstractSet[int], b: AbstractSet[int]) -> float:
+    """Jaccard index |A n B| / |A u B|, in [0, 1]."""
+    if not a or not b:
+        return 0.0
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    overlap_count = sum(1 for item in small if item in large)
+    if overlap_count == 0:
+        return 0.0
+    union = len(a) + len(b) - overlap_count
+    return overlap_count / union
+
+
+def overlap(a: AbstractSet[int], b: AbstractSet[int]) -> float:
+    """Overlap coefficient |A n B| / min(|A|, |B|), in [0, 1]."""
+    if not a or not b:
+        return 0.0
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    overlap_count = sum(1 for item in small if item in large)
+    if overlap_count == 0:
+        return 0.0
+    return overlap_count / len(small)
+
+
+_METRICS: dict[str, SetMetric] = {
+    "cosine": cosine,
+    "jaccard": jaccard,
+    "overlap": overlap,
+}
+
+
+def get_metric(name: str) -> SetMetric:
+    """Look up a registered similarity metric by name."""
+    try:
+        return _METRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown similarity metric {name!r}; "
+            f"available: {', '.join(sorted(_METRICS))}"
+        ) from None
+
+
+def register_metric(name: str, metric: SetMetric) -> None:
+    """Register a custom metric (the paper's ``setSimilarity()``).
+
+    Re-registering an existing name raises ``ValueError`` to catch
+    accidental shadowing of the built-ins.
+    """
+    if name in _METRICS:
+        raise ValueError(f"metric {name!r} is already registered")
+    _METRICS[name] = metric
+
+
+def metric_names() -> list[str]:
+    """All registered metric names, sorted."""
+    return sorted(_METRICS)

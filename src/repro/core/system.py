@@ -1,0 +1,151 @@
+"""End-to-end HyRec: server + widgets + trace replay.
+
+:class:`HyRecSystem` wires a :class:`~repro.core.server.HyRecServer`
+to a stateless :class:`~repro.core.client.HyRecWidget` and drives the
+full interaction of Figure 1 (bottom):
+
+1. the user rates an item / opens a page -> the server updates her
+   profile and builds a personalization job (Arrows 1-2),
+2. the widget computes recommendations and a KNN iteration,
+3. the result flows back and the server updates the KNN table
+   (Arrow 3).
+
+:meth:`HyRecSystem.replay` replays a rating trace exactly as Section
+5.2 describes: "When a user rates an item in the workload, the client
+sends a request to the server, triggering the computation of
+recommendations."  The optional ``inter_request_bound`` reproduces the
+``IR=7`` variant of Figure 3, where every user issues a request at
+least once per simulated week while she exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.client import HyRecWidget
+from repro.core.config import HyRecConfig
+from repro.core.jobs import JobResult, PersonalizationJob
+from repro.core.server import HyRecServer
+from repro.datasets.schema import Trace
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Everything produced by one full client-server round trip."""
+
+    user_id: int
+    timestamp: float
+    job: PersonalizationJob
+    result: JobResult
+    recommendations: list[int]  # resolved to real item ids
+
+
+#: Callback invoked after each round trip during replay.
+RequestObserver = Callable[[RequestOutcome], None]
+
+
+class HyRecSystem:
+    """A complete HyRec deployment for simulation studies."""
+
+    def __init__(self, config: HyRecConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else HyRecConfig()
+        self.server = HyRecServer(self.config, seed=seed)
+        self.widget = HyRecWidget()
+        self.requests_served = 0
+
+    # --- single interactions ----------------------------------------------------
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float = 0.0
+    ) -> None:
+        """Forward one rating to the server's Profile Table."""
+        self.server.record_rating(user_id, item, value, timestamp)
+
+    def request(self, user_id: int, now: float = 0.0) -> RequestOutcome:
+        """One full personalization round trip for ``user_id``.
+
+        The job is rendered to wire bytes (and metered) exactly as the
+        HTTP deployment would, so replay bandwidth numbers are real.
+        """
+        job = self.server.handle_online_request(user_id, now=now)
+        self.server.render_online_response(job)
+        result = self.widget.process_job(job)
+        recommendations = self.server.handle_knn_update(user_id, result)
+        self.requests_served += 1
+        return RequestOutcome(
+            user_id=user_id,
+            timestamp=now,
+            job=job,
+            result=result,
+            recommendations=recommendations,
+        )
+
+    def recommend(self, user_id: int, n: int | None = None) -> list[int]:
+        """Convenience API: the top-``n`` recommendations for a user."""
+        outcome = self.request(user_id)
+        if n is None:
+            return outcome.recommendations
+        return outcome.recommendations[:n]
+
+    # --- trace replay ---------------------------------------------------------------
+
+    def replay(
+        self,
+        trace: Trace,
+        on_request: Optional[RequestObserver] = None,
+        inter_request_bound: Optional[float] = None,
+        request_on_rating: bool = True,
+    ) -> int:
+        """Replay ``trace`` through the full system; return requests served.
+
+        Args:
+            trace: A binarized, time-sorted rating trace.
+            on_request: Observer called after every round trip (metric
+                probes hook in here).
+            inter_request_bound: If set (seconds), every user issues a
+                request at least this often after her first activity --
+                the ``IR=7`` (one week) variant of Figure 3.
+            request_on_rating: If ``False``, ratings only update
+                profiles and *only* the synthetic inter-request
+                activity triggers personalization (used by ablations).
+        """
+        served_before = self.requests_served
+        due_heap: list[tuple[float, int]] = []  # (due time, user)
+        last_request: dict[int, float] = {}
+
+        def fire(user_id: int, now: float) -> None:
+            outcome = self.request(user_id, now=now)
+            last_request[user_id] = now
+            if inter_request_bound is not None:
+                heapq.heappush(due_heap, (now + inter_request_bound, user_id))
+            if on_request is not None:
+                on_request(outcome)
+
+        def run_due(now: float) -> None:
+            while due_heap and due_heap[0][0] <= now:
+                due_time, user_id = heapq.heappop(due_heap)
+                # Skip stale entries: the user requested more recently.
+                expected_due = last_request.get(user_id, 0.0) + (
+                    inter_request_bound or 0.0
+                )
+                if due_time < expected_due:
+                    continue
+                fire(user_id, due_time)
+
+        for rating in trace:
+            if inter_request_bound is not None:
+                run_due(rating.timestamp)
+            self.record_rating(
+                rating.user, rating.item, rating.value, rating.timestamp
+            )
+            if request_on_rating:
+                fire(rating.user, rating.timestamp)
+            elif inter_request_bound is not None and rating.user not in last_request:
+                # First activity starts the user's request schedule.
+                last_request[rating.user] = rating.timestamp
+                heapq.heappush(
+                    due_heap, (rating.timestamp + inter_request_bound, rating.user)
+                )
+        return self.requests_served - served_before

@@ -1,0 +1,110 @@
+"""The server's two global data structures (Section 2.2 / 3.1).
+
+    "The server maintains two global data structures: A Profile Table,
+    recording the profiles of all the users in the system and the KNN
+    Table containing the k nearest neighbors of each user."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.profiles import Profile
+
+
+class ProfileTable:
+    """User id -> :class:`Profile`, with lazy creation."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[int, Profile] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._profiles
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._profiles)
+
+    def users(self) -> list[int]:
+        """All registered user ids."""
+        return list(self._profiles)
+
+    def get(self, user_id: int) -> Profile:
+        """The profile of ``user_id``; raises ``KeyError`` if unknown."""
+        return self._profiles[user_id]
+
+    def get_or_create(self, user_id: int) -> Profile:
+        """The profile of ``user_id``, registering the user if new."""
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            profile = Profile(user_id)
+            self._profiles[user_id] = profile
+        return profile
+
+    def record(
+        self, user_id: int, item: int, value: float, timestamp: float = 0.0
+    ) -> Profile:
+        """Add one rating, creating the user on first sight."""
+        profile = self.get_or_create(user_id)
+        profile.add(item, value, timestamp)
+        return profile
+
+    def liked_sets(self) -> dict[int, frozenset[int]]:
+        """Snapshot of every user's liked-item set.
+
+        This is what the offline baselines feed to exact KNN; taking a
+        snapshot decouples their periodic computation from concurrent
+        profile updates, like the paper's back-end does.
+        """
+        return {uid: p.liked_items() for uid, p in self._profiles.items()}
+
+    def snapshot(self) -> "ProfileTable":
+        """Deep copy of the whole table."""
+        duplicate = ProfileTable()
+        duplicate._profiles = {uid: p.copy() for uid, p in self._profiles.items()}
+        return duplicate
+
+
+class KnnTable:
+    """User id -> current KNN approximation (ordered, best first)."""
+
+    def __init__(self) -> None:
+        self._neighbors: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._neighbors
+
+    def neighbors_of(self, user_id: int) -> list[int]:
+        """Current neighbor list (empty for unknown users)."""
+        return list(self._neighbors.get(user_id, ()))
+
+    def update(self, user_id: int, neighbors: Sequence[int]) -> None:
+        """Replace the user's neighborhood with a fresh KNN iteration.
+
+        Self-loops are rejected: the sampler and Algorithm 1 both
+        exclude the user, so one showing up here indicates a protocol
+        bug (or a malicious client -- the server re-validates).
+        """
+        cleaned: list[int] = []
+        seen: set[int] = set()
+        for neighbor in neighbors:
+            if neighbor == user_id:
+                raise ValueError(f"user {user_id} cannot be her own neighbor")
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            cleaned.append(neighbor)
+        self._neighbors[user_id] = cleaned
+
+    def as_dict(self) -> dict[int, list[int]]:
+        """Copy of the full table (uid -> neighbor list)."""
+        return {uid: list(nbrs) for uid, nbrs in self._neighbors.items()}
+
+    def users(self) -> list[int]:
+        """Users with a recorded neighborhood."""
+        return list(self._neighbors)

@@ -1,0 +1,58 @@
+"""Workload substrate: synthetic MovieLens and Digg rating traces.
+
+The paper evaluates HyRec on four real traces (Table 2):
+
+======= ======= ======= =========== ============
+Dataset Users   Items   Ratings     Avg ratings
+======= ======= ======= =========== ============
+ML1     943     1,700   100,000     106
+ML2     6,040   4,000   1,000,000   166
+ML3     69,878  10,000  10,000,000  143
+Digg    59,167  7,724   782,807     13
+======= ======= ======= =========== ============
+
+Those traces cannot be redistributed here, so this package generates
+*synthetic* traces calibrated to the same statistics: user/item/rating
+counts, average profile size, time span (7 months for MovieLens, 2
+weeks for Digg), a power-law item popularity, skewed user activity,
+and taste clusters that give collaborative filtering real structure to
+find.  Every generator accepts a ``scale`` factor so experiments can
+run at laptop size while keeping the distributional shape.
+"""
+
+from repro.datasets.schema import DatasetStats, Rating, Trace
+from repro.datasets.binarize import binarize_trace, binarize_value, user_means
+from repro.datasets.movielens import (
+    ML1,
+    ML2,
+    ML3,
+    MovieLensSpec,
+    generate_movielens,
+)
+from repro.datasets.digg import DIGG, DiggSpec, generate_digg
+from repro.datasets.split import time_split
+from repro.datasets.loader import DATASETS, dataset_names, load_dataset
+from repro.datasets.io import load_trace, save_trace
+
+__all__ = [
+    "DatasetStats",
+    "Rating",
+    "Trace",
+    "binarize_trace",
+    "binarize_value",
+    "user_means",
+    "ML1",
+    "ML2",
+    "ML3",
+    "MovieLensSpec",
+    "generate_movielens",
+    "DIGG",
+    "DiggSpec",
+    "generate_digg",
+    "time_split",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "load_trace",
+    "save_trace",
+]

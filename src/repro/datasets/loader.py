@@ -1,0 +1,47 @@
+"""Dataset registry: one entry per Table 2 workload."""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.datasets.binarize import binarize_trace
+from repro.datasets.digg import DIGG, DiggSpec, generate_digg
+from repro.datasets.movielens import ML1, ML2, ML3, MovieLensSpec, generate_movielens
+from repro.datasets.schema import Trace
+
+Spec = Union[MovieLensSpec, DiggSpec]
+
+#: Name -> (spec, generator) for every workload in Table 2.
+DATASETS: dict[str, tuple[Spec, Callable[..., Trace]]] = {
+    "ML1": (ML1, generate_movielens),
+    "ML2": (ML2, generate_movielens),
+    "ML3": (ML3, generate_movielens),
+    "Digg": (DIGG, generate_digg),
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered workload names, in Table 2 order."""
+    return list(DATASETS)
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    binarize: bool = True,
+) -> Trace:
+    """Generate a (scaled) workload by Table 2 name.
+
+    ``binarize=True`` applies the paper's liked/disliked projection so
+    the returned trace is directly replayable by the recommenders.
+    """
+    if name not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    spec, generator = DATASETS[name]
+    trace = generator(spec.scaled(scale), seed=seed)
+    if binarize:
+        trace = binarize_trace(trace)
+    return trace

@@ -1,0 +1,261 @@
+"""Synthetic MovieLens-shaped trace generator.
+
+The real ML datasets cannot be redistributed, so this generator
+produces traces with the same *load-bearing* structure:
+
+* exact user/item/rating counts of the chosen spec (scaled);
+* a 7-month collection window (210 days);
+* power-law item popularity (a handful of blockbusters, a long tail);
+* log-normal user activity (a few very active raters);
+* latent *taste clusters*: users and items belong to genre-like
+  clusters, users rate in-cluster items more often and more highly.
+  This is what gives user-based CF a signal to find -- without it,
+  KNN quality experiments would be meaningless;
+* 1-5 star ratings whose per-user mean splits roughly in half under
+  the paper's binarization rule;
+* session-structured timestamps: each user joins at some point in the
+  window and rates in short bursts, so "profile size" correlates with
+  "number of HyRec iterations" exactly as Figure 4 assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.datasets.schema import Rating, Trace
+from repro.sim.clock import DAY, MINUTE
+from repro.sim.randomness import derive_rng
+
+
+@dataclass(frozen=True)
+class MovieLensSpec:
+    """Target statistics for one synthetic MovieLens trace."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_ratings: int
+    duration_days: float = 210.0
+    num_clusters: int = 18
+    #: Probability that a rating goes to an in-cluster item.
+    cluster_affinity: float = 0.7
+    #: Zipf exponent of item popularity.
+    popularity_exponent: float = 0.9
+    #: Sigma of the log-normal user-activity distribution.
+    activity_sigma: float = 0.9
+    #: Ratings per user session burst.
+    session_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1 or self.num_items < 1 or self.num_ratings < 1:
+            raise ValueError("spec counts must be positive")
+        if not 0.0 <= self.cluster_affinity <= 1.0:
+            raise ValueError("cluster_affinity must be within [0, 1]")
+        if self.num_clusters < 1:
+            raise ValueError("need at least one cluster")
+
+    def scaled(self, scale: float) -> "MovieLensSpec":
+        """Shrink (or grow) the trace while keeping its shape.
+
+        Users and ratings scale linearly (so the average profile size
+        -- Table 2's load-bearing column -- is preserved); items scale
+        with the square root of ``scale`` so the catalog stays large
+        enough to hold those profiles even at small scales.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self
+        return replace(
+            self,
+            name=self.name,
+            num_users=max(10, round(self.num_users * scale)),
+            num_items=max(20, round(self.num_items * scale**0.5)),
+            num_ratings=max(50, round(self.num_ratings * scale)),
+            num_clusters=max(2, min(self.num_clusters, round(self.num_users * scale) // 5)),
+        )
+
+
+#: The three MovieLens workloads of Table 2.
+ML1 = MovieLensSpec("ML1", num_users=943, num_items=1700, num_ratings=100_000)
+ML2 = MovieLensSpec("ML2", num_users=6040, num_items=4000, num_ratings=1_000_000)
+ML3 = MovieLensSpec("ML3", num_users=69_878, num_items=10_000, num_ratings=10_000_000)
+
+
+def _zipf_weights(count: int, exponent: float) -> list[float]:
+    """Zipf weight per rank (1-indexed), unnormalized."""
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+
+
+def _weighted_index(cumulative: list[float], point: float) -> int:
+    """Binary search a cumulative-weight table for ``point``."""
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if cumulative[mid] < point:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+class _WeightedSampler:
+    """Draw indices proportionally to fixed weights, O(log n) each."""
+
+    def __init__(self, weights: list[float]) -> None:
+        if not weights:
+            raise ValueError("need at least one weight")
+        self.cumulative: list[float] = []
+        total = 0.0
+        for weight in weights:
+            if weight < 0:
+                raise ValueError("weights cannot be negative")
+            total += weight
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        running = 0.0
+        for weight in weights:
+            running += weight
+            self.cumulative.append(running)
+        self.total = running
+
+    def sample(self, rng) -> int:
+        return _weighted_index(self.cumulative, rng.random() * self.total)
+
+
+def generate_movielens(spec: MovieLensSpec, seed: int = 0) -> Trace:
+    """Generate one synthetic MovieLens trace for ``spec``.
+
+    The same ``(spec, seed)`` pair always yields the identical trace.
+    """
+    rng_structure = derive_rng(seed, f"{spec.name}:structure")
+    rng_events = derive_rng(seed, f"{spec.name}:events")
+
+    duration_s = spec.duration_days * DAY
+
+    # --- latent structure -------------------------------------------------
+    user_cluster = [
+        rng_structure.randrange(spec.num_clusters) for _ in range(spec.num_users)
+    ]
+    item_cluster = [
+        rng_structure.randrange(spec.num_clusters) for _ in range(spec.num_items)
+    ]
+    items_of_cluster: list[list[int]] = [[] for _ in range(spec.num_clusters)]
+    for item, cluster in enumerate(item_cluster):
+        items_of_cluster[cluster].append(item)
+    # Guarantee every cluster owns at least one item.
+    for cluster, members in enumerate(items_of_cluster):
+        if not members:
+            item = rng_structure.randrange(spec.num_items)
+            items_of_cluster[item_cluster[item]].remove(item)
+            item_cluster[item] = cluster
+            members.append(item)
+
+    item_quality = [rng_structure.gauss(0.0, 0.6) for _ in range(spec.num_items)]
+    user_bias = [rng_structure.gauss(0.0, 0.4) for _ in range(spec.num_users)]
+
+    # --- activity & popularity skew ---------------------------------------
+    activity = [
+        math.exp(rng_structure.gauss(0.0, spec.activity_sigma))
+        for _ in range(spec.num_users)
+    ]
+    user_sampler = _WeightedSampler(activity)
+
+    popularity = _zipf_weights(spec.num_items, spec.popularity_exponent)
+    # Shuffle popularity ranks so item id does not encode popularity.
+    rng_structure.shuffle(popularity)
+    global_item_sampler = _WeightedSampler(popularity)
+    cluster_samplers = [
+        _WeightedSampler([popularity[item] for item in members])
+        for members in items_of_cluster
+    ]
+
+    # --- allocate rating counts per user ----------------------------------
+    rating_counts = [0] * spec.num_users
+    for _ in range(spec.num_ratings):
+        rating_counts[user_sampler.sample(rng_events)] += 1
+    # Every user rates at least once so Table 2's user count holds.
+    for user in range(spec.num_users):
+        if rating_counts[user] == 0:
+            donor = max(range(spec.num_users), key=lambda u: rating_counts[u])
+            rating_counts[donor] -= 1
+            rating_counts[user] = 1
+
+    # --- emit ratings -------------------------------------------------------
+    ratings: list[Rating] = []
+    for user in range(spec.num_users):
+        count = rating_counts[user]
+        if count == 0:
+            continue
+        cluster = user_cluster[user]
+        seen: set[int] = set()
+        # Users keep joining almost to the end of the window: the
+        # late-arriving cohort is the one offline back-ends fail
+        # (Section 5.3's new-user argument for Figure 6).
+        arrival = rng_events.random() * duration_s * 0.9
+        num_sessions = max(1, count // spec.session_size)
+        session_times = sorted(
+            arrival + rng_events.random() * (duration_s - arrival)
+            for _ in range(num_sessions)
+        )
+        for index in range(count):
+            session = session_times[index % num_sessions]
+            timestamp = session + (index // num_sessions) * (
+                2.0 * MINUTE * (0.5 + rng_events.random())
+            )
+            timestamp = min(timestamp, duration_s)
+            item = _draw_item(
+                rng_events,
+                spec,
+                cluster,
+                seen,
+                cluster_samplers,
+                global_item_sampler,
+                items_of_cluster,
+            )
+            if item is None:
+                continue
+            seen.add(item)
+            match_bonus = 0.9 if item_cluster[item] == cluster else -0.3
+            raw = (
+                3.1
+                + user_bias[user]
+                + item_quality[item]
+                + match_bonus
+                + rng_events.gauss(0.0, 0.7)
+            )
+            value = float(min(5, max(1, round(raw))))
+            ratings.append(
+                Rating(timestamp=timestamp, user=user, item=item, value=value)
+            )
+    return Trace(spec.name, ratings)
+
+
+def _draw_item(
+    rng,
+    spec: MovieLensSpec,
+    cluster: int,
+    seen: set[int],
+    cluster_samplers: list[_WeightedSampler],
+    global_sampler: _WeightedSampler,
+    items_of_cluster: list[list[int]],
+    max_attempts: int = 12,
+) -> int | None:
+    """Pick an unseen item, preferring the user's cluster."""
+    for _ in range(max_attempts):
+        if rng.random() < spec.cluster_affinity:
+            members = items_of_cluster[cluster]
+            item = members[cluster_samplers[cluster].sample(rng)]
+        else:
+            item = global_sampler.sample(rng)
+        if item not in seen:
+            return item
+    # Dense profile: fall back to scanning for any unseen item.
+    for item in items_of_cluster[cluster]:
+        if item not in seen:
+            return item
+    for item in range(spec.num_items):
+        if item not in seen:
+            return item
+    return None

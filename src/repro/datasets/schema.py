@@ -1,0 +1,123 @@
+"""Core trace data structures shared by every dataset and replayer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.sim.clock import DAY
+
+
+@dataclass(frozen=True, order=True)
+class Rating:
+    """One ``<user, item, value>`` opinion with its timestamp.
+
+    Ordering is by ``(timestamp, user, item, value)`` so that a sorted
+    list of ratings is a valid replay order.  ``value`` is the raw
+    score (1-5 stars for MovieLens, 0/1 for Digg); binarization to the
+    paper's liked/disliked form happens in
+    :mod:`repro.datasets.binarize`.
+    """
+
+    timestamp: float
+    user: int
+    item: int
+    value: float
+
+    @property
+    def liked(self) -> bool:
+        """Interpret an already-binary value (1.0 = liked)."""
+        return self.value >= 1.0
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The Table 2 row describing a trace."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_ratings: int
+    avg_ratings_per_user: float
+    duration_days: float
+
+    def as_row(self) -> str:
+        """Format like a row of the paper's Table 2."""
+        return (
+            f"{self.name:<6} {self.num_users:>8,} {self.num_items:>8,} "
+            f"{self.num_ratings:>12,} {self.avg_ratings_per_user:>8.1f}"
+        )
+
+
+class Trace:
+    """A time-ordered sequence of ratings plus derived statistics.
+
+    The constructor sorts ratings by timestamp; replaying a trace in
+    iteration order is therefore always chronologically valid.
+    """
+
+    def __init__(self, name: str, ratings: Iterable[Rating]) -> None:
+        self.name = name
+        self.ratings: list[Rating] = sorted(ratings)
+        self._users: frozenset[int] | None = None
+        self._items: frozenset[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.ratings)
+
+    def __iter__(self) -> Iterator[Rating]:
+        return iter(self.ratings)
+
+    def __getitem__(self, index: int) -> Rating:
+        return self.ratings[index]
+
+    @property
+    def users(self) -> frozenset[int]:
+        """All user ids appearing in the trace."""
+        if self._users is None:
+            self._users = frozenset(r.user for r in self.ratings)
+        return self._users
+
+    @property
+    def items(self) -> frozenset[int]:
+        """All item ids appearing in the trace."""
+        if self._items is None:
+            self._items = frozenset(r.item for r in self.ratings)
+        return self._items
+
+    @property
+    def duration(self) -> float:
+        """Span between first and last rating, in seconds."""
+        if not self.ratings:
+            return 0.0
+        return self.ratings[-1].timestamp - self.ratings[0].timestamp
+
+    def stats(self) -> DatasetStats:
+        """Compute the Table 2 row for this trace."""
+        num_users = len(self.users)
+        avg = len(self.ratings) / num_users if num_users else 0.0
+        return DatasetStats(
+            name=self.name,
+            num_users=num_users,
+            num_items=len(self.items),
+            num_ratings=len(self.ratings),
+            avg_ratings_per_user=avg,
+            duration_days=self.duration / DAY,
+        )
+
+    def ratings_by_user(self) -> dict[int, list[Rating]]:
+        """Group ratings per user, preserving chronological order."""
+        grouped: dict[int, list[Rating]] = {}
+        for rating in self.ratings:
+            grouped.setdefault(rating.user, []).append(rating)
+        return grouped
+
+    def subset(self, ratings: Sequence[Rating], suffix: str) -> "Trace":
+        """Build a derived trace (e.g. a train/test half) of this one."""
+        return Trace(f"{self.name}-{suffix}", ratings)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, ratings={len(self.ratings):,}, "
+            f"users={len(self.users):,}, items={len(self.items):,})"
+        )

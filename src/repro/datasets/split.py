@@ -1,0 +1,26 @@
+"""Time-ordered train/test split (the paper's quality protocol).
+
+Section 5.1: "We split each dataset into a training and a test set
+according to time.  The training set contains the first 80% of the
+ratings while the test set contains the remaining 20%."  This follows
+the LARS evaluation methodology [37].
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import Trace
+
+
+def time_split(trace: Trace, train_fraction: float = 0.8) -> tuple[Trace, Trace]:
+    """Split ``trace`` at the ``train_fraction`` point of its timeline.
+
+    Ratings are already time-sorted inside a :class:`Trace`, so the
+    cut is a simple index split; every training rating is no later
+    than every test rating.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    cut = int(len(trace) * train_fraction)
+    train = trace.subset(trace.ratings[:cut], "train")
+    test = trace.subset(trace.ratings[cut:], "test")
+    return train, test

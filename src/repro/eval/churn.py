@@ -1,0 +1,138 @@
+"""Churn ablation: P2P degrades with on/off dynamics, HyRec does not.
+
+Section 2.4's architectural claim, quantified:
+
+    "Unlike [the decentralized systems], HyRec allows clients to have
+    offline users within their KNN, thus leveraging clients that are
+    not concurrently online."
+
+Protocol: both systems first converge on the same workload.  Then a
+churn phase runs: every gossip cycle, a fraction of machines goes
+offline and offline machines return at a matched rate (stationary
+online share ~60%).  The P2P overlay must evict unreachable peers
+from cluster views and re-find them later; HyRec's server-side KNN
+table keeps referencing offline users, and online users' requests
+continue to refine it.  The metric is the average view similarity of
+the neighborhoods each system would serve recommendations from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.p2p import P2PRecommender
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets import load_dataset
+from repro.eval.common import format_rows
+from repro.gossip.churn import ChurnProcess
+from repro.metrics.view_similarity import (
+    ideal_view_similarity,
+    view_similarity_of_table,
+)
+from repro.sim.randomness import derive_seed
+
+
+@dataclass
+class ChurnAblationResult:
+    """View similarity after the churn phase, per churn level."""
+
+    scale: float
+    ideal: float
+    p2p: dict[float, float] = field(default_factory=dict)
+    hyrec: dict[float, float] = field(default_factory=dict)
+
+    def degradation(self, system: str) -> float:
+        """Quality lost between no churn and the highest churn level."""
+        curve = self.p2p if system == "p2p" else self.hyrec
+        levels = sorted(curve)
+        baseline = curve[levels[0]]
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - curve[levels[-1]] / baseline
+
+    def format_report(self) -> str:
+        headers = ["leave rate/cycle", "P2P view sim", "HyRec view sim"]
+        rows = []
+        for level in sorted(self.p2p):
+            rows.append(
+                [
+                    f"{level:.0%}",
+                    f"{self.p2p[level]:.4f}",
+                    f"{self.hyrec[level]:.4f}",
+                ]
+            )
+        rows.append(["ideal bound", f"{self.ideal:.4f}", f"{self.ideal:.4f}"])
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                f"Churn ablation -- neighborhood quality under churn "
+                f"(scale={self.scale})"
+            ),
+        )
+
+
+def run_churn_ablation(
+    scale: float = 0.04,
+    seed: int = 0,
+    leave_rates: tuple[float, ...] = (0.0, 0.2, 0.4),
+    warm_cycles: int = 12,
+    churn_cycles: int = 15,
+    k: int = 5,
+    dataset: str = "ML1",
+) -> ChurnAblationResult:
+    """Measure both architectures' quality under increasing churn."""
+    trace = load_dataset(dataset, scale=scale, seed=seed)
+    liked_final: dict[int, frozenset[int]] = {}
+    result = ChurnAblationResult(scale=scale, ideal=0.0)
+
+    for leave_rate in leave_rates:
+        # Matched return rate targets a ~60% stationary online share
+        # (fully online when there is no churn at all).
+        return_rate = 1.0 if leave_rate == 0.0 else leave_rate * 1.5
+
+        # --- P2P ----------------------------------------------------------
+        p2p = P2PRecommender(k=k, seed=derive_seed(seed, f"p2p:{leave_rate}"))
+        for rating in trace:
+            p2p.record_rating(rating.user, rating.item, rating.value)
+        p2p.run_cycles(warm_cycles)
+        churn = ChurnProcess(
+            list(p2p.profiles),
+            leave_probability=leave_rate,
+            return_probability=return_rate,
+            seed=derive_seed(seed, f"churn:{leave_rate}"),
+        )
+        for _ in range(churn_cycles):
+            departed, returned = churn.step()
+            p2p.apply_churn(departed, returned)
+            p2p.run_cycle()
+        liked_final = {uid: p2p.profiles[uid].liked_items() for uid in p2p.profiles}
+        result.p2p[leave_rate] = view_similarity_of_table(
+            liked_final, p2p.knn_table()
+        )
+
+        # --- HyRec under the *same* on/off pattern -------------------------
+        hyrec = HyRecSystem(
+            HyRecConfig(k=k), seed=derive_seed(seed, f"hyrec:{leave_rate}")
+        )
+        hyrec.replay(trace)
+        mirror = ChurnProcess(
+            list(trace.users),
+            leave_probability=leave_rate,
+            return_probability=return_rate,
+            seed=derive_seed(seed, f"churn:{leave_rate}"),  # same pattern
+        )
+        for _ in range(churn_cycles):
+            mirror.step()
+            # Only online users visit the site; their requests keep
+            # refining the shared table.  Offline users' rows persist.
+            for user_id in sorted(mirror.online):
+                hyrec.request(user_id)
+        result.hyrec[leave_rate] = view_similarity_of_table(
+            hyrec.server.profiles.liked_sets(),
+            hyrec.server.knn_table.as_dict(),
+        )
+
+    result.ideal = ideal_view_similarity(liked_final, k=k)
+    return result

@@ -1,0 +1,66 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Trace
+
+
+def liked_sets_of_trace(trace: Trace) -> dict[int, frozenset[int]]:
+    """Final liked-item set per user after replaying a whole trace.
+
+    A later dislike of an item overrides an earlier like (profiles are
+    overwrite-on-rerate), matching :class:`repro.core.profiles.Profile`.
+    """
+    state: dict[int, dict[int, float]] = {}
+    for rating in trace:
+        state.setdefault(rating.user, {})[rating.item] = rating.value
+    return {
+        user: frozenset(item for item, value in items.items() if value == 1.0)
+        for user, items in state.items()
+    }
+
+
+def liked_sets_of_profiles(profiles: ProfileTable) -> dict[int, frozenset[int]]:
+    """Snapshot of the liked sets inside a live profile table."""
+    return profiles.liked_sets()
+
+
+def format_rows(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Monospace table formatting used by every ``format_report``."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_to_rows(
+    series: Mapping[str, list[tuple[float, float]]],
+    x_label: str,
+    y_format: str = "{:.4f}",
+    x_format: str = "{:.1f}",
+) -> tuple[list[str], list[list[str]]]:
+    """Align multiple named (x, y) series on their union of x values."""
+    all_x = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + list(series)
+    rows = []
+    for x in all_x:
+        row = [x_format.format(x)]
+        for name in series:
+            y = lookup[name].get(x)
+            row.append(y_format.format(y) if y is not None else "-")
+        rows.append(row)
+    return headers, rows

@@ -1,0 +1,212 @@
+"""Figures 11-13: the widget on client devices.
+
+These are the client-side experiments the paper runs on a physical
+laptop and smartphone under synthetic CPU load (``stress`` / antutu).
+We replace the hardware with the calibrated device models of
+:mod:`repro.sim.devices` but keep the *workload* real: every modeled
+time is driven by the exact operation count of a real personalization
+job built by :func:`repro.core.client.make_job`.
+
+* Figure 11 -- progress of a monitoring loop while a co-application
+  runs, versus background CPU load.  The interference model charges
+  each co-application its CPU duty cycle on the laptop's core budget.
+* Figure 12 -- widget execution time at profile size 100 versus CPU
+  load, laptop versus smartphone.
+* Figure 13 -- widget execution time versus profile size for
+  k in {10, 20} on both devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import HyRecWidget, make_job
+from repro.core.jobs import PersonalizationJob
+from repro.eval.common import format_rows
+from repro.sim.devices import Device, LAPTOP, SMARTPHONE
+from repro.sim.randomness import derive_rng
+
+
+def synth_job(
+    profile_size: int, k: int = 10, catalog: int = 4000, seed: int = 0
+) -> PersonalizationJob:
+    """A worst-case personalization job with exact profile sizes.
+
+    The candidate set is at its ``2k + k^2`` bound and every profile
+    (the user's and each candidate's) holds exactly ``profile_size``
+    binary opinions -- the configuration Figures 12-13 sweep.
+    """
+    rng = derive_rng(seed, f"job:{profile_size}:{k}")
+    candidate_count = 2 * k + k * k
+
+    def profile() -> dict[str, float]:
+        items = rng.sample(range(catalog), min(profile_size, catalog))
+        return {str(item): 1.0 if rng.random() < 0.8 else 0.0 for item in items}
+
+    return make_job(
+        user_token="u_self",
+        user_profile=profile(),
+        candidates={f"u_{index}": profile() for index in range(candidate_count)},
+        k=k,
+        r=10,
+    )
+
+
+# --- Figure 11 ----------------------------------------------------------------
+
+
+#: CPU duty cycle charged by each co-application in the Figure 11
+#: interference model (fraction of the laptop's total core budget).
+COAPP_INTERFERENCE: dict[str, float] = {
+    "Baseline": 0.0,
+    "HyRec operation": 0.12,
+    "Display operation": 0.13,
+    "Decentralized": 0.07,
+}
+
+#: Progress of the monitor loop at zero load, in loop iterations
+#: (calibrated to the paper's ~185M over the measurement window).
+MONITOR_BASE_LOOPS: float = 185e6
+
+#: Fractional slowdown of the monitor between 0% and 100% stress load
+#: (the paper's baseline falls from ~185M to ~145M: ~22%).
+STRESS_SLOPE: float = 0.22
+
+
+@dataclass
+class Fig11Result:
+    """Monitor-loop progress (millions) per co-app per CPU load."""
+
+    loads: list[float]
+    progress: dict[str, list[float]] = field(default_factory=dict)
+
+    def format_report(self) -> str:
+        headers = ["CPU load"] + list(self.progress)
+        rows = []
+        for index, load in enumerate(self.loads):
+            row = [f"{load:.0%}"]
+            for name in self.progress:
+                row.append(f"{self.progress[name][index] / 1e6:.0f}M")
+            rows.append(row)
+        return format_rows(
+            headers,
+            rows,
+            title="Figure 11 -- monitor progress vs CPU load per co-application",
+        )
+
+
+def run_fig11(
+    loads: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+) -> Fig11Result:
+    """Interference of each co-application with a monitoring loop."""
+    result = Fig11Result(loads=list(loads))
+    for name, interference in COAPP_INTERFERENCE.items():
+        series = []
+        for load in loads:
+            progress = (
+                MONITOR_BASE_LOOPS * (1.0 - STRESS_SLOPE * load) * (1.0 - interference)
+            )
+            series.append(progress)
+        result.progress[name] = series
+    return result
+
+
+# --- Figure 12 --------------------------------------------------------------------
+
+
+@dataclass
+class Fig12Result:
+    """Widget time (ms) vs CPU load, per device, at profile size 100."""
+
+    loads: list[float]
+    profile_size: int
+    times_ms: dict[str, list[float]] = field(default_factory=dict)
+
+    def format_report(self) -> str:
+        headers = ["CPU load"] + list(self.times_ms)
+        rows = []
+        for index, load in enumerate(self.loads):
+            row = [f"{load:.0%}"]
+            for name in self.times_ms:
+                row.append(f"{self.times_ms[name][index]:.1f}ms")
+            rows.append(row)
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                f"Figure 12 -- widget time vs client CPU load "
+                f"(profile size {self.profile_size})"
+            ),
+        )
+
+
+def run_fig12(
+    loads: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    profile_size: int = 100,
+    k: int = 10,
+    seed: int = 0,
+) -> Fig12Result:
+    """Sweep CPU load for the laptop and smartphone models."""
+    job = synth_job(profile_size, k=k, seed=seed)
+    widget = HyRecWidget()
+    ops = widget.op_count(job)
+    result = Fig12Result(loads=list(loads), profile_size=profile_size)
+    for spec in (SMARTPHONE, LAPTOP):
+        series = []
+        for load in loads:
+            device = Device(spec, load=load)
+            series.append(device.task_time(ops) * 1e3)
+        result.times_ms[spec.name] = series
+    return result
+
+
+# --- Figure 13 ---------------------------------------------------------------------
+
+
+@dataclass
+class Fig13Result:
+    """Widget time (ms) vs profile size per (device, k)."""
+
+    profile_sizes: list[int]
+    times_ms: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def growth_factor(self, name: str) -> float:
+        """Time ratio between the largest and smallest profile size."""
+        first = self.times_ms[name][self.profile_sizes[0]]
+        last = self.times_ms[name][self.profile_sizes[-1]]
+        return last / first if first > 0 else 0.0
+
+    def format_report(self) -> str:
+        headers = ["System"] + [f"ps={ps}" for ps in self.profile_sizes] + ["growth"]
+        rows = []
+        for name, by_ps in self.times_ms.items():
+            rows.append(
+                [name]
+                + [f"{by_ps[ps]:.1f}ms" for ps in self.profile_sizes]
+                + [f"x{self.growth_factor(name):.1f}"]
+            )
+        return format_rows(
+            headers,
+            rows,
+            title="Figure 13 -- widget time vs profile size",
+        )
+
+
+def run_fig13(
+    profile_sizes: tuple[int, ...] = (10, 50, 100, 250, 500),
+    ks: tuple[int, ...] = (10, 20),
+    seed: int = 0,
+) -> Fig13Result:
+    """Sweep profile size for both devices and both k values."""
+    result = Fig13Result(profile_sizes=list(profile_sizes))
+    widget = HyRecWidget()
+    for spec in (SMARTPHONE, LAPTOP):
+        for k in ks:
+            name = f"{spec.name} k={k}"
+            result.times_ms[name] = {}
+            for ps in profile_sizes:
+                job = synth_job(ps, k=k, seed=seed)
+                ops = widget.op_count(job)
+                device = Device(spec)
+                result.times_ms[name][ps] = device.task_time(ops) * 1e3
+    return result

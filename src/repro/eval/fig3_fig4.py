@@ -1,0 +1,238 @@
+"""Figures 3 and 4: KNN selection quality on ML1.
+
+Figure 3 replays the trace through HyRec (k=10; k=10 with a one-week
+inter-request bound; k=20) and through the Offline-Ideal weekly
+baseline, probing the *average view similarity* of each system's KNN
+table on a fixed time grid.  The ideal upper bound is probed on the
+same grid.
+
+Figure 4 takes the k=10 replay's end state and reports, per user, the
+achieved fraction of her ideal view similarity against her profile
+size (= number of HyRec iterations she triggered, since every rating
+is a request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.offline_ideal import CentralizedOfflineSystem
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets import load_dataset
+from repro.datasets.schema import Trace
+from repro.eval.common import format_rows, series_to_rows
+from repro.metrics.view_similarity import (
+    ideal_view_similarity,
+    ideal_view_similarity_per_user,
+    view_similarity_of_table,
+    view_similarity_per_user,
+)
+from repro.sim.clock import DAY, WEEK
+
+Series = list[tuple[float, float]]  # (time in days, view similarity)
+
+
+@dataclass
+class Fig3Result:
+    """Average view similarity over time, one series per system."""
+
+    scale: float
+    series: dict[str, Series] = field(default_factory=dict)
+
+    def final_gap_to_ideal(self, name: str) -> float:
+        """Relative gap of a series' last point to the ideal's."""
+        ideal = self.series["Ideal upper bound"][-1][1]
+        achieved = self.series[name][-1][1]
+        if ideal <= 0:
+            return 0.0
+        return 1.0 - achieved / ideal
+
+    def format_report(self) -> str:
+        headers, rows = series_to_rows(self.series, "day")
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                f"Figure 3 -- average view similarity over time "
+                f"(ML1, scale={self.scale})"
+            ),
+        )
+
+
+@dataclass
+class Fig4Result:
+    """Per-user (profile size, % of ideal view similarity) points."""
+
+    scale: float
+    points: list[tuple[int, float]] = field(default_factory=list)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Share of users at or above a view-similarity ratio."""
+        if not self.points:
+            return 0.0
+        hits = sum(1 for _, ratio in self.points if ratio >= threshold)
+        return hits / len(self.points)
+
+    def format_report(self) -> str:
+        buckets: dict[str, list[float]] = {}
+        edges = [(0, 10), (10, 25), (25, 50), (50, 100), (100, 250), (250, 10**9)]
+        for size, ratio in self.points:
+            for low, high in edges:
+                if low <= size < high:
+                    label = f"{low}-{high if high < 10**9 else 'inf'}"
+                    buckets.setdefault(label, []).append(ratio)
+                    break
+        rows = []
+        for (low, high) in edges:
+            label = f"{low}-{high if high < 10**9 else 'inf'}"
+            values = buckets.get(label, [])
+            if values:
+                rows.append(
+                    [
+                        label,
+                        f"{len(values)}",
+                        f"{100 * sum(values) / len(values):.1f}%",
+                    ]
+                )
+        rows.append(
+            ["ALL >= 70%", "", f"{100 * self.fraction_above(0.7):.1f}% of users"]
+        )
+        return format_rows(
+            ["profile size", "users", "mean % of ideal"],
+            rows,
+            title=f"Figure 4 -- KNN quality vs user activity (scale={self.scale})",
+        )
+
+
+def _probe_times(trace: Trace, probes: int) -> list[float]:
+    duration = trace.duration
+    start = trace.ratings[0].timestamp if len(trace) else 0.0
+    step = duration / probes if probes else duration
+    return [start + step * (i + 1) for i in range(probes)]
+
+
+def run_fig3(
+    scale: float = 0.15,
+    seed: int = 0,
+    probes: int = 12,
+    dataset: str = "ML1",
+) -> Fig3Result:
+    """Replay the four systems of Figure 3 on a probe grid."""
+    trace = load_dataset(dataset, scale=scale, seed=seed)
+    probe_times = _probe_times(trace, probes)
+    result = Fig3Result(scale=scale)
+
+    configs = {
+        "HyRec k=10": (HyRecConfig(k=10), None),
+        "HyRec k=10 IR=7": (HyRecConfig(k=10), WEEK),
+        "HyRec k=20": (HyRecConfig(k=20), None),
+    }
+    for name, (config, bound) in configs.items():
+        result.series[name] = _replay_hyrec_probed(
+            trace, config, seed, probe_times, inter_request_bound=bound
+        )
+
+    result.series["Offline Ideal k=10"] = _replay_offline_probed(
+        trace, k=10, period_s=WEEK, probe_times=probe_times
+    )
+    result.series["Ideal upper bound"] = _ideal_probed(trace, k=10, probe_times=probe_times)
+    return result
+
+
+def run_fig4(
+    scale: float = 0.15,
+    seed: int = 0,
+    dataset: str = "ML1",
+    k: int = 10,
+) -> Fig4Result:
+    """Per-user quality/activity correlation after a full replay."""
+    trace = load_dataset(dataset, scale=scale, seed=seed)
+    system = HyRecSystem(HyRecConfig(k=k), seed=seed)
+    system.replay(trace)
+
+    liked = system.server.profiles.liked_sets()
+    achieved = view_similarity_per_user(liked, system.server.knn_table.as_dict())
+    ideal = ideal_view_similarity_per_user(liked, k=k)
+
+    result = Fig4Result(scale=scale)
+    for user, ideal_value in ideal.items():
+        if ideal_value <= 0:
+            continue
+        profile_size = system.server.profiles.get(user).size
+        ratio = min(1.0, achieved.get(user, 0.0) / ideal_value)
+        result.points.append((profile_size, ratio))
+    result.points.sort()
+    return result
+
+
+# --- replay instrumentation -------------------------------------------------
+
+
+def _replay_hyrec_probed(
+    trace: Trace,
+    config: HyRecConfig,
+    seed: int,
+    probe_times: list[float],
+    inter_request_bound: float | None,
+) -> Series:
+    system = HyRecSystem(config, seed=seed)
+    series: Series = []
+    pending = list(probe_times)
+
+    def probe(outcome) -> None:
+        while pending and outcome.timestamp >= pending[0]:
+            at = pending.pop(0)
+            liked = system.server.profiles.liked_sets()
+            value = view_similarity_of_table(
+                liked, system.server.knn_table.as_dict()
+            )
+            series.append((at / DAY, value))
+
+    system.replay(trace, on_request=probe, inter_request_bound=inter_request_bound)
+    # Final state probe for any remaining grid points.
+    liked = system.server.profiles.liked_sets()
+    final = view_similarity_of_table(liked, system.server.knn_table.as_dict())
+    for at in pending:
+        series.append((at / DAY, final))
+    return series
+
+
+def _replay_offline_probed(
+    trace: Trace, k: int, period_s: float, probe_times: list[float]
+) -> Series:
+    system = CentralizedOfflineSystem(k=k, period_s=period_s)
+    series: Series = []
+    pending = list(probe_times)
+
+    def probe(outcome) -> None:
+        while pending and outcome.timestamp >= pending[0]:
+            at = pending.pop(0)
+            liked = system.profiles.liked_sets()
+            value = view_similarity_of_table(liked, system.backend.knn_table)
+            series.append((at / DAY, value))
+
+    system.replay(trace, on_request=probe)
+    liked = system.profiles.liked_sets()
+    final = view_similarity_of_table(liked, system.backend.knn_table)
+    for at in pending:
+        series.append((at / DAY, final))
+    return series
+
+
+def _ideal_probed(trace: Trace, k: int, probe_times: list[float]) -> Series:
+    """Ideal KNN recomputed *at every probe* (the online upper bound)."""
+    series: Series = []
+    state: dict[int, dict[int, float]] = {}
+    iterator = iter(trace)
+    current = next(iterator, None)
+    for at in probe_times:
+        while current is not None and current.timestamp <= at:
+            state.setdefault(current.user, {})[current.item] = current.value
+            current = next(iterator, None)
+        liked = {
+            user: frozenset(i for i, v in items.items() if v == 1.0)
+            for user, items in state.items()
+        }
+        series.append((at / DAY, ideal_view_similarity(liked, k=k)))
+    return series

@@ -1,0 +1,74 @@
+"""Figure 5: convergence of the candidate-set size.
+
+As neighborhoods converge, ``Nu`` and ``KNN(Nu)`` overlap more and
+more, so the sampled candidate set shrinks well below its ``2k + k^2``
+bound (to ~55 for k=10 in the paper).  This experiment replays ML1
+for several values of k and buckets the sampler's recorded sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets import load_dataset
+from repro.eval.common import format_rows, series_to_rows
+from repro.metrics.convergence import bucket_series
+from repro.sim.clock import MINUTE
+
+
+@dataclass
+class Fig5Result:
+    """Mean candidate-set size over time, one series per k."""
+
+    scale: float
+    upper_bounds: dict[str, int] = field(default_factory=dict)
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def final_mean(self, name: str) -> float:
+        """Converged (last-bucket) mean candidate size of a series."""
+        return self.series[name][-1][1]
+
+    def format_report(self) -> str:
+        headers, rows = series_to_rows(
+            self.series, "minute", y_format="{:.1f}", x_format="{:.0f}"
+        )
+        bound_note = ", ".join(
+            f"{name}: bound {bound}" for name, bound in self.upper_bounds.items()
+        )
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                f"Figure 5 -- candidate-set size convergence "
+                f"(scale={self.scale}; {bound_note})"
+            ),
+        )
+
+
+def run_fig5(
+    scale: float = 0.2,
+    seed: int = 0,
+    ks: tuple[int, ...] = (5, 10),
+    buckets: int = 12,
+    dataset: str = "ML1",
+) -> Fig5Result:
+    """Replay ML1 once per k, recording sampler candidate sizes."""
+    trace = load_dataset(dataset, scale=scale, seed=seed)
+    result = Fig5Result(scale=scale)
+    duration_min = max(1.0, trace.duration / MINUTE)
+    bucket_width = duration_min / buckets
+
+    for k in ks:
+        name = f"k={k}"
+        system = HyRecSystem(HyRecConfig(k=k), seed=seed)
+        system.replay(trace)
+        samples = [
+            (timestamp / MINUTE, float(size))
+            for timestamp, size in system.server.sampler.size_history
+        ]
+        points = bucket_series(samples, bucket_width)
+        result.series[name] = [(p.time, p.mean) for p in points]
+        result.upper_bounds[name] = system.server.sampler.max_candidate_size()
+    return result

@@ -1,0 +1,118 @@
+"""Figure 6: recommendation quality versus number of recommendations.
+
+Runs the [37] hit-counting protocol (80/20 time split) through four
+systems: HyRec, Offline-Ideal with periods of 24h and 1h, and
+Online-Ideal.  The expected shape (Section 5.3):
+
+* Online-Ideal is the upper bound;
+* HyRec beats Offline-Ideal p=24h (by up to 12% in the paper) and
+  also edges out p=1h, landing ~13% below Online-Ideal;
+* shorter offline periods help, but even p=1h cannot give brand-new
+  users neighborhoods between two back-end runs -- HyRec can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.offline_ideal import CentralizedOfflineSystem
+from repro.baselines.online_ideal import OnlineIdealSystem
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets import load_dataset, time_split
+from repro.eval.common import format_rows
+from repro.metrics.recommendation_quality import QualityProtocol, QualityResult
+from repro.sim.clock import HOUR
+
+
+class HyRecQualityAdapter:
+    """Bridges :class:`HyRecSystem` to the quality protocol."""
+
+    def __init__(self, system: HyRecSystem) -> None:
+        self.system = system
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float
+    ) -> None:
+        self.system.record_rating(user_id, item, value, timestamp)
+        # Every rating is a page visit: it triggers a personalization
+        # round trip, exactly like the replay loop of Section 5.2.
+        self.system.request(user_id, now=timestamp)
+
+    def recommend_for(self, user_id: int, now: float, n: int) -> list[int]:
+        outcome = self.system.request(user_id, now=now)
+        return outcome.recommendations[:n]
+
+
+class CentralizedQualityAdapter:
+    """Bridges the centralized systems to the quality protocol."""
+
+    def __init__(self, system: CentralizedOfflineSystem | OnlineIdealSystem) -> None:
+        self.system = system
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float
+    ) -> None:
+        self.system.record_rating(user_id, item, value, timestamp)
+
+    def recommend_for(self, user_id: int, now: float, n: int) -> list[int]:
+        outcome = self.system.request(user_id, now=now)
+        return outcome.recommendations[:n]
+
+
+@dataclass
+class Fig6Result:
+    """Quality curves (hits at 1..n_max) per system."""
+
+    scale: float
+    n_max: int
+    results: dict[str, QualityResult] = field(default_factory=dict)
+
+    def quality_at(self, name: str, n: int) -> int:
+        return self.results[name].hits_at[n]
+
+    def format_report(self) -> str:
+        headers = ["#recs"] + list(self.results)
+        rows = []
+        for n in range(1, self.n_max + 1):
+            rows.append(
+                [str(n)] + [str(res.hits_at[n]) for res in self.results.values()]
+            )
+        positives = next(iter(self.results.values())).positives
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                f"Figure 6 -- recommendation quality "
+                f"(scale={self.scale}, {positives} test positives)"
+            ),
+        )
+
+
+def run_fig6(
+    scale: float = 0.08,
+    seed: int = 0,
+    n_max: int = 10,
+    k: int = 10,
+    dataset: str = "ML1",
+) -> Fig6Result:
+    """Run the quality protocol through all four Figure 6 systems."""
+    trace = load_dataset(dataset, scale=scale, seed=seed)
+    train, test = time_split(trace)
+    protocol = QualityProtocol(n_max=n_max)
+    result = Fig6Result(scale=scale, n_max=n_max)
+
+    hyrec = HyRecQualityAdapter(
+        HyRecSystem(HyRecConfig(k=k, r=n_max), seed=seed)
+    )
+    result.results["HyRec"] = protocol.run(hyrec, train, test)
+
+    for period_h, label in ((24.0, "Offline Ideal p=24h"), (1.0, "Offline Ideal p=1h")):
+        offline = CentralizedQualityAdapter(
+            CentralizedOfflineSystem(k=k, r=n_max, period_s=period_h * HOUR)
+        )
+        result.results[label] = protocol.run(offline, train, test)
+
+    online = CentralizedQualityAdapter(OnlineIdealSystem(k=k, r=n_max))
+    result.results["Online Ideal"] = protocol.run(online, train, test)
+    return result

@@ -1,0 +1,92 @@
+"""Figure 7: wall-clock time of the four offline KNN back-ends.
+
+Runs Exhaustive (Offline-Ideal on Phoenix), MahoutSingle, ClusMahout
+and Offline-CRec on every workload.  Datasets are scaled per workload
+so the sweep stays laptop-sized while preserving their relative sizes
+(ML1 < Digg-sample < ML2 < ML3 in user count); the wall-clock is the
+engine's cluster model over *measured* task times.
+
+Expected shape: CRec fastest (except possibly against ClusMahout on
+the smallest dataset), Exhaustive slowest, and the gap growing with
+dataset size (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.mahout import (
+    run_clus_mahout,
+    run_crec_backend,
+    run_exhaustive,
+    run_mahout_single,
+)
+from repro.datasets import load_dataset
+from repro.eval.common import format_rows, liked_sets_of_trace
+
+#: Default per-dataset scales: keep the size *ordering* of Table 2
+#: while bounding the quadratic exhaustive pass.
+DEFAULT_SCALES: dict[str, float] = {
+    "ML1": 0.5,
+    "ML2": 0.12,
+    "ML3": 0.015,
+    "Digg": 0.02,
+}
+
+
+@dataclass
+class Fig7Result:
+    """Wall-clock seconds per (engine, dataset)."""
+
+    scales: dict[str, float]
+    users: dict[str, int] = field(default_factory=dict)
+    walltimes: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def engines(self) -> list[str]:
+        return ["Exhaustive", "MahoutSingle", "ClusMahout", "CRec"]
+
+    def format_report(self) -> str:
+        headers = ["Backend"] + [
+            f"{name} ({self.users[name]}u)" for name in self.walltimes
+        ]
+        rows = []
+        for engine in self.engines():
+            row = [engine]
+            for name in self.walltimes:
+                row.append(f"{self.walltimes[name][engine]:.2f}s")
+            rows.append(row)
+        return format_rows(
+            headers,
+            rows,
+            title="Figure 7 -- KNN selection wall-clock time (cluster model)",
+        )
+
+
+def run_fig7(
+    scales: dict[str, float] | None = None,
+    seed: int = 0,
+    k: int = 10,
+    names: list[str] | None = None,
+) -> Fig7Result:
+    """Run all four back-ends on the (scaled) workloads."""
+    chosen_scales = dict(DEFAULT_SCALES)
+    if scales:
+        chosen_scales.update(scales)
+    selected = names if names is not None else list(chosen_scales)
+    result = Fig7Result(scales=chosen_scales)
+
+    for name in selected:
+        trace = load_dataset(name, scale=chosen_scales[name], seed=seed)
+        liked = liked_sets_of_trace(trace)
+        result.users[name] = len(liked)
+        _, exhaustive = run_exhaustive(liked, k=k)
+        _, mahout1 = run_mahout_single(liked, k=k)
+        _, mahout2 = run_clus_mahout(liked, k=k)
+        _, crec = run_crec_backend(liked, k=k, seed=seed)
+        result.walltimes[name] = {
+            "Exhaustive": exhaustive.wall_clock_s,
+            "MahoutSingle": mahout1.wall_clock_s,
+            "ClusMahout": mahout2.wall_clock_s,
+            "CRec": crec.wall_clock_s,
+        }
+    return result

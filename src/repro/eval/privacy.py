@@ -1,0 +1,147 @@
+"""Privacy experiment: linking anonymized profiles across reshuffles.
+
+Quantifies Section 6's caveat.  A curious client keeps requesting
+personalization jobs and records every (token, liked-set) pair it
+sees.  The server reshuffles its anonymous mapping.  The client
+collects again and runs the :class:`~repro.core.privacy.LinkageAttack`.
+
+Reported per profile-size regime: how many of the re-observed users
+the attacker re-identifies.  Expected shape: near-perfect linkage for
+large, distinctive MovieLens-like profiles; substantially less for
+small Digg-like ones -- anonymity through reshuffling only works when
+profiles are not fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import HyRecConfig
+from repro.core.privacy import LinkageAttack, LinkageReport
+from repro.core.server import HyRecServer
+from repro.eval.common import format_rows
+from repro.sim.randomness import derive_rng
+
+
+@dataclass
+class PrivacyResult:
+    """Linkage accuracy per (profile size, drift) cell."""
+
+    num_users: int
+    reports: dict[tuple[int, float], LinkageReport] = field(default_factory=dict)
+
+    def accuracy(self, profile_size: int, drift: float) -> float:
+        return self.reports[(profile_size, drift)].accuracy
+
+    def format_report(self) -> str:
+        sizes = sorted({size for size, _ in self.reports})
+        drifts = sorted({drift for _, drift in self.reports})
+        headers = ["profile size"] + [f"drift x{d:g}" for d in drifts]
+        rows = []
+        for size in sizes:
+            row = [str(size)]
+            for drift in drifts:
+                row.append(f"{self.reports[(size, drift)].accuracy:.0%}")
+            rows.append(row)
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                "Section 6 -- cross-epoch linkage accuracy vs profile size "
+                f"and inter-epoch drift ({self.num_users} users)"
+            ),
+        )
+
+
+def _popular_item(rng, catalog: int) -> int:
+    """Log-uniform item draw: heavy popularity skew, like a front page.
+
+    Everyone rating the same few hot items is precisely what makes
+    small profiles collide -- and reshuffling useful.
+    """
+    return min(catalog - 1, max(0, int(catalog ** rng.random()) - 1))
+
+
+def _observe(
+    server: HyRecServer, attacker: int, requests: int
+) -> dict[str, frozenset[str]]:
+    """What a curious client sees: anonymized candidate profiles."""
+    seen: dict[str, frozenset[str]] = {}
+    for _ in range(requests):
+        job = server.handle_online_request(attacker)
+        for token, profile in job.candidates.items():
+            liked = frozenset(k for k, v in profile.items() if v == 1.0)
+            seen[token] = liked
+    return seen
+
+
+def run_privacy_attack(
+    profile_sizes: tuple[int, ...] = (5, 25, 100),
+    drifts: tuple[float, ...] = (0.5, 2.0, 10.0),
+    num_users: int = 120,
+    observe_requests: int = 40,
+    catalog: int = 300,
+    seed: int = 0,
+) -> PrivacyResult:
+    """Run the linkage attack over a (profile size, drift) grid.
+
+    ``catalog`` is deliberately small and popularity-skewed (popular
+    items dominate real feeds, so distinct users collide on them);
+    ``drift`` is the fraction of additional ratings each user accrues
+    between the two observation windows.  These are the only effects
+    that give reshuffling any protective value -- the expected (and
+    observed) result is that linkage stays near-perfect except for
+    tiny profiles under extreme drift, which is precisely the caveat
+    Section 6 raises.
+    """
+    result = PrivacyResult(num_users=num_users)
+    attack = LinkageAttack()
+
+    for size in profile_sizes:
+        for drift in drifts:
+            if drift < 0:
+                raise ValueError("drift cannot be negative")
+            rng = derive_rng(seed, f"privacy:{size}:{drift}")
+            server = HyRecServer(HyRecConfig(k=10), seed=seed)
+            for user in range(num_users):
+                seen: set[int] = set()
+                while len(seen) < min(size, catalog):
+                    seen.add(_popular_item(rng, catalog))
+                for item in seen:
+                    server.record_rating(
+                        user, item, 1.0 if rng.random() < 0.85 else 0.0
+                    )
+            attacker = 0
+
+            before = _observe(server, attacker, observe_requests)
+            # Profiles keep evolving between epochs: each user adds
+            # fresh ratings worth `drift` of her original profile.
+            for user in range(num_users):
+                for _ in range(max(1, round(size * drift))):
+                    server.record_rating(
+                        user,
+                        _popular_item(rng, catalog),
+                        1.0 if rng.random() < 0.85 else 0.0,
+                    )
+            # The harness (not the attacker) reads the true mapping.
+            owner_of_old = {
+                token: server.anonymizer.resolve_user(token) for token in before
+            }
+            server.anonymizer.reshuffle()
+            after = _observe(server, attacker, observe_requests)
+            owner_of_new = {
+                token: server.anonymizer.resolve_user(token) for token in after
+            }
+
+            old_token_of_user = {
+                uid: token for token, uid in owner_of_old.items()
+            }
+            ground_truth = {
+                new_token: old_token_of_user[uid]
+                for new_token, uid in owner_of_new.items()
+                if uid in old_token_of_user
+            }
+            result.reports[(size, drift)] = attack.evaluate(
+                before, after, ground_truth
+            )
+    return result

@@ -1,0 +1,100 @@
+"""Command-line experiment runner.
+
+Run any table/figure reproduction from a shell::
+
+    python -m repro.eval.runner table2
+    python -m repro.eval.runner fig3 --scale 0.1 --seed 7
+    python -m repro.eval.runner all
+
+``all`` runs every experiment at its default (laptop-sized) scale and
+prints every report -- roughly what ``benchmarks/`` does under
+pytest-benchmark, without the timing machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.eval.ablations import run_sampler_ablation, run_similarity_ablation
+from repro.eval.churn import run_churn_ablation
+from repro.eval.privacy import run_privacy_attack
+from repro.eval.tivo_comparison import run_tivo_comparison
+from repro.eval.fig3_fig4 import run_fig3, run_fig4
+from repro.eval.fig5 import run_fig5
+from repro.eval.fig6 import run_fig6
+from repro.eval.fig7 import run_fig7
+from repro.eval.fig8_fig9 import run_fig8, run_fig9
+from repro.eval.fig10 import run_fig10
+from repro.eval.fig11_13 import run_fig11, run_fig12, run_fig13
+from repro.eval.p2p_bandwidth import run_p2p_bandwidth
+from repro.eval.table2 import run_table2
+from repro.eval.table3 import run_table3
+
+
+def _with_scale_seed(fn: Callable, scale: float | None, seed: int) -> object:
+    """Invoke an experiment, passing scale/seed when it accepts them."""
+    import inspect
+
+    params = inspect.signature(fn).parameters
+    kwargs: dict[str, object] = {}
+    if "scale" in params and scale is not None:
+        kwargs["scale"] = scale
+    if "seed" in params:
+        kwargs["seed"] = seed
+    return fn(**kwargs)
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "p2p": run_p2p_bandwidth,
+    "ablation-sampler": run_sampler_ablation,
+    "ablation-similarity": run_similarity_ablation,
+    "ablation-churn": run_churn_ablation,
+    "tivo": run_tivo_comparison,
+    "privacy": run_privacy_attack,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.eval.runner",
+        description="Reproduce a HyRec table or figure.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, help="workload scale factor"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = _with_scale_seed(EXPERIMENTS[name], args.scale, args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.format_report())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Gossip substrate for the fully decentralized baseline.
+
+Section 2.3 describes the P2P recommenders HyRec competes with
+([19, 21, 18]): every user machine maintains a random peer-sampling
+view [35] plus a KNN ("cluster") view refined by epidemic exchanges
+[50].  This package implements both layers from scratch:
+
+* :mod:`repro.gossip.peer_sampling` -- Jelasity et al.'s gossip-based
+  peer sampling (view exchange with healer/swapper parameters);
+* :mod:`repro.gossip.clustering` -- a Vicinity/Gossple-style epidemic
+  clustering layer that converges each node's view to its k nearest
+  neighbors using only local exchanges.
+
+:mod:`repro.baselines.p2p` composes them into the full decentralized
+recommender whose bandwidth Figure 11 and Section 5.6 compare against
+HyRec.
+"""
+
+from repro.gossip.peer_sampling import (
+    NodeDescriptor,
+    PartialView,
+    PeerSamplingNode,
+    PeerSamplingService,
+)
+from repro.gossip.clustering import ClusteringNode, ClusteringOverlay
+
+__all__ = [
+    "NodeDescriptor",
+    "PartialView",
+    "PeerSamplingNode",
+    "PeerSamplingService",
+    "ClusteringNode",
+    "ClusteringOverlay",
+]

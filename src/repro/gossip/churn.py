@@ -1,0 +1,101 @@
+"""Churn: the failure mode the hybrid architecture sidesteps.
+
+Section 2.3 motivates HyRec with the deployment pains of P2P systems:
+"Users can join and leave the system at any time, e.g. due to machine
+failures or voluntary disconnections" and clients "may encounter
+limitations related to churn and NAT traversal."  Section 2.4 adds
+that HyRec, unlike the decentralized systems, "allows clients to have
+offline users within their KNN, thus leveraging clients that are not
+concurrently online."
+
+This module provides a churn process for overlay simulations: each
+cycle, a fraction of nodes goes offline and a fraction of the offline
+population comes back.  The P2P churn ablation
+(``benchmarks/bench_ablation_churn.py``) uses it to show the gossip
+baseline's KNN quality degrading with churn while HyRec -- whose KNN
+table lives on the server and may freely reference offline users --
+is unaffected by the same on/off pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.randomness import make_rng, RngOrSeed
+
+
+@dataclass
+class ChurnStats:
+    """Counters describing a churn process so far."""
+
+    departures: int = 0
+    returns: int = 0
+    cycles: int = 0
+    online_history: list[int] = field(default_factory=list)
+
+
+class ChurnProcess:
+    """Per-cycle stochastic on/off switching over a fixed population.
+
+    Args:
+        population: All node ids that exist (online or offline).
+        leave_probability: Chance an online node goes offline each
+            cycle (session end, crash, laptop lid).
+        return_probability: Chance an offline node comes back each
+            cycle.
+        seed: Randomness for the switching decisions.
+
+    The stationary online fraction is
+    ``return_p / (return_p + leave_p)``; tests pin this identity.
+    """
+
+    def __init__(
+        self,
+        population: list[int],
+        leave_probability: float,
+        return_probability: float,
+        seed: RngOrSeed = 0,
+    ) -> None:
+        if not 0.0 <= leave_probability <= 1.0:
+            raise ValueError("leave_probability must be within [0, 1]")
+        if not 0.0 <= return_probability <= 1.0:
+            raise ValueError("return_probability must be within [0, 1]")
+        self.leave_probability = leave_probability
+        self.return_probability = return_probability
+        self.rng = make_rng(seed)
+        self.online: set[int] = set(population)
+        self.offline: set[int] = set()
+        self.stats = ChurnStats()
+
+    @property
+    def online_fraction(self) -> float:
+        """Share of the population currently online."""
+        total = len(self.online) + len(self.offline)
+        return len(self.online) / total if total else 0.0
+
+    def expected_online_fraction(self) -> float:
+        """Stationary online share of the two-state Markov process."""
+        denominator = self.leave_probability + self.return_probability
+        if denominator == 0:
+            return 1.0
+        return self.return_probability / denominator
+
+    def step(self) -> tuple[set[int], set[int]]:
+        """Advance one cycle; returns ``(departed, returned)`` ids."""
+        departed = {
+            node for node in self.online if self.rng.random() < self.leave_probability
+        }
+        returned = {
+            node
+            for node in self.offline
+            if self.rng.random() < self.return_probability
+        }
+        self.online -= departed
+        self.offline |= departed
+        self.online |= returned
+        self.offline -= returned
+        self.stats.departures += len(departed)
+        self.stats.returns += len(returned)
+        self.stats.cycles += 1
+        self.stats.online_history.append(len(self.online))
+        return departed, returned

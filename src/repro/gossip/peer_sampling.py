@@ -1,0 +1,264 @@
+"""Gossip-based peer sampling (Jelasity, Voulgaris, Guerraoui,
+Kermarrec, van Steen -- ACM TOCS 2007, reference [35] of the paper).
+
+Every node keeps a *partial view*: a fixed-capacity list of
+``(node id, age)`` descriptors.  Once per cycle a node:
+
+1. picks the *oldest* descriptor in its view as the gossip partner
+   (tail policy -- ages out dead peers quickly),
+2. sends the partner half of its view plus a fresh descriptor of
+   itself,
+3. receives the partner's half-view in exchange,
+4. merges: discard duplicates, keep the freshest descriptor per node,
+   truncate back to capacity preferring fresh entries (healer
+   behaviour, parameter H).
+
+The resulting overlay approximates a uniform random graph, which is
+the topology the paper assumes for decentralized recommenders
+(Section 2.3).  The clustering layer draws its random candidates from
+this service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.sim.randomness import make_rng, RngOrSeed
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """One entry of a partial view."""
+
+    node_id: int
+    age: int = 0
+
+    def aged(self) -> "NodeDescriptor":
+        """A copy one cycle older."""
+        return replace(self, age=self.age + 1)
+
+
+class PartialView:
+    """Fixed-capacity descriptor list with freshest-wins merge."""
+
+    def __init__(self, capacity: int, descriptors: Iterable[NodeDescriptor] = ()) -> None:
+        if capacity < 1:
+            raise ValueError("view capacity must be at least 1")
+        self.capacity = capacity
+        self._by_node: dict[int, NodeDescriptor] = {}
+        for descriptor in descriptors:
+            self._insert(descriptor)
+        self._truncate()
+
+    def _insert(self, descriptor: NodeDescriptor) -> None:
+        current = self._by_node.get(descriptor.node_id)
+        if current is None or descriptor.age < current.age:
+            self._by_node[descriptor.node_id] = descriptor
+
+    @staticmethod
+    def _tiebreak(node_id: int) -> int:
+        """Deterministic pseudo-random tie-break among equal ages.
+
+        Sorting ties by raw node id would make low-id nodes
+        systematically survive truncation, skewing the overlay's
+        in-degree distribution; a Knuth-style hash decorrelates
+        survival from the id while keeping runs reproducible.
+        """
+        return (node_id * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+
+    def _truncate(self) -> None:
+        if len(self._by_node) <= self.capacity:
+            return
+        keep = sorted(
+            self._by_node.values(),
+            key=lambda d: (d.age, self._tiebreak(d.node_id)),
+        )
+        self._by_node = {d.node_id: d for d in keep[: self.capacity]}
+
+    def __len__(self) -> int:
+        return len(self._by_node)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._by_node
+
+    def descriptors(self) -> list[NodeDescriptor]:
+        """All descriptors, oldest last (stable ordering)."""
+        return sorted(self._by_node.values(), key=lambda d: (d.age, d.node_id))
+
+    def node_ids(self) -> list[int]:
+        """Node ids currently in the view."""
+        return [d.node_id for d in self.descriptors()]
+
+    def oldest(self) -> NodeDescriptor | None:
+        """The stalest descriptor (gossip partner selection)."""
+        if not self._by_node:
+            return None
+        return max(self._by_node.values(), key=lambda d: (d.age, -d.node_id))
+
+    def remove(self, node_id: int) -> None:
+        """Drop a node (e.g. an unresponsive gossip partner)."""
+        self._by_node.pop(node_id, None)
+
+    def increase_age(self) -> None:
+        """Age every descriptor by one cycle."""
+        self._by_node = {nid: d.aged() for nid, d in self._by_node.items()}
+
+    def merge(
+        self,
+        incoming: Iterable[NodeDescriptor],
+        exclude: int,
+        swap_out: set[int] | None = None,
+    ) -> None:
+        """Freshest-wins merge of ``incoming``, never admitting ``exclude``.
+
+        ``swap_out`` implements Jelasity's *swapper* behaviour (the S
+        parameter): when the merged view exceeds capacity, entries the
+        node just *sent* are evicted first, making room for what was
+        received.  Without it, age-based truncation alone lets
+        recently-active nodes flood every view and the in-degree
+        distribution grows heavy hubs.
+        """
+        received: set[int] = set()
+        for descriptor in incoming:
+            if descriptor.node_id != exclude:
+                self._insert(descriptor)
+                received.add(descriptor.node_id)
+        if swap_out and len(self._by_node) > self.capacity:
+            # Evict swapped-out entries (oldest first) that were not
+            # re-received, until back at capacity or none remain.
+            evictable = sorted(
+                (
+                    d
+                    for d in self._by_node.values()
+                    if d.node_id in swap_out and d.node_id not in received
+                ),
+                key=lambda d: (-d.age, self._tiebreak(d.node_id)),
+            )
+            for descriptor in evictable:
+                if len(self._by_node) <= self.capacity:
+                    break
+                del self._by_node[descriptor.node_id]
+        self._truncate()
+
+    def random_subset(self, count: int, rng) -> list[NodeDescriptor]:
+        """Up to ``count`` descriptors chosen uniformly."""
+        pool = list(self._by_node.values())
+        if count >= len(pool):
+            return pool
+        return rng.sample(pool, count)
+
+
+class PeerSamplingNode:
+    """One participant of the peer-sampling overlay."""
+
+    def __init__(self, node_id: int, view_size: int) -> None:
+        self.node_id = node_id
+        self.view = PartialView(view_size)
+
+    def random_peers(self, count: int, rng) -> list[int]:
+        """Uniformly sampled peer ids from the current view."""
+        return [d.node_id for d in self.view.random_subset(count, rng)]
+
+
+class PeerSamplingService:
+    """The full overlay: nodes plus the per-cycle gossip exchange."""
+
+    def __init__(
+        self,
+        view_size: int = 16,
+        exchange_size: int | None = None,
+        seed: RngOrSeed = 0,
+    ) -> None:
+        self.view_size = view_size
+        self.exchange_size = (
+            exchange_size if exchange_size is not None else max(1, view_size // 2)
+        )
+        self.rng = make_rng(seed)
+        self.nodes: dict[int, PeerSamplingNode] = {}
+        self.cycles_run = 0
+        self.exchanges = 0
+
+    # --- membership ---------------------------------------------------------
+
+    def add_node(self, node_id: int) -> PeerSamplingNode:
+        """Join a node, bootstrapping its view from random members."""
+        if node_id in self.nodes:
+            return self.nodes[node_id]
+        node = PeerSamplingNode(node_id, self.view_size)
+        existing = list(self.nodes)
+        if existing:
+            bootstrap = self.rng.sample(
+                existing, min(self.view_size, len(existing))
+            )
+            node.view.merge(
+                (NodeDescriptor(nid) for nid in bootstrap), exclude=node_id
+            )
+            # Seed the contacted nodes with the newcomer too, so joins
+            # propagate even before the next cycle.
+            for nid in bootstrap[:2]:
+                self.nodes[nid].view.merge(
+                    [NodeDescriptor(node_id)], exclude=nid
+                )
+        self.nodes[node_id] = node
+        return node
+
+    def remove_node(self, node_id: int) -> None:
+        """Leave/crash: the node simply disappears (views age it out)."""
+        self.nodes.pop(node_id, None)
+
+    # --- gossip -------------------------------------------------------------------
+
+    def cycle(self) -> int:
+        """Run one gossip cycle over all nodes; return exchanges done."""
+        exchanges = 0
+        order = list(self.nodes)
+        self.rng.shuffle(order)
+        for node_id in order:
+            node = self.nodes.get(node_id)
+            if node is None:
+                continue
+            node.view.increase_age()
+            partner_descriptor = node.view.oldest()
+            if partner_descriptor is None:
+                continue
+            partner = self.nodes.get(partner_descriptor.node_id)
+            if partner is None:
+                node.view.remove(partner_descriptor.node_id)
+                continue
+            self._exchange(node, partner)
+            exchanges += 1
+        self.cycles_run += 1
+        self.exchanges += exchanges
+        return exchanges
+
+    def _exchange(self, node: PeerSamplingNode, partner: PeerSamplingNode) -> None:
+        outgoing = node.view.random_subset(self.exchange_size - 1, self.rng)
+        outgoing = outgoing + [NodeDescriptor(node.node_id, age=0)]
+        incoming = partner.view.random_subset(self.exchange_size - 1, self.rng)
+        incoming = incoming + [NodeDescriptor(partner.node_id, age=0)]
+        partner.view.merge(
+            outgoing,
+            exclude=partner.node_id,
+            swap_out={d.node_id for d in incoming},
+        )
+        node.view.merge(
+            incoming,
+            exclude=node.node_id,
+            swap_out={d.node_id for d in outgoing},
+        )
+
+    # --- introspection -----------------------------------------------------------------
+
+    def view_of(self, node_id: int) -> list[int]:
+        """Peer ids currently in ``node_id``'s view."""
+        return self.nodes[node_id].view.node_ids()
+
+    def in_degree_distribution(self) -> dict[int, int]:
+        """node id -> number of views containing it (uniformity check)."""
+        degrees = {nid: 0 for nid in self.nodes}
+        for node in self.nodes.values():
+            for peer in node.view.node_ids():
+                if peer in degrees:
+                    degrees[peer] += 1
+        return degrees

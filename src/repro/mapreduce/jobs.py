@@ -1,0 +1,202 @@
+"""The three offline KNN back-ends of Figure 7 as map-reduce jobs.
+
+* :func:`exhaustive_knn_job` -- Offline-Ideal: all-pairs cosine, the
+  O(N^2) brute force the paper uses as the quality upper bound.
+* :func:`mahout_knn_job` -- Mahout-style user-based CF: an inverted
+  item->users index prunes the candidate pairs, then each user scores
+  only co-rating users.  Run with ``workers=4`` for MahoutSingle and
+  ``workers=8, shuffle_penalty>1`` for ClusMahout.
+* :func:`crec_knn_job` -- Offline-CRec: HyRec's own sampling-based
+  iteration (Algorithm 1 with Nu + KNN(Nu) + random candidates), run
+  for all users for a few cycles on the back-end.  Same code path as
+  the online system, just batched.
+
+Every job returns ``(knn_table, MapReduceResult)`` where the table
+maps user id -> ordered neighbor list.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.knn import knn_select
+from repro.core.similarity import SetMetric, cosine
+from repro.mapreduce.engine import MapReduceEngine, MapReduceResult
+from repro.sim.randomness import derive_rng
+
+LikedSets = Mapping[int, frozenset[int]]
+
+
+def exhaustive_knn_job(
+    engine: MapReduceEngine,
+    liked_sets: LikedSets,
+    k: int,
+    metric: SetMetric = cosine,
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """All-pairs KNN: every mapper scores its user against everyone."""
+    users = list(liked_sets)
+
+    def mapper(user: int):
+        neighbors = knn_select(
+            liked_sets[user], liked_sets, k=k, metric=metric, exclude=user
+        )
+        yield user, [n.user_id for n in neighbors]
+
+    def reducer(user: int, values: list[list[int]]):
+        return user, values[0]
+
+    result = engine.run(users, mapper, reducer)
+    return dict(result.results), result
+
+
+def mahout_knn_job(
+    engine: MapReduceEngine,
+    liked_sets: LikedSets,
+    k: int,
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """Inverted-index user-based CF (Mahout's actual pipeline shape).
+
+    Two chained map-reduce passes, like Mahout's ``UserSimilarity``
+    jobs on Hadoop:
+
+    1. *Index build*: map each user's ratings to ``(item, user)``
+       pairs; reduce to the item -> raters inverted index.
+    2. *Co-occurrence scoring*: map over users; for each liked item,
+       walk the item's rater list accumulating intersection counts,
+       then convert counts to cosine and keep the top-k.
+
+    The pruning is real: only user pairs that co-rate at least one
+    item are ever scored, which is why Mahout beats the exhaustive
+    all-pairs pass on every workload while still doing asymptotically
+    more work than CRec's sampling.
+
+    Only cosine is supported -- the count/size identity
+    ``cos = |A n B| / sqrt(|A| |B|)`` is what makes co-occurrence
+    counting equivalent to pairwise scoring.
+    """
+    users = list(liked_sets)
+
+    # Phase 1: build the inverted index as a real MR pass.
+    def index_mapper(user: int):
+        for item in liked_sets[user]:
+            yield item, user
+
+    def index_reducer(item: int, raters: list[int]):
+        return item, raters
+
+    phase1 = engine.run(users, index_mapper, index_reducer)
+    index: dict[int, list[int]] = dict(phase1.results)
+
+    # Phase 2: score co-raters only.
+    sizes = {user: len(liked) for user, liked in liked_sets.items()}
+
+    def score_mapper(user: int):
+        counts: dict[int, int] = {}
+        for item in liked_sets[user]:
+            for other in index[item]:
+                if other != user:
+                    counts[other] = counts.get(other, 0) + 1
+        own_size = sizes[user]
+        scored = [
+            (count / ((own_size * sizes[other]) ** 0.5), other)
+            for other, count in counts.items()
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        yield user, [other for _, other in scored[:k]]
+
+    def score_reducer(user: int, values: list[list[int]]):
+        return user, values[0]
+
+    phase2 = engine.run(users, score_mapper, score_reducer)
+    table = dict(phase2.results)
+    # Users with no liked items emit nothing in phase 2's counts but
+    # still appear (empty neighbor list) for table completeness.
+    for user in users:
+        table.setdefault(user, [])
+    combined = _accumulate(phase1, phase2)
+    combined.results = list(table.items())
+    return table, combined
+
+
+def crec_knn_job(
+    engine: MapReduceEngine,
+    liked_sets: LikedSets,
+    k: int,
+    iterations: int = 5,
+    metric: SetMetric = cosine,
+    seed: int = 0,
+) -> tuple[dict[int, list[int]], MapReduceResult]:
+    """Sampling-based KNN (HyRec's algorithm run offline, batched).
+
+    Each iteration maps over all users; a user's candidate set is her
+    current KNN, her neighbors' KNN, and ``k`` random users -- the
+    exact Sampler recipe of Section 3.1.  A handful of iterations
+    suffices (epidemic convergence, [50, 28]).
+
+    The returned :class:`MapReduceResult` aggregates all iterations:
+    its ``wall_clock_s`` is the sum over iterations (they are strictly
+    sequential), and its ``results`` hold the final table.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    users = list(liked_sets)
+    rng = derive_rng(seed, "crec:init")
+    # Random bootstrap, as for fresh users in the online system.
+    knn_table: dict[int, list[int]] = {}
+    for user in users:
+        others = [u for u in _sample_bootstrap(users, rng, k + 1) if u != user]
+        knn_table[user] = others[:k]
+
+    total: MapReduceResult | None = None
+    for iteration in range(iterations):
+        iter_rng = derive_rng(seed, f"crec:iter:{iteration}")
+
+        def mapper(user: int):
+            candidates: set[int] = set(knn_table[user])
+            for neighbor in knn_table[user]:
+                candidates.update(knn_table.get(neighbor, ()))
+            for _ in range(k):
+                candidates.add(users[iter_rng.randrange(len(users))])
+            candidates.discard(user)
+            neighbors = knn_select(
+                liked_sets[user],
+                {c: liked_sets[c] for c in candidates},
+                k=k,
+                metric=metric,
+                exclude=user,
+            )
+            yield user, [n.user_id for n in neighbors]
+
+        def reducer(user: int, values: list[list[int]]):
+            return user, values[0]
+
+        result = engine.run(users, mapper, reducer)
+        knn_table = dict(result.results)
+        total = _accumulate(total, result)
+
+    assert total is not None
+    total.results = list(knn_table.items())
+    return knn_table, total
+
+
+def _sample_bootstrap(users: list[int], rng, count: int) -> list[int]:
+    if count >= len(users):
+        return list(users)
+    return rng.sample(users, count)
+
+
+def _accumulate(
+    total: MapReduceResult | None, new: MapReduceResult
+) -> MapReduceResult:
+    if total is None:
+        return new
+    total.map_stats.tasks += new.map_stats.tasks
+    total.map_stats.cpu_seconds += new.map_stats.cpu_seconds
+    total.map_stats.task_durations.extend(new.map_stats.task_durations)
+    total.reduce_stats.tasks += new.reduce_stats.tasks
+    total.reduce_stats.cpu_seconds += new.reduce_stats.cpu_seconds
+    total.reduce_stats.task_durations.extend(new.reduce_stats.task_durations)
+    total.shuffled_pairs += new.shuffled_pairs
+    total.wall_clock_s += new.wall_clock_s
+    total.cpu_seconds += new.cpu_seconds
+    return total

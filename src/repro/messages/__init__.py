@@ -1,0 +1,33 @@
+"""Wire format: JSON messages, gzip compression, bandwidth metering.
+
+The paper's implementation serializes everything to JSON (Jackson on
+the server, native ``JSON.parse`` in the browser) and compresses
+responses on the fly with gzip (Section 4.2).  Figure 10 plots raw
+versus compressed message size against profile size, and Section 5.6's
+headline bandwidth numbers (24MB for P2P vs 8kB for HyRec on Digg) are
+sums of these wire sizes.  This package reproduces that stack with the
+standard library's ``json`` and ``zlib``.
+"""
+
+from repro.messages.json_codec import decode_json, encode_json
+from repro.messages.compression import (
+    FragmentGzipWriter,
+    MessageMeter,
+    MeterReading,
+    deflate_segment,
+    gzip_compress,
+    gzip_decompress,
+    wire_sizes,
+)
+
+__all__ = [
+    "decode_json",
+    "encode_json",
+    "FragmentGzipWriter",
+    "MessageMeter",
+    "MeterReading",
+    "deflate_segment",
+    "gzip_compress",
+    "gzip_decompress",
+    "wire_sizes",
+]

@@ -1,0 +1,174 @@
+"""Gzip compression and per-channel bandwidth accounting."""
+
+from __future__ import annotations
+
+import gzip
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.messages.json_codec import encode_json
+
+#: Minimal gzip member header: deflate, no flags, mtime 0, unknown OS.
+GZIP_HEADER = b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\xff"
+
+
+def deflate_segment(raw: bytes, level: int = 1) -> bytes:
+    """Compress ``raw`` into a sync-flushed raw-deflate segment.
+
+    The segment ends on a byte boundary (``Z_SYNC_FLUSH`` emits the
+    ``00 00 FF FF`` empty stored block), so any number of such
+    segments can be concatenated into one valid deflate stream.  This
+    is what lets the HyRec server cache each profile's *compressed*
+    bytes and assemble whole gzip responses with byte joins -- the
+    same trick behind nginx's ``gzip_static`` and CDN edge assembly.
+    """
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return compressor.compress(raw) + compressor.flush(zlib.Z_SYNC_FLUSH)
+
+
+class FragmentGzipWriter:
+    """Build one gzip member from literals and pre-deflated segments.
+
+    ``write()`` compresses fresh bytes (request-specific envelope:
+    braces, tokens, counters); ``write_deflated()`` splices in a
+    cached :func:`deflate_segment` without touching zlib.  ``finish()``
+    terminates the deflate stream and appends the gzip CRC32/ISIZE
+    trailer computed over the logical (uncompressed) payload.
+    """
+
+    def __init__(self, level: int = 1) -> None:
+        self._parts: list[bytes] = [GZIP_HEADER]
+        self._crc = 0
+        self._size = 0
+        self._compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+        self._finished = False
+
+    @property
+    def raw_size(self) -> int:
+        """Uncompressed bytes written so far."""
+        return self._size
+
+    def write(self, raw: bytes) -> None:
+        """Compress ``raw`` into the stream now."""
+        if self._finished:
+            raise RuntimeError("writer already finished")
+        self._parts.append(self._compressor.compress(raw))
+        self._crc = zlib.crc32(raw, self._crc)
+        self._size += len(raw)
+
+    def write_deflated(self, segment: bytes, raw: bytes) -> None:
+        """Splice a cached segment; ``raw`` is its uncompressed form.
+
+        The pending literal block is flushed with ``Z_FULL_FLUSH``
+        first: that both aligns the stream to a byte boundary *and*
+        resets the envelope compressor's dictionary, so no later
+        back-reference can reach across the spliced content (whose
+        length the compressor never sees).
+        """
+        if self._finished:
+            raise RuntimeError("writer already finished")
+        self._parts.append(self._compressor.flush(zlib.Z_FULL_FLUSH))
+        self._parts.append(segment)
+        self._crc = zlib.crc32(raw, self._crc)
+        self._size += len(raw)
+
+    def finish(self) -> bytes:
+        """Terminate the member; returns the complete gzip bytes."""
+        if self._finished:
+            raise RuntimeError("writer already finished")
+        self._finished = True
+        self._parts.append(self._compressor.flush(zlib.Z_FINISH))
+        self._parts.append(
+            struct.pack("<II", self._crc & 0xFFFFFFFF, self._size & 0xFFFFFFFF)
+        )
+        return b"".join(self._parts)
+
+
+def gzip_compress(data: bytes, level: int = 1) -> bytes:
+    """Compress ``data`` as the HyRec server does on the fly.
+
+    Level 1 is the realistic choice for per-request on-the-fly
+    compression (it is what web servers configure for dynamic
+    responses) and it already achieves the ~70% ratio the paper
+    reports on JSON profile payloads.  ``mtime=0`` keeps the gzip
+    header deterministic so that measured message sizes are
+    reproducible.
+    """
+    return gzip.compress(data, compresslevel=level, mtime=0)
+
+
+def gzip_decompress(data: bytes) -> bytes:
+    """Inverse of :func:`gzip_compress` (what the browser does natively)."""
+    return gzip.decompress(data)
+
+
+def wire_sizes(payload: Any) -> tuple[int, int]:
+    """Return ``(raw_json_bytes, gzipped_bytes)`` for a payload.
+
+    This is exactly the pair of curves plotted in Figure 10.
+    """
+    raw = encode_json(payload)
+    return len(raw), len(gzip_compress(raw))
+
+
+@dataclass
+class MeterReading:
+    """Byte/message counters for one traffic channel."""
+
+    messages: int = 0
+    raw_bytes: int = 0
+    wire_bytes: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of bytes saved by gzip (0 when nothing was sent)."""
+        if self.raw_bytes == 0:
+            return 0.0
+        return 1.0 - self.wire_bytes / self.raw_bytes
+
+
+@dataclass
+class MessageMeter:
+    """Accumulates traffic per named channel (e.g. per direction).
+
+    Used for Figure 10 (server responses), Section 5.6 (per-widget
+    totals) and the P2P-vs-HyRec comparison.
+    """
+
+    channels: dict[str, MeterReading] = field(default_factory=dict)
+
+    def record_payload(
+        self, channel: str, payload: Any, compress: bool = True
+    ) -> tuple[int, int]:
+        """Encode ``payload``, count its bytes, return ``(raw, wire)``."""
+        raw = encode_json(payload)
+        wire = gzip_compress(raw) if compress else raw
+        return self.record_bytes(channel, len(raw), len(wire))
+
+    def record_bytes(self, channel: str, raw: int, wire: int) -> tuple[int, int]:
+        """Count a message of known sizes on ``channel``."""
+        reading = self.channels.setdefault(channel, MeterReading())
+        reading.messages += 1
+        reading.raw_bytes += raw
+        reading.wire_bytes += wire
+        return raw, wire
+
+    def reading(self, channel: str) -> MeterReading:
+        """Counters for ``channel`` (zeros if never used)."""
+        return self.channels.get(channel, MeterReading())
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Bytes actually on the wire, across all channels."""
+        return sum(reading.wire_bytes for reading in self.channels.values())
+
+    @property
+    def total_messages(self) -> int:
+        """Messages across all channels."""
+        return sum(reading.messages for reading in self.channels.values())
+
+    def reset(self) -> None:
+        """Clear every channel."""
+        self.channels.clear()

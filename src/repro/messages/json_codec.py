@@ -1,0 +1,22 @@
+"""Compact JSON encoding (the Jackson-equivalent layer)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def encode_json(payload: Any) -> bytes:
+    """Serialize ``payload`` to compact UTF-8 JSON bytes.
+
+    Keys are sorted so that encoding is deterministic -- bandwidth
+    measurements are then reproducible byte-for-byte across runs.
+    """
+    return json.dumps(
+        payload, separators=(",", ":"), sort_keys=True, ensure_ascii=False
+    ).encode("utf-8")
+
+
+def decode_json(data: bytes) -> Any:
+    """Parse UTF-8 JSON bytes back into Python objects."""
+    return json.loads(data.decode("utf-8"))

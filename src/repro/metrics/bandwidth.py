@@ -1,0 +1,16 @@
+"""Byte formatting for bandwidth reports (Figure 10, Section 5.6)."""
+
+from __future__ import annotations
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (kB/MB as in the paper's prose)."""
+    if num_bytes < 0:
+        raise ValueError("byte counts cannot be negative")
+    if num_bytes < 1_000:
+        return f"{num_bytes:.0f}B"
+    if num_bytes < 1_000_000:
+        return f"{num_bytes / 1_000:.1f}kB"
+    if num_bytes < 1_000_000_000:
+        return f"{num_bytes / 1_000_000:.1f}MB"
+    return f"{num_bytes / 1_000_000_000:.2f}GB"

@@ -1,0 +1,45 @@
+"""Time-series bucketing for convergence curves (Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One aggregated point of a time series."""
+
+    time: float
+    mean: float
+    count: int
+
+
+def bucket_series(
+    samples: Sequence[tuple[float, float]],
+    bucket_width: float,
+) -> list[SeriesPoint]:
+    """Average raw ``(time, value)`` samples into fixed-width buckets.
+
+    The candidate-set sampler records one size sample per request;
+    Figure 5 plots their running mean per time window.  Empty buckets
+    are skipped (no requests -> no point), matching how the paper's
+    plots thin out in quiet periods.
+    """
+    if bucket_width <= 0:
+        raise ValueError("bucket_width must be positive")
+    if not samples:
+        return []
+    buckets: dict[int, tuple[float, int]] = {}
+    for timestamp, value in samples:
+        slot = int(timestamp // bucket_width)
+        total, count = buckets.get(slot, (0.0, 0))
+        buckets[slot] = (total + value, count + 1)
+    return [
+        SeriesPoint(
+            time=slot * bucket_width,
+            mean=total / count,
+            count=count,
+        )
+        for slot, (total, count) in sorted(buckets.items())
+    ]

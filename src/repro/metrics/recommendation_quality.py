@@ -1,0 +1,121 @@
+"""Recommendation quality: the hit-counting protocol of Figure 6.
+
+Section 5.1: "We split each dataset into a training and a test set
+according to time ... For each positive rating (liked item), r, in
+the 20%, the associated user requests a set of n recommendations.
+The recommendation-quality metric counts the number of positive
+ratings for which the set contains the corresponding item: the higher
+the better."
+
+The protocol below replays the training set through a system, then
+walks the test set in time order; before each test rating is applied,
+the user requests recommendations and we record the *rank* at which
+the about-to-be-liked item appears (if at all).  ``hits_at[n]`` then
+counts test positives recommended within the top n -- one call yields
+the whole Figure 6 curve.  The test rating is applied afterwards, so
+profiles keep evolving during the test phase exactly as they would in
+production (and as the online systems in the paper require).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.datasets.schema import Rating, Trace
+
+
+class RecommenderAdapter(Protocol):
+    """The minimal surface a system must expose to be evaluated."""
+
+    def record_rating(
+        self, user_id: int, item: int, value: float, timestamp: float
+    ) -> None:
+        """Apply one rating to the system's state."""
+        ...
+
+    def recommend_for(self, user_id: int, now: float, n: int) -> list[int]:
+        """Ranked recommendations for ``user_id`` at time ``now``.
+
+        For online systems (HyRec, Online-Ideal) this call is also the
+        activity that drives their KNN refinement, matching the paper's
+        coupling of requests and iterations.
+        """
+        ...
+
+
+@dataclass
+class QualityResult:
+    """Hit counts for every recommendation-list size up to ``n_max``."""
+
+    n_max: int
+    positives: int = 0
+    requests: int = 0
+    hits_at: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for n in range(1, self.n_max + 1):
+            self.hits_at.setdefault(n, 0)
+
+    def record_rank(self, rank: int | None) -> None:
+        """Record one test positive; ``rank`` is 1-based or ``None``."""
+        self.positives += 1
+        if rank is None:
+            return
+        for n in range(rank, self.n_max + 1):
+            self.hits_at[n] += 1
+
+    def curve(self) -> list[tuple[int, int]]:
+        """The Figure 6 series: (#recommendations, quality)."""
+        return [(n, self.hits_at[n]) for n in range(1, self.n_max + 1)]
+
+    def precision_at(self, n: int) -> float:
+        """hits@n / positives (the normalized form of the metric)."""
+        if self.positives == 0:
+            return 0.0
+        return self.hits_at[n] / self.positives
+
+
+class QualityProtocol:
+    """Train/test replay driver around a :class:`RecommenderAdapter`."""
+
+    def __init__(self, n_max: int = 10) -> None:
+        if n_max < 1:
+            raise ValueError("n_max must be at least 1")
+        self.n_max = n_max
+
+    def run(
+        self,
+        system: RecommenderAdapter,
+        train: Trace,
+        test: Trace,
+        on_test_rating: Callable[[Rating], None] | None = None,
+    ) -> QualityResult:
+        """Replay ``train``, then evaluate along ``test``."""
+        for rating in train:
+            system.record_rating(
+                rating.user, rating.item, rating.value, rating.timestamp
+            )
+        result = QualityResult(n_max=self.n_max)
+        for rating in test:
+            if rating.value == 1.0:
+                recommendations = system.recommend_for(
+                    rating.user, rating.timestamp, self.n_max
+                )
+                result.requests += 1
+                rank = _rank_of(rating.item, recommendations, self.n_max)
+                result.record_rank(rank)
+            system.record_rating(
+                rating.user, rating.item, rating.value, rating.timestamp
+            )
+            if on_test_rating is not None:
+                on_test_rating(rating)
+        return result
+
+
+def _rank_of(item: int, recommendations: list[int], n_max: int) -> int | None:
+    """1-based rank of ``item`` within the first ``n_max`` entries."""
+    for index, recommended in enumerate(recommendations[:n_max]):
+        if recommended == item:
+            return index + 1
+    return None

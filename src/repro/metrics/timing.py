@@ -1,0 +1,41 @@
+"""Latency summaries for the systems experiments."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate statistics of a latency sample, in seconds."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.p95 * 1e3
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Summarize a non-empty sequence of latencies."""
+    if not samples:
+        raise ValueError("cannot summarize an empty latency sample")
+    ordered = sorted(samples)
+    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return LatencySummary(
+        count=len(ordered),
+        mean=statistics.fmean(ordered),
+        median=ordered[len(ordered) // 2],
+        p95=ordered[p95_index],
+        maximum=ordered[-1],
+    )

@@ -1,0 +1,66 @@
+"""Simulation substrate: virtual time, discrete events, devices, cost.
+
+This package provides everything HyRec's evaluation needs that the
+paper obtained from physical hardware and cloud pricing:
+
+* :mod:`repro.sim.clock` -- a virtual clock with calendar helpers.
+* :mod:`repro.sim.events` -- a deterministic discrete-event simulator.
+* :mod:`repro.sim.randomness` -- reproducible random-stream derivation.
+* :mod:`repro.sim.devices` -- calibrated laptop / smartphone / server
+  models with CPU-load interference (Figures 11-13).
+* :mod:`repro.sim.queueing` -- a multi-worker request-queue model used
+  for the concurrency sweeps of Figure 9.
+* :mod:`repro.sim.loadgen` -- an ``ab``-style closed-loop load
+  generator (Figures 8-9).
+* :mod:`repro.sim.cost` -- the EC2 cost arithmetic behind Table 3.
+"""
+
+from repro.sim.clock import SimClock, DAY, HOUR, MINUTE, WEEK
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.randomness import derive_rng, derive_seed, make_rng
+from repro.sim.devices import (
+    CpuLoad,
+    Device,
+    DeviceSpec,
+    LAPTOP,
+    SERVER,
+    SMARTPHONE,
+    widget_op_count,
+)
+from repro.sim.queueing import QueueingServer, RequestStats
+from repro.sim.loadgen import LoadGenerator, LoadResult
+from repro.sim.cost import (
+    BackendDeployment,
+    CostModel,
+    Ec2Pricing,
+    PAPER_PRICING,
+)
+
+__all__ = [
+    "SimClock",
+    "DAY",
+    "HOUR",
+    "MINUTE",
+    "WEEK",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "derive_rng",
+    "derive_seed",
+    "make_rng",
+    "CpuLoad",
+    "Device",
+    "DeviceSpec",
+    "LAPTOP",
+    "SERVER",
+    "SMARTPHONE",
+    "widget_op_count",
+    "QueueingServer",
+    "RequestStats",
+    "LoadGenerator",
+    "LoadResult",
+    "BackendDeployment",
+    "CostModel",
+    "Ec2Pricing",
+    "PAPER_PRICING",
+]

@@ -1,0 +1,186 @@
+"""Calibrated device models for client- and server-side experiments.
+
+The paper measures the HyRec widget on three physical machines:
+
+* a PowerEdge 2950 III server (Bi Quad Core 2.5GHz, 32GB) -- the HyRec
+  server in Figures 8-10;
+* a Dell Latitude E4310 laptop (Bi Quad Core 2.67GHz, 4GB, Firefox) --
+  the "laptop" curves of Figures 11-13;
+* a Wiko Cink King smartphone (Android, Wi-Fi) -- the "smartphone"
+  curves of Figures 12-13.
+
+We cannot ship those machines, so this module provides *calibrated
+models*: a device executes a personalization job in
+
+    time = (task_overhead + op_count / ops_per_second) * (1 + s * load)
+
+where ``op_count`` is the exact number of similarity/popularity
+primitive operations the real widget performs on the job (computed by
+:func:`widget_op_count` from the actual candidate-set and profile
+sizes), ``task_overhead`` captures the per-job fixed cost (JSON parse,
+JS engine dispatch, DOM update), and ``s`` is the device's sensitivity
+to background CPU load.
+
+Calibration targets, taken from the paper:
+
+* Figure 13 -- from profile size 10 to 500 the widget time grows by
+  less than x1.5 on the laptop and x7.2 on the smartphone;
+* Figure 12 -- at 50% CPU load and profile size 100, the widget runs in
+  under 10ms on the laptop and under 60ms on the smartphone;
+* Figure 12 -- laptop time grows only slowly with CPU load.
+
+The constants below satisfy all three simultaneously (see
+``tests/test_devices.py`` which asserts each target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static performance characteristics of a device.
+
+    Attributes:
+        name: Human-readable device name.
+        ops_per_second: Throughput of widget primitive operations
+            (profile-entry comparisons / popularity increments).
+        task_overhead_s: Fixed per-personalization-job cost in seconds.
+        load_sensitivity: Slope of the slowdown multiplier versus
+            background CPU load (``1 + load_sensitivity * load``).
+        cores: Number of CPU cores (used by the interference model of
+            Figure 11 and the map-reduce worker model).
+        network_mbps: Access-link bandwidth in megabits per second.
+    """
+
+    name: str
+    ops_per_second: float
+    task_overhead_s: float
+    load_sensitivity: float
+    cores: int
+    network_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+        if self.task_overhead_s < 0:
+            raise ValueError("task_overhead_s cannot be negative")
+        if not 0 <= self.load_sensitivity:
+            raise ValueError("load_sensitivity cannot be negative")
+        if self.cores < 1:
+            raise ValueError("a device needs at least one core")
+
+
+#: Dell Latitude E4310 (Firefox over Ethernet) stand-in.
+LAPTOP = DeviceSpec(
+    name="laptop",
+    ops_per_second=48.1e6,
+    task_overhead_s=7.25e-3,
+    load_sensitivity=0.30,
+    cores=8,
+    network_mbps=100.0,
+)
+
+#: Wiko Cink King (Android browser over Wi-Fi) stand-in.
+SMARTPHONE = DeviceSpec(
+    name="smartphone",
+    ops_per_second=1.52e6,
+    task_overhead_s=16.3e-3,
+    load_sensitivity=0.60,
+    cores=2,
+    network_mbps=20.0,
+)
+
+#: PowerEdge 2950 III stand-in (the HyRec / CRec server host).
+SERVER = DeviceSpec(
+    name="server",
+    ops_per_second=150e6,
+    task_overhead_s=0.2e-3,
+    load_sensitivity=0.0,
+    cores=8,
+    network_mbps=1000.0,
+)
+
+
+def widget_op_count(
+    user_profile_size: int,
+    candidate_profile_sizes: Iterable[int],
+) -> int:
+    """Primitive-operation count of one personalization job.
+
+    KNN selection (Algorithm 1) touches every entry of the user profile
+    and of each candidate profile once per similarity computation; item
+    recommendation (Algorithm 2) walks every candidate profile entry
+    again to count popularity.  The returned count is therefore
+
+        sum over candidates c of (|Pu| + 2 * |Pc|)
+
+    which is exactly proportional to the work the real JavaScript
+    widget performs.
+    """
+    if user_profile_size < 0:
+        raise ValueError("profile size cannot be negative")
+    total = 0
+    for size in candidate_profile_sizes:
+        if size < 0:
+            raise ValueError("profile size cannot be negative")
+        total += user_profile_size + 2 * size
+    return total
+
+
+class CpuLoad:
+    """Background CPU load in ``[0, 1]`` (the paper's stress / antutu)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"CPU load must be within [0, 1], got {value}")
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"CpuLoad({self._value:.0%})"
+
+
+class Device:
+    """A device instance executing widget tasks under optional load."""
+
+    def __init__(self, spec: DeviceSpec, load: CpuLoad | float = 0.0) -> None:
+        self.spec = spec
+        self.load = load if isinstance(load, CpuLoad) else CpuLoad(load)
+
+    def slowdown(self) -> float:
+        """Multiplier applied to task time under the current load."""
+        return 1.0 + self.spec.load_sensitivity * self.load.value
+
+    def task_time(self, op_count: int) -> float:
+        """Seconds to run a widget task of ``op_count`` primitive ops."""
+        if op_count < 0:
+            raise ValueError("op_count cannot be negative")
+        base = self.spec.task_overhead_s + op_count / self.spec.ops_per_second
+        return base * self.slowdown()
+
+    def widget_time(
+        self,
+        user_profile_size: int,
+        candidate_profile_sizes: Iterable[int],
+    ) -> float:
+        """Seconds for one full personalization job on this device."""
+        ops = widget_op_count(user_profile_size, candidate_profile_sizes)
+        return self.task_time(ops)
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` over the device's access link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes cannot be negative")
+        bits = num_bytes * 8
+        return bits / (self.spec.network_mbps * 1e6)
+
+    def __repr__(self) -> str:
+        return f"Device({self.spec.name}, load={self.load.value:.0%})"

@@ -1,0 +1,69 @@
+"""``ab``-style load generator.
+
+The paper uses Apache's ``ab`` benchmark tool to average the response
+time of 1000 requests (Figure 8) and to sweep the number of concurrent
+requests (Figure 9).  :class:`LoadGenerator` reproduces both modes on
+top of the :mod:`repro.sim.queueing` model, given any *server model*
+that exposes a per-request service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.queueing import QueueingServer, RequestStats
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    concurrency: int
+    requests: int
+    mean_response_s: float
+    p95_response_s: float
+    throughput_rps: float
+
+    @property
+    def mean_response_ms(self) -> float:
+        return self.mean_response_s * 1e3
+
+
+class LoadGenerator:
+    """Closed-loop load generator against a service-time model.
+
+    ``service_time_fn`` receives the request sequence number and
+    returns the server-side processing time in seconds.  ``workers``
+    is the size of the server's thread pool (the paper's front-ends
+    run on an 8-core PowerEdge, so 8 is the natural default).
+    """
+
+    def __init__(
+        self,
+        service_time_fn: Callable[[int], float],
+        workers: int = 8,
+    ) -> None:
+        self._server = QueueingServer(workers, service_time_fn)
+
+    def run(self, requests: int = 1000, concurrency: int = 1) -> LoadResult:
+        """Issue ``requests`` requests at the given ``concurrency``."""
+        stats: RequestStats = self._server.run_closed_loop(
+            concurrency=concurrency, total_requests=requests
+        )
+        return LoadResult(
+            concurrency=concurrency,
+            requests=requests,
+            mean_response_s=stats.mean,
+            p95_response_s=stats.p95,
+            throughput_rps=stats.throughput,
+        )
+
+    def sweep_concurrency(
+        self, concurrencies: list[int], requests_per_point: int = 200
+    ) -> list[LoadResult]:
+        """Run one load test per concurrency level (Figure 9 sweep)."""
+        return [
+            self.run(requests=requests_per_point, concurrency=level)
+            for level in concurrencies
+        ]

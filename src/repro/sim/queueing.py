@@ -1,0 +1,131 @@
+"""Multi-worker request-queue model (Figure 9's concurrency sweeps).
+
+The paper stresses the HyRec and CRec front-ends with Apache ``ab``:
+a *closed loop* of C concurrent clients, each firing its next request
+as soon as the previous response arrives.  This module simulates that
+loop with the discrete-event engine: one FIFO queue, W worker threads,
+deterministic or randomised service times.
+
+For C <= W the mean response time equals the service time; beyond the
+saturation point it grows linearly as ``C * s / W`` -- exactly the
+hockey-stick shape of Figure 9.  ``tests/test_queueing.py`` checks the
+simulator against this closed-form law.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.events import Simulator
+
+
+@dataclass
+class RequestStats:
+    """Aggregate latency statistics for one load-generation run."""
+
+    response_times: list[float] = field(default_factory=list)
+    completed: int = 0
+    duration: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean response time in seconds (0 if nothing completed)."""
+        if not self.response_times:
+            return 0.0
+        return statistics.fmean(self.response_times)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile response time in seconds."""
+        if not self.response_times:
+            return 0.0
+        ordered = sorted(self.response_times)
+        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+
+class QueueingServer:
+    """A FIFO queue served by a fixed pool of workers.
+
+    ``service_time_fn`` is called once per request (receiving the
+    request's sequence number) and must return the service time in
+    seconds -- typically derived from a server model such as
+    :meth:`repro.baselines.crec.CRecFrontend.service_time`.
+    """
+
+    def __init__(self, workers: int, service_time_fn: Callable[[int], float]) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.service_time_fn = service_time_fn
+
+    def run_closed_loop(
+        self,
+        concurrency: int,
+        total_requests: int,
+        simulator: Optional[Simulator] = None,
+    ) -> RequestStats:
+        """Simulate ``concurrency`` clients issuing ``total_requests``.
+
+        Clients have zero think time (``ab`` semantics): each issues a
+        new request the moment its previous response arrives, until the
+        global request budget is exhausted.
+        """
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least one")
+        if total_requests < 1:
+            raise ValueError("need at least one request")
+
+        sim = simulator if simulator is not None else Simulator()
+        stats = RequestStats()
+        pending: deque[tuple[float, int]] = deque()  # (arrival time, seq)
+        idle_workers = [self.workers]  # boxed mutable int
+        issued = [0]
+        start_time = sim.clock.now
+
+        def finish(arrival: float) -> None:
+            stats.response_times.append(sim.clock.now - arrival)
+            stats.completed += 1
+            issue_next()
+            if pending:
+                serve(*pending.popleft())
+            else:
+                idle_workers[0] += 1
+
+        def serve(arrival: float, seq: int) -> None:
+            service = self.service_time_fn(seq)
+            if service < 0:
+                raise ValueError("service time cannot be negative")
+            sim.schedule(service, lambda: finish(arrival), label="finish")
+
+        def handle_arrival(seq: int) -> None:
+            arrival = sim.clock.now
+            if idle_workers[0] > 0:
+                idle_workers[0] -= 1
+                serve(arrival, seq)
+            else:
+                pending.append((arrival, seq))
+
+        def issue_next() -> None:
+            if issued[0] >= total_requests:
+                return
+            seq = issued[0]
+            issued[0] += 1
+            sim.schedule(0.0, lambda: handle_arrival(seq), label="arrival")
+
+        for _ in range(min(concurrency, total_requests)):
+            issue_next()
+        sim.run()
+
+        stats.duration = sim.clock.now - start_time
+        return stats

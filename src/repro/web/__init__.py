@@ -1,0 +1,15 @@
+"""A real HTTP deployment of the Table 1 web API.
+
+The paper ships HyRec as J2EE servlets (optionally bundled with Jetty)
+plus a JavaScript widget.  This package is the Python equivalent: a
+threaded standard-library HTTP server mounting
+:class:`repro.core.api.WebApi`, and an HTTP widget client that runs
+real personalization jobs against it.  ``examples/http_demo.py``
+exercises the full loop over localhost -- actual sockets, actual JSON,
+actual gzip.
+"""
+
+from repro.web.server import HyRecHttpServer
+from repro.web.client import HttpWidgetClient
+
+__all__ = ["HyRecHttpServer", "HttpWidgetClient"]

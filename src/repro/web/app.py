@@ -1,0 +1,87 @@
+"""Demo entry point: serve HyRec over HTTP with a synthetic workload.
+
+    python -m repro.web.app --dataset ML1 --scale 0.05 --port 8080
+
+Loads the chosen Table 2 workload into a fresh server, starts the
+HTTP deployment, and (unless ``--no-widgets``) drives a few widget
+round trips so the KNN table warms up.  Point your own client at the
+printed URL; the endpoints are the paper's Table 1 API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import HyRecConfig
+from repro.core.server import HyRecServer
+from repro.datasets import dataset_names, load_dataset
+from repro.metrics import format_bytes
+from repro.web.client import HttpWidgetClient
+from repro.web.server import HyRecHttpServer
+
+
+def build_server(dataset: str, scale: float, seed: int, k: int, r: int) -> HyRecServer:
+    """A HyRec server preloaded with one synthetic workload."""
+    trace = load_dataset(dataset, scale=scale, seed=seed)
+    server = HyRecServer(HyRecConfig(k=k, r=r), seed=seed)
+    for rating in trace:
+        server.record_rating(rating.user, rating.item, rating.value, rating.timestamp)
+    return server
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.web.app", description="Run a demo HyRec HTTP server."
+    )
+    parser.add_argument("--dataset", choices=dataset_names(), default="ML1")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--r", type=int, default=10)
+    parser.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    parser.add_argument(
+        "--warmup", type=int, default=3, help="widget round trips per user at start"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to serve before exiting (default: until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    server = build_server(args.dataset, args.scale, args.seed, args.k, args.r)
+    http_server = HyRecHttpServer(server, port=args.port)
+    http_server.start()
+    print(f"HyRec serving {args.dataset} (scale {args.scale}) at {http_server.url}")
+    print(f"  {server.num_users} users loaded; endpoints: /online /neighbors /stats")
+
+    if args.warmup:
+        client = HttpWidgetClient(http_server.url)
+        users = server.profiles.users()[:10]
+        for _ in range(args.warmup):
+            for uid in users:
+                client.round_trip(uid)
+        print(
+            f"  warmed up with {args.warmup * len(users)} round trips; "
+            f"traffic so far {format_bytes(server.meter.total_wire_bytes)}"
+        )
+
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        http_server.stop()
+        print("server stopped.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

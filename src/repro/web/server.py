@@ -1,0 +1,136 @@
+"""Threaded HTTP server exposing the HyRec web API.
+
+Endpoints (Table 1 of the paper):
+
+* ``GET /online/?uid=<uid>`` -- returns a personalization job as
+  gzipped JSON (``Content-Encoding: gzip`` when the server config has
+  compression on, exactly like the paper's on-the-fly gzip).
+* ``GET /neighbors/?uid=<uid>&id0=..&id1=..[&rec0=..]`` -- applies a
+  widget's KNN update; returns ``{"ok": true, "recommended": [...]}``.
+* ``POST /neighbors/?uid=<uid>`` with a JSON :class:`JobResult` body
+  -- same, for widgets that prefer a body over a query string.
+* ``GET /stats/`` -- server counters (users, requests, traffic), handy
+  for demos and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlparse
+
+from repro.core.api import WebApi
+from repro.core.server import HyRecServer
+from repro.messages import encode_json
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a :class:`WebApi` via the server."""
+
+    #: Quieten the default stderr request logging.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def api(self) -> WebApi:
+        return self.server.api  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parsed = urlparse(self.path)
+        params = dict(parse_qsl(parsed.query))
+        try:
+            if parsed.path.rstrip("/") == "/online":
+                self._respond(self.api.online(int(params["uid"])))
+            elif parsed.path.rstrip("/") == "/neighbors":
+                uid = int(params.pop("uid"))
+                self._respond(self.api.neighbors(uid, params))
+            elif parsed.path.rstrip("/") == "/stats":
+                self._respond_stats()
+            else:
+                self.send_error(404, "unknown endpoint")
+        except (KeyError, ValueError) as error:
+            self.send_error(400, f"bad request: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        params = dict(parse_qsl(parsed.query))
+        try:
+            if parsed.path.rstrip("/") == "/neighbors":
+                uid = int(params["uid"])
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length)
+                self._respond(self.api.neighbors_from_body(uid, body))
+            else:
+                self.send_error(404, "unknown endpoint")
+        except (KeyError, ValueError) as error:
+            self.send_error(400, f"bad request: {error}")
+
+    def _respond(self, payload: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        if self.api.compress:
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _respond_stats(self) -> None:
+        server: HyRecServer = self.api.server
+        stats = {
+            "users": server.num_users,
+            "online_requests": server.stats.online_requests,
+            "knn_updates": server.stats.knn_updates,
+            "wire_bytes": server.meter.total_wire_bytes,
+        }
+        body = encode_json(stats)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class HyRecHttpServer:
+    """Lifecycle wrapper: bind, serve in a daemon thread, shut down.
+
+    >>> from repro.core.server import HyRecServer
+    >>> http_server = HyRecHttpServer(HyRecServer())
+    >>> port = http_server.start()
+    >>> # ... clients talk to http://127.0.0.1:<port> ...
+    >>> http_server.stop()
+    """
+
+    def __init__(self, server: HyRecServer, host: str = "127.0.0.1", port: int = 0):
+        self.hyrec = server
+        self.api = WebApi(server)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.api = self.api  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, actual port) after binding."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> int:
+        """Serve in a background daemon thread; returns the port."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="hyrec-http", daemon=True
+        )
+        self._thread.start()
+        return self.address[1]
+
+    def stop(self) -> None:
+        """Shut down the serve loop and join the thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,123 @@
+"""Tests for the anonymous user/item mapping (privacy layer)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.anonymizer import AnonymousMapping, StaleTokenError
+
+
+class TestTokens:
+    def test_round_trip_user(self):
+        mapping = AnonymousMapping(seed=1)
+        token = mapping.token_for_user(42)
+        assert mapping.resolve_user(token) == 42
+
+    def test_round_trip_item(self):
+        mapping = AnonymousMapping(seed=1)
+        token = mapping.token_for_item(7)
+        assert mapping.resolve_item(token) == 7
+
+    def test_token_stable_within_epoch(self):
+        mapping = AnonymousMapping(seed=1)
+        assert mapping.token_for_user(1) == mapping.token_for_user(1)
+
+    def test_distinct_users_distinct_tokens(self):
+        mapping = AnonymousMapping(seed=1)
+        tokens = {mapping.token_for_user(uid) for uid in range(500)}
+        assert len(tokens) == 500
+
+    def test_token_does_not_leak_id(self):
+        """The numeric id must not be recoverable from the token text.
+
+        Single digits collide with random hex by chance, so check
+        longer ids whose decimal spelling appearing in a 12-hex-char
+        body would be a real leak.
+        """
+        mapping = AnonymousMapping(seed=1)
+        for uid in (12345, 999999, 1234567):
+            token = mapping.token_for_user(uid)
+            assert str(uid) not in token.split("_")[1]
+
+    def test_user_and_item_namespaces_disjoint(self):
+        mapping = AnonymousMapping(seed=1)
+        user_token = mapping.token_for_user(1)
+        item_token = mapping.token_for_item(1)
+        assert user_token != item_token
+        assert user_token.startswith("u")
+        assert item_token.startswith("i")
+
+    def test_unknown_token_raises_keyerror(self):
+        mapping = AnonymousMapping(seed=1)
+        with pytest.raises(KeyError):
+            mapping.resolve_user("u0_doesnotexist")
+
+
+class TestReshuffle:
+    def test_reshuffle_changes_tokens(self):
+        mapping = AnonymousMapping(seed=1)
+        before = mapping.token_for_user(1)
+        mapping.reshuffle()
+        after = mapping.token_for_user(1)
+        assert before != after
+
+    def test_stale_token_raises_stale_error(self):
+        mapping = AnonymousMapping(seed=1)
+        old = mapping.token_for_user(1)
+        mapping.reshuffle()
+        with pytest.raises(StaleTokenError):
+            mapping.resolve_user(old)
+
+    def test_stale_item_token_raises(self):
+        mapping = AnonymousMapping(seed=1)
+        old = mapping.token_for_item(1)
+        mapping.reshuffle()
+        with pytest.raises(StaleTokenError):
+            mapping.resolve_item(old)
+
+    def test_epoch_counter_increments(self):
+        mapping = AnonymousMapping(seed=1)
+        assert mapping.epoch == 0
+        mapping.reshuffle()
+        mapping.reshuffle()
+        assert mapping.epoch == 2
+
+    def test_reshuffle_is_deterministic_per_seed(self):
+        a = AnonymousMapping(seed=9)
+        b = AnonymousMapping(seed=9)
+        a.reshuffle()
+        b.reshuffle()
+        assert a.token_for_user(5) == b.token_for_user(5)
+
+    def test_different_seeds_differ(self):
+        a = AnonymousMapping(seed=1)
+        b = AnonymousMapping(seed=2)
+        assert a.token_for_user(5) != b.token_for_user(5)
+
+
+class TestValidation:
+    def test_tiny_token_bytes_rejected(self):
+        with pytest.raises(ValueError, match="token_bytes"):
+            AnonymousMapping(seed=0, token_bytes=1)
+
+
+class TestAnonymizerProperties:
+    @given(ids=st.lists(st.integers(0, 10_000), max_size=80, unique=True))
+    def test_bijective_over_any_id_set(self, ids):
+        mapping = AnonymousMapping(seed=3)
+        tokens = [mapping.token_for_user(uid) for uid in ids]
+        assert len(set(tokens)) == len(ids)
+        for uid, token in zip(ids, tokens):
+            assert mapping.resolve_user(token) == uid
+
+    @given(epochs=st.integers(1, 5))
+    def test_all_prior_epochs_invalidated(self, epochs):
+        mapping = AnonymousMapping(seed=3)
+        stale: list[str] = []
+        for _ in range(epochs):
+            stale.append(mapping.token_for_user(1))
+            mapping.reshuffle()
+        for token in stale:
+            with pytest.raises(StaleTokenError):
+                mapping.resolve_user(token)

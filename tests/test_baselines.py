@@ -1,0 +1,210 @@
+"""Tests for the centralized and decentralized baseline systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CentralizedOfflineSystem,
+    CRecFrontend,
+    OfflineCRecBackend,
+    OfflineIdealBackend,
+    OnlineIdealSystem,
+    P2PRecommender,
+    run_clus_mahout,
+    run_crec_backend,
+    run_exhaustive,
+    run_mahout_single,
+)
+from repro.core.tables import ProfileTable
+from repro.sim.clock import DAY, HOUR, WEEK
+
+
+def fill_profiles(trace) -> ProfileTable:
+    table = ProfileTable()
+    for rating in trace:
+        table.record(rating.user, rating.item, rating.value, rating.timestamp)
+    return table
+
+
+class TestOfflineIdealBackend:
+    def test_periodic_schedule(self, ml1_small):
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineIdealBackend(profiles, k=3, period_s=WEEK)
+        assert backend.maybe_recompute(0.0) is True
+        assert backend.maybe_recompute(DAY) is False
+        assert backend.maybe_recompute(WEEK + 1) is True
+        assert backend.runs == 2
+
+    def test_catches_up_without_replaying_missed_periods(self, ml1_small):
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineIdealBackend(profiles, k=3, period_s=WEEK)
+        backend.maybe_recompute(0.0)
+        # Twenty weeks of silence -> exactly one catch-up run.
+        assert backend.maybe_recompute(20 * WEEK) is True
+        assert backend.runs == 2
+
+    def test_table_staleness_between_runs(self, ml1_small):
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineIdealBackend(profiles, k=3, period_s=WEEK)
+        backend.maybe_recompute(0.0)
+        snapshot = dict(backend.knn_table)
+        # New ratings arrive but no recompute is due: table unchanged.
+        some_user = next(iter(profiles))
+        profiles.record(some_user, 999_999, 1.0)
+        backend.maybe_recompute(DAY)
+        assert backend.knn_table == snapshot
+
+    def test_invalid_period(self, ml1_small):
+        with pytest.raises(ValueError):
+            OfflineIdealBackend(fill_profiles(ml1_small), period_s=0)
+
+
+class TestCentralizedOfflineSystem:
+    def test_replay_counts_requests(self, toy_trace):
+        system = CentralizedOfflineSystem(k=2, r=3, period_s=WEEK)
+        served = system.replay(toy_trace)
+        assert served == len(toy_trace)
+
+    def test_recommendations_exclude_rated(self, toy_trace):
+        system = CentralizedOfflineSystem(k=2, r=5, period_s=1.0)
+        system.replay(toy_trace)
+        outcome = system.request(0, now=100.0)
+        rated = system.profiles.get(0).rated_items()
+        assert all(item not in rated for item in outcome.recommendations)
+
+    def test_fresh_backend_finds_similar_neighbors(self, toy_trace):
+        system = CentralizedOfflineSystem(k=1, r=3, period_s=1.0)
+        system.replay(toy_trace)
+        outcome = system.request(0, now=1000.0)
+        assert outcome.neighbors == [1]
+
+
+class TestOnlineIdealSystem:
+    def test_neighbors_always_fresh(self, toy_trace):
+        system = OnlineIdealSystem(k=1, r=3)
+        for rating in toy_trace:
+            system.record_rating(rating.user, rating.item, rating.value)
+        outcome = system.request(0)
+        assert outcome.neighbors == [1]
+        assert outcome.service_time_s > 0
+
+    def test_replay(self, toy_trace):
+        system = OnlineIdealSystem(k=2, r=3)
+        assert system.replay(toy_trace) == len(toy_trace)
+
+
+class TestOfflineCRec:
+    def test_backend_produces_full_table(self, ml1_small):
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineCRecBackend(profiles, k=5, iterations=3, seed=1)
+        result = backend.recompute()
+        assert len(backend.knn_table.users()) == len(profiles)
+        assert result.wall_clock_s > 0
+        assert backend.history[-1].users == len(profiles)
+
+    def test_backend_periodic(self, ml1_small):
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineCRecBackend(
+            profiles, k=3, period_s=2 * DAY, iterations=1, seed=1
+        )
+        assert backend.maybe_recompute(0.0)
+        assert not backend.maybe_recompute(HOUR)
+        assert backend.maybe_recompute(2 * DAY + 1)
+
+    def test_frontend_serves_real_recommendations(self, ml1_small):
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineCRecBackend(profiles, k=5, iterations=3, seed=1)
+        backend.recompute()
+        frontend = CRecFrontend(profiles, backend.knn_table, k=5, r=5, seed=1)
+        some_user = profiles.users()[0]
+        response = frontend.serve(some_user)
+        assert response.service_time_s > 0
+        assert response.candidate_count > 0
+        rated = profiles.get(some_user).rated_items()
+        assert all(item not in rated for item in response.recommendations)
+
+    def test_backend_quality_reasonable(self, ml1_small):
+        from repro.metrics.view_similarity import (
+            ideal_view_similarity,
+            view_similarity_of_table,
+        )
+
+        profiles = fill_profiles(ml1_small)
+        backend = OfflineCRecBackend(profiles, k=5, iterations=5, seed=1)
+        backend.recompute()
+        liked = profiles.liked_sets()
+        achieved = view_similarity_of_table(liked, backend.knn_table.as_dict())
+        ideal = ideal_view_similarity(liked, k=5)
+        assert achieved >= 0.7 * ideal
+
+
+class TestMahoutRunners:
+    def test_all_four_backends_agree_on_scale(self, ml1_small):
+        from repro.eval.common import liked_sets_of_trace
+
+        liked = liked_sets_of_trace(ml1_small)
+        _, exhaustive = run_exhaustive(liked, k=5)
+        _, crec = run_crec_backend(liked, k=5, iterations=2)
+        _, single = run_mahout_single(liked, k=5)
+        _, clustered = run_clus_mahout(liked, k=5)
+        for result in (exhaustive, crec, single, clustered):
+            assert result.wall_clock_s > 0
+        # The two Mahout deployments do identical work; the two-node
+        # cluster must model at least some speedup on the compute side
+        # while paying more for shuffle -- either way both terminate
+        # with full tables.
+        assert single.cpu_seconds == pytest.approx(
+            clustered.cpu_seconds, rel=0.8
+        )
+
+
+class TestP2PRecommender:
+    def build(self, trace, seed=0) -> P2PRecommender:
+        p2p = P2PRecommender(k=4, r=5, seed=seed)
+        for rating in trace:
+            p2p.record_rating(rating.user, rating.item, rating.value)
+        return p2p
+
+    def test_nodes_join_on_first_rating(self, toy_trace):
+        p2p = self.build(toy_trace)
+        assert p2p.num_nodes == 4
+
+    def test_cycles_generate_traffic(self, ml1_small):
+        p2p = self.build(ml1_small)
+        p2p.run_cycles(3)
+        report = p2p.traffic_report(trace_duration_s=3 * 60.0)
+        assert report.measured_total_bytes > 0
+        assert report.bytes_per_node_per_cycle > 0
+
+    def test_traffic_reset_and_extrapolation(self, ml1_small):
+        p2p = self.build(ml1_small)
+        p2p.run_cycles(2)
+        p2p.reset_traffic()
+        p2p.run_cycles(4)
+        report = p2p.traffic_report(trace_duration_s=600.0)
+        assert report.measured_cycles == 4
+        assert report.target_cycles == 10
+        assert report.extrapolated_total_bytes_per_node == pytest.approx(
+            report.bytes_per_node_per_cycle * 10
+        )
+
+    def test_local_recommendation(self, toy_trace):
+        p2p = self.build(toy_trace)
+        p2p.run_cycles(8)
+        recs = p2p.recommend(0, n=3)
+        rated = p2p.profiles[0].rated_items()
+        assert all(item not in rated for item in recs)
+
+    def test_clustering_finds_similar_peers(self, ml1_small):
+        from repro.metrics.view_similarity import (
+            ideal_view_similarity,
+            view_similarity_of_table,
+        )
+
+        p2p = self.build(ml1_small, seed=2)
+        p2p.run_cycles(12)
+        liked = {uid: p2p.profiles[uid].liked_items() for uid in p2p.profiles}
+        achieved = view_similarity_of_table(liked, p2p.knn_table())
+        ideal = ideal_view_similarity(liked, k=4)
+        assert achieved >= 0.6 * ideal

@@ -1,0 +1,120 @@
+"""Tests for the churn process and churn-aware overlay behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.p2p import P2PRecommender
+from repro.gossip.churn import ChurnProcess
+
+
+class TestChurnProcess:
+    def test_initial_population_online(self):
+        churn = ChurnProcess([1, 2, 3], 0.1, 0.5, seed=0)
+        assert churn.online == {1, 2, 3}
+        assert churn.online_fraction == 1.0
+
+    def test_no_churn_is_stable(self):
+        churn = ChurnProcess(list(range(50)), 0.0, 1.0, seed=0)
+        for _ in range(10):
+            departed, returned = churn.step()
+            assert not departed and not returned
+        assert churn.online_fraction == 1.0
+
+    def test_full_leave_empties_population(self):
+        churn = ChurnProcess(list(range(20)), 1.0, 0.0, seed=0)
+        churn.step()
+        assert churn.online == set()
+        assert churn.online_fraction == 0.0
+
+    def test_stationary_fraction(self):
+        churn = ChurnProcess(list(range(600)), 0.2, 0.3, seed=1)
+        for _ in range(60):
+            churn.step()
+        expected = churn.expected_online_fraction()
+        assert expected == pytest.approx(0.6)
+        # Average the tail to smooth the stochastic wobble.
+        tail = churn.stats.online_history[-20:]
+        observed = sum(tail) / (20 * 600)
+        assert observed == pytest.approx(expected, abs=0.08)
+
+    def test_partition_invariant(self):
+        churn = ChurnProcess(list(range(40)), 0.3, 0.3, seed=2)
+        for _ in range(15):
+            churn.step()
+            assert churn.online | churn.offline == set(range(40))
+            assert churn.online & churn.offline == set()
+
+    def test_stats_counters(self):
+        churn = ChurnProcess(list(range(30)), 0.5, 0.5, seed=3)
+        churn.step()
+        churn.step()
+        assert churn.stats.cycles == 2
+        assert churn.stats.departures > 0
+        assert len(churn.stats.online_history) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnProcess([1], -0.1, 0.5)
+        with pytest.raises(ValueError):
+            ChurnProcess([1], 0.5, 1.5)
+
+
+class TestOverlaySuspension:
+    def build(self, trace):
+        p2p = P2PRecommender(k=4, seed=0)
+        for rating in trace:
+            p2p.record_rating(rating.user, rating.item, rating.value)
+        p2p.run_cycles(8)
+        return p2p
+
+    def test_offline_node_keeps_profile_and_view(self, ml1_small):
+        p2p = self.build(ml1_small)
+        victim = next(iter(p2p.profiles))
+        view_before = list(p2p.overlay.nodes[victim].neighbors)
+        p2p.set_offline(victim)
+        p2p.run_cycles(3)
+        assert victim in p2p.profiles  # profile lives on the machine
+        assert p2p.overlay.nodes[victim].neighbors == view_before
+
+    def test_offline_node_evicted_from_peers(self, ml1_small):
+        p2p = self.build(ml1_small)
+        victim = next(iter(p2p.profiles))
+        p2p.set_offline(victim)
+        p2p.run_cycles(6)
+        holders = [
+            uid
+            for uid, node in p2p.overlay.nodes.items()
+            if uid != victim and victim in node.neighbors
+        ]
+        # Everyone who tried to reach the victim dropped it; stragglers
+        # are possible only among nodes that never selected it.
+        assert len(holders) < p2p.num_nodes * 0.2
+
+    def test_online_users_listing(self, ml1_small):
+        p2p = self.build(ml1_small)
+        users = list(p2p.profiles)
+        p2p.set_offline(users[0])
+        online = p2p.online_users()
+        assert users[0] not in online
+        assert len(online) == len(users) - 1
+
+    def test_resume_rejoins_gossip(self, ml1_small):
+        p2p = self.build(ml1_small)
+        victim = next(iter(p2p.profiles))
+        p2p.set_offline(victim)
+        p2p.run_cycles(2)
+        p2p.set_online(victim)
+        assert p2p.overlay.is_online(victim)
+        p2p.run_cycles(4)
+        # The returned node participates again: its view gets refreshed
+        # against currently-live peers.
+        assert p2p.overlay.nodes[victim].neighbors
+
+    def test_apply_churn_bulk(self, ml1_small):
+        p2p = self.build(ml1_small)
+        users = sorted(p2p.profiles)
+        p2p.apply_churn(departed=set(users[:3]), returned=set())
+        assert len(p2p.online_users()) == len(users) - 3
+        p2p.apply_churn(departed=set(), returned=set(users[:3]))
+        assert len(p2p.online_users()) == len(users)

@@ -1,0 +1,122 @@
+"""Tests for the HyRec widget (client-side execution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import HyRecWidget, make_job
+from repro.core.recommend import Recommendation
+from repro.core.similarity import jaccard
+from repro.sim.devices import Device, LAPTOP
+
+
+def simple_job(k=2, r=3):
+    return make_job(
+        user_token="u_me",
+        user_profile={"1": 1.0, "2": 1.0, "9": 0.0},
+        candidates={
+            "u_a": {"1": 1.0, "2": 1.0, "3": 1.0},  # very similar
+            "u_b": {"1": 1.0, "4": 1.0},  # somewhat similar
+            "u_c": {"7": 1.0, "8": 1.0},  # disjoint
+        },
+        k=k,
+        r=r,
+    )
+
+
+class TestProcessJob:
+    def test_neighbors_ranked_by_similarity(self):
+        result = HyRecWidget().process_job(simple_job())
+        assert result.neighbor_tokens == ["u_a", "u_b"]
+        assert result.neighbor_scores[0] > result.neighbor_scores[1]
+
+    def test_recommends_unseen_items_by_popularity(self):
+        result = HyRecWidget().process_job(simple_job(r=5))
+        # Items 3, 4, 7, 8 are unseen; 9 is rated (disliked) and 1, 2
+        # are rated: none of the rated ones may appear.
+        assert set(result.recommended_items) <= {"3", "4", "7", "8"}
+        assert "1" not in result.recommended_items
+
+    def test_echoes_user_token(self):
+        result = HyRecWidget().process_job(simple_job())
+        assert result.user_token == "u_me"
+
+    def test_never_selects_self_token(self):
+        job = make_job(
+            user_token="u_me",
+            user_profile={"1": 1.0},
+            candidates={"u_me": {"1": 1.0}, "u_x": {"1": 1.0}},
+            k=2,
+            r=1,
+        )
+        result = HyRecWidget().process_job(job)
+        assert "u_me" not in result.neighbor_tokens
+
+    def test_widget_is_stateless(self):
+        widget = HyRecWidget()
+        first = widget.process_job(simple_job())
+        second = widget.process_job(simple_job())
+        assert first == second
+
+    def test_dislikes_do_not_count_as_popularity(self):
+        job = make_job(
+            user_token="u",
+            user_profile={},
+            candidates={"a": {"5": 0.0}, "b": {"6": 1.0}},
+            k=1,
+            r=5,
+        )
+        result = HyRecWidget().process_job(job)
+        assert result.recommended_items == ["6"]
+
+    def test_metric_from_job_payload(self):
+        """The widget honors the server-configured metric name."""
+        job = make_job(
+            user_token="u",
+            user_profile={"1": 1.0, "2": 1.0, "3": 1.0, "4": 1.0},
+            candidates={"other": {"1": 1.0, "2": 1.0}},
+            k=1,
+            r=1,
+            metric="jaccard",
+        )
+        result = HyRecWidget().process_job(job)
+        # jaccard({1..4},{1,2}) = 2/4; cosine would give 2/sqrt(8).
+        assert result.neighbor_scores[0] == pytest.approx(0.5)
+
+    def test_similarity_override_hook(self):
+        widget = HyRecWidget(similarity=jaccard)
+        job = simple_job()
+        result = widget.process_job(job)
+        assert result.neighbor_tokens[0] == "u_a"
+
+    def test_recommender_override_hook(self):
+        def recommend_nothing(user_rated, candidate_liked, r):
+            return [Recommendation(item_id="sentinel", popularity=0)]
+
+        widget = HyRecWidget(recommender=recommend_nothing)
+        result = widget.process_job(simple_job())
+        assert result.recommended_items == ["sentinel"]
+
+
+class TestDeviceEstimation:
+    def test_op_count_scales_with_profiles(self):
+        widget = HyRecWidget()
+        small = widget.op_count(simple_job())
+        big_job = make_job(
+            user_token="u",
+            user_profile={str(i): 1.0 for i in range(100)},
+            candidates={
+                f"c{j}": {str(i): 1.0 for i in range(100)} for j in range(10)
+            },
+            k=2,
+            r=3,
+        )
+        assert widget.op_count(big_job) > small
+
+    def test_estimated_time_requires_device(self):
+        with pytest.raises(RuntimeError, match="no device model"):
+            HyRecWidget().estimated_time(simple_job())
+
+    def test_estimated_time_positive(self):
+        widget = HyRecWidget(device=Device(LAPTOP))
+        assert widget.estimated_time(simple_job()) > 0

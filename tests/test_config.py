@@ -1,0 +1,39 @@
+"""Tests for HyRec configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HyRecConfig
+
+
+class TestHyRecConfig:
+    def test_defaults_match_paper(self):
+        config = HyRecConfig()
+        assert config.k == 10
+        assert config.r == 10
+        assert config.metric == "cosine"
+        assert config.compress is True
+        assert config.include_two_hop is True
+        assert config.num_random is None  # defaults to k in the sampler
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HyRecConfig(k=0)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            HyRecConfig(r=0)
+
+    def test_invalid_reshuffle(self):
+        with pytest.raises(ValueError):
+            HyRecConfig(reshuffle_every=-1)
+
+    def test_unknown_metric_fails_fast(self):
+        with pytest.raises(KeyError):
+            HyRecConfig(metric="pearson")
+
+    def test_frozen(self):
+        config = HyRecConfig()
+        with pytest.raises(AttributeError):
+            config.k = 20  # type: ignore[misc]

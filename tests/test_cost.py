@@ -1,0 +1,108 @@
+"""Tests for the EC2 cost model, validated against Table 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import HOUR
+from repro.sim.cost import (
+    BackendDeployment,
+    CostModel,
+    Ec2Pricing,
+    PAPER_CREC_WALLTIME_S,
+    PAPER_PRICING,
+)
+
+
+class TestBilling:
+    def test_fractional_billing_default(self):
+        model = CostModel()
+        assert model.billed_seconds(90.0) == 90.0
+
+    def test_hourly_billing_rounds_up(self):
+        model = CostModel(Ec2Pricing(billing_granularity_s=3600.0))
+        assert model.billed_seconds(1.0) == 3600.0
+        assert model.billed_seconds(3601.0) == 7200.0
+
+    def test_negative_wallclock_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().billed_seconds(-1.0)
+
+
+class TestBackendChoice:
+    def test_cheap_job_uses_on_demand(self):
+        model = CostModel()
+        deployment = model.backend_deployment(100.0, 48 * HOUR)
+        assert deployment.kind == "on-demand"
+        assert isinstance(deployment, BackendDeployment)
+
+    def test_expensive_job_switches_to_reserved(self):
+        model = CostModel()
+        # 10 hours per run, every 12h -> on-demand would cost ~$4,380.
+        deployment = model.backend_deployment(10 * HOUR, 12 * HOUR)
+        assert deployment.kind == "reserved"
+        assert deployment.annual_cost == PAPER_PRICING.backend_reserved_per_year
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            CostModel().backend_deployment(1.0, 0.0)
+
+
+class TestCostReduction:
+    def test_hyrec_cost_is_frontend_only(self):
+        model = CostModel()
+        assert model.hyrec_annual_cost() == 681.0
+
+    def test_reduction_monotone_in_frequency(self):
+        """More frequent KNN -> bigger savings (Table 3 rows)."""
+        model = CostModel()
+        walltime = PAPER_CREC_WALLTIME_S["ML1"]
+        r48 = model.cost_reduction(walltime, 48 * HOUR)
+        r24 = model.cost_reduction(walltime, 24 * HOUR)
+        r12 = model.cost_reduction(walltime, 12 * HOUR)
+        assert r48 < r24 < r12
+
+    def test_reduction_capped_by_reserved(self):
+        model = CostModel()
+        cap = model.max_cost_reduction()
+        extreme = model.cost_reduction(100 * HOUR, 1 * HOUR)
+        assert extreme == pytest.approx(cap)
+        assert cap == pytest.approx(0.492, abs=0.001)
+
+
+class TestPaperTable3:
+    """The model must reproduce the printed Table 3 cells."""
+
+    @pytest.mark.parametrize(
+        "dataset,period_h,expected",
+        [
+            ("ML1", 48, 0.086),
+            ("ML1", 24, 0.158),
+            ("ML1", 12, 0.274),
+            ("ML2", 48, 0.310),
+            ("ML2", 24, 0.476),
+            ("ML2", 12, 0.492),
+            ("ML3", 48, 0.492),
+            ("ML3", 24, 0.492),
+            ("ML3", 12, 0.492),
+            ("Digg", 12, 0.025),
+            ("Digg", 6, 0.050),
+        ],
+    )
+    def test_cell(self, dataset, period_h, expected):
+        model = CostModel()
+        walltime = PAPER_CREC_WALLTIME_S[dataset]
+        reduction = model.cost_reduction(walltime, period_h * HOUR)
+        assert reduction == pytest.approx(expected, abs=0.006)
+
+
+class TestPricingValidation:
+    def test_rejects_nonpositive_prices(self):
+        with pytest.raises(ValueError):
+            Ec2Pricing(frontend_reserved_per_year=0)
+        with pytest.raises(ValueError):
+            Ec2Pricing(backend_on_demand_per_hour=-1)
+        with pytest.raises(ValueError):
+            Ec2Pricing(backend_reserved_per_year=0)
+        with pytest.raises(ValueError):
+            Ec2Pricing(billing_granularity_s=0)

@@ -1,0 +1,230 @@
+"""Tests for trace schema, generators, binarization and splitting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    DIGG,
+    ML1,
+    binarize_trace,
+    binarize_value,
+    dataset_names,
+    generate_digg,
+    generate_movielens,
+    load_dataset,
+    time_split,
+    user_means,
+)
+from repro.datasets.schema import Rating, Trace
+from repro.sim.clock import DAY
+
+
+class TestTraceSchema:
+    def test_ratings_sorted_by_time(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=5.0, user=1, item=1, value=1.0),
+                Rating(timestamp=1.0, user=2, item=2, value=1.0),
+            ],
+        )
+        assert [r.timestamp for r in trace] == [1.0, 5.0]
+
+    def test_users_items_properties(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=1.0, user=1, item=10, value=1.0),
+                Rating(timestamp=2.0, user=2, item=10, value=0.0),
+            ],
+        )
+        assert trace.users == {1, 2}
+        assert trace.items == {10}
+
+    def test_stats_row(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=0.0, user=1, item=1, value=1.0),
+                Rating(timestamp=DAY, user=1, item=2, value=1.0),
+            ],
+        )
+        stats = trace.stats()
+        assert stats.num_users == 1
+        assert stats.num_ratings == 2
+        assert stats.avg_ratings_per_user == 2.0
+        assert stats.duration_days == pytest.approx(1.0)
+
+    def test_ratings_by_user_preserves_order(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=2.0, user=1, item=2, value=1.0),
+                Rating(timestamp=1.0, user=1, item=1, value=1.0),
+            ],
+        )
+        grouped = trace.ratings_by_user()
+        assert [r.item for r in grouped[1]] == [1, 2]
+
+    def test_empty_trace(self):
+        trace = Trace("empty", [])
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+        assert trace.stats().avg_ratings_per_user == 0.0
+
+
+class TestBinarize:
+    def test_above_mean_is_liked(self):
+        assert binarize_value(5.0, 3.0) == 1.0
+
+    def test_at_mean_is_disliked(self):
+        """Strictly 'above the average' (Section 5.1)."""
+        assert binarize_value(3.0, 3.0) == 0.0
+
+    def test_user_means(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=0.0, user=1, item=1, value=2.0),
+                Rating(timestamp=1.0, user=1, item=2, value=4.0),
+            ],
+        )
+        assert user_means(trace) == {1: 3.0}
+
+    def test_binarize_trace_values(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=0.0, user=1, item=1, value=2.0),
+                Rating(timestamp=1.0, user=1, item=2, value=4.0),
+                Rating(timestamp=2.0, user=1, item=3, value=3.0),
+            ],
+        )
+        binary = binarize_trace(trace)
+        values = {r.item: r.value for r in binary}
+        assert values == {1: 0.0, 2: 1.0, 3: 0.0}
+
+    def test_already_binary_passthrough(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=0.0, user=1, item=1, value=1.0),
+                Rating(timestamp=1.0, user=1, item=2, value=0.0),
+            ],
+        )
+        binary = binarize_trace(trace)
+        assert {r.value for r in binary} == {0.0, 1.0}
+        assert binary[0].value == 1.0  # not re-binarized against mean 0.5
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=5.0), min_size=2, max_size=20
+        )
+    )
+    def test_binarization_splits_around_mean(self, values):
+        if set(values) <= {0.0, 1.0}:
+            return  # already-binary traces pass through untouched
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=float(i), user=0, item=i, value=v)
+                for i, v in enumerate(values)
+            ],
+        )
+        binary = binarize_trace(trace)
+        mean = sum(values) / len(values)
+        for raw, projected in zip(sorted(trace), sorted(binary)):
+            assert projected.value == (1.0 if raw.value > mean else 0.0)
+
+
+class TestGenerators:
+    @settings(deadline=None, max_examples=5)
+    @given(seed=st.integers(0, 100))
+    def test_movielens_deterministic(self, seed):
+        spec = ML1.scaled(0.02)
+        a = generate_movielens(spec, seed=seed)
+        b = generate_movielens(spec, seed=seed)
+        assert a.ratings == b.ratings
+
+    def test_movielens_counts_match_spec(self):
+        spec = ML1.scaled(0.05)
+        trace = generate_movielens(spec, seed=0)
+        stats = trace.stats()
+        assert stats.num_users == spec.num_users
+        assert stats.num_ratings == pytest.approx(spec.num_ratings, rel=0.02)
+        assert stats.num_items <= spec.num_items
+
+    def test_movielens_values_are_stars(self):
+        trace = generate_movielens(ML1.scaled(0.02), seed=1)
+        assert {r.value for r in trace} <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_movielens_within_duration(self):
+        spec = ML1.scaled(0.02)
+        trace = generate_movielens(spec, seed=1)
+        assert trace.ratings[-1].timestamp <= spec.duration_days * DAY
+
+    def test_movielens_no_duplicate_user_item(self):
+        trace = generate_movielens(ML1.scaled(0.02), seed=2)
+        pairs = [(r.user, r.item) for r in trace]
+        assert len(pairs) == len(set(pairs))
+
+    def test_digg_counts_and_small_profiles(self):
+        spec = DIGG.scaled(0.004)
+        trace = generate_digg(spec, seed=0)
+        stats = trace.stats()
+        assert stats.num_users == spec.num_users
+        assert 8 <= stats.avg_ratings_per_user <= 20  # paper: 13
+
+    def test_digg_mostly_likes(self):
+        trace = generate_digg(DIGG.scaled(0.004), seed=0)
+        likes = sum(1 for r in trace if r.value == 1.0)
+        assert likes / len(trace) > 0.6
+
+    def test_digg_deterministic(self):
+        spec = DIGG.scaled(0.003)
+        assert generate_digg(spec, seed=5).ratings == generate_digg(spec, seed=5).ratings
+
+    def test_scaled_requires_positive(self):
+        with pytest.raises(ValueError):
+            ML1.scaled(0.0)
+        with pytest.raises(ValueError):
+            DIGG.scaled(-1.0)
+
+    def test_scaled_identity(self):
+        assert ML1.scaled(1.0) is ML1
+
+
+class TestSplit:
+    def test_split_sizes(self, ml1_small):
+        train, test = time_split(ml1_small)
+        assert len(train) == int(len(ml1_small) * 0.8)
+        assert len(train) + len(test) == len(ml1_small)
+
+    def test_split_respects_time(self, ml1_small):
+        train, test = time_split(ml1_small)
+        assert train.ratings[-1].timestamp <= test.ratings[0].timestamp
+
+    def test_invalid_fraction(self, ml1_small):
+        with pytest.raises(ValueError):
+            time_split(ml1_small, train_fraction=1.0)
+        with pytest.raises(ValueError):
+            time_split(ml1_small, train_fraction=0.0)
+
+
+class TestLoader:
+    def test_registry_has_table2_names(self):
+        assert dataset_names() == ["ML1", "ML2", "ML3", "Digg"]
+
+    def test_load_binarized_by_default(self):
+        trace = load_dataset("ML1", scale=0.02, seed=0)
+        assert {r.value for r in trace} <= {0.0, 1.0}
+
+    def test_load_raw(self):
+        trace = load_dataset("ML1", scale=0.02, seed=0, binarize=False)
+        assert max(r.value for r in trace) > 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("Netflix")

@@ -1,0 +1,67 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_trace, save_trace
+from repro.datasets.schema import Rating, Trace
+
+
+@pytest.fixture()
+def small_trace() -> Trace:
+    return Trace(
+        "toy",
+        [
+            Rating(timestamp=1.5, user=1, item=10, value=1.0),
+            Rating(timestamp=2.25, user=2, item=11, value=0.0),
+            Rating(timestamp=3.0, user=1, item=12, value=1.0),
+        ],
+    )
+
+
+class TestTraceIo:
+    def test_round_trip_plain(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        count = save_trace(small_trace, path)
+        assert count == 3
+        loaded = load_trace(path)
+        assert loaded.ratings == small_trace.ratings
+        assert loaded.name == "trace"
+
+    def test_round_trip_gzip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv.gz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path, name="renamed")
+        assert loaded.ratings == small_trace.ratings
+        assert loaded.name == "renamed"
+        # It really is gzip on disk.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_gzip_smaller_for_real_traces(self, tmp_path, ml1_small):
+        plain = tmp_path / "t.csv"
+        packed = tmp_path / "t.csv.gz"
+        save_trace(ml1_small, plain)
+        save_trace(ml1_small, packed)
+        assert packed.stat().st_size < plain.stat().st_size / 2
+
+    def test_timestamps_preserved_exactly(self, tmp_path):
+        trace = Trace(
+            "precise", [Rating(timestamp=0.1234567890123, user=1, item=1, value=1.0)]
+        )
+        path = tmp_path / "p.csv"
+        save_trace(trace, path)
+        assert load_trace(path).ratings[0].timestamp == 0.1234567890123
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="unexpected header"):
+            load_trace(path)
+
+    def test_generator_round_trip(self, tmp_path, digg_small):
+        path = tmp_path / "digg.csv.gz"
+        save_trace(digg_small, path)
+        loaded = load_trace(path)
+        assert loaded.stats().num_ratings == digg_small.stats().num_ratings
+        assert loaded.users == digg_small.users

@@ -1,0 +1,97 @@
+"""Tests for the eval harness utilities and the CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.schema import Rating, Trace
+from repro.eval.common import format_rows, liked_sets_of_trace, series_to_rows
+from repro.eval.runner import EXPERIMENTS, main
+
+
+class TestLikedSets:
+    def test_collects_final_liked_state(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=0.0, user=1, item=10, value=1.0),
+                Rating(timestamp=1.0, user=1, item=11, value=0.0),
+                Rating(timestamp=2.0, user=2, item=10, value=1.0),
+            ],
+        )
+        assert liked_sets_of_trace(trace) == {
+            1: frozenset({10}),
+            2: frozenset({10}),
+        }
+
+    def test_last_write_wins(self):
+        trace = Trace(
+            "t",
+            [
+                Rating(timestamp=0.0, user=1, item=10, value=1.0),
+                Rating(timestamp=5.0, user=1, item=10, value=0.0),
+            ],
+        )
+        assert liked_sets_of_trace(trace) == {1: frozenset()}
+
+
+class TestFormatting:
+    def test_format_rows_aligns_columns(self):
+        table = format_rows(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        # Separator matches the widest cell of each column.
+        assert lines[2].startswith("---")
+
+    def test_series_to_rows_aligns_on_union(self):
+        series = {
+            "x": [(1.0, 0.5), (2.0, 0.6)],
+            "y": [(2.0, 0.7)],
+        }
+        headers, rows = series_to_rows(series, "t")
+        assert headers == ["t", "x", "y"]
+        assert rows[0][2] == "-"  # y missing at t=1
+        assert rows[1][1] == "0.6000"
+
+
+class TestRunnerCli:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table2",
+            "table3",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "p2p",
+            "ablation-sampler",
+            "ablation-similarity",
+            "ablation-churn",
+            "tivo",
+            "privacy",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_run_cheap_experiment(self, capsys):
+        exit_code = main(["fig12"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 12" in captured.out
+        assert "completed in" in captured.out
+
+    def test_scale_forwarded(self, capsys):
+        exit_code = main(["table2", "--scale", "0.02", "--seed", "3"])
+        assert exit_code == 0
+        assert "scale=0.02" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

@@ -1,0 +1,279 @@
+"""Smoke tests for every table/figure experiment at tiny scale.
+
+Each test runs the full experiment pipeline (generation, replay,
+measurement, report formatting) at a scale where it finishes in
+seconds, and asserts the structural and directional properties the
+paper's shapes rest on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_p2p_bandwidth,
+    run_sampler_ablation,
+    run_similarity_ablation,
+    run_table2,
+    run_table3,
+)
+from repro.eval.fig8_fig9 import build_population, scalability_factor
+
+
+class TestTable2:
+    def test_stats_and_report(self):
+        result = run_table2(scale=0.02, seed=1, names=["ML1", "Digg"])
+        assert result.stats["ML1"].num_users > 0
+        # Profile-size shape: ML1 dense, Digg sparse.
+        assert (
+            result.stats["ML1"].avg_ratings_per_user
+            > 3 * result.stats["Digg"].avg_ratings_per_user
+        )
+        report = result.format_report()
+        assert "ML1" in report and "Digg" in report
+
+
+class TestTable3:
+    def test_paper_calibrated_matches_paper(self):
+        result = run_table3(mode="paper-calibrated")
+        assert result.reductions["ML1"][0] == pytest.approx(0.086, abs=0.005)
+        assert result.reductions["ML3"] == pytest.approx([0.492] * 3, abs=0.001)
+        assert "Table 3" in result.format_report()
+
+    def test_measured_mode_runs(self):
+        result = run_table3(mode="measured", scale=0.01, names=["ML1"])
+        assert 0.0 <= result.reductions["ML1"][0] <= 0.492
+        # More frequent recomputation saves more, up to the cap.
+        r48, r24, r12 = result.reductions["ML1"]
+        assert r48 <= r24 <= r12
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_table3(mode="wrong")
+
+
+class TestFig3Fig4:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return run_fig3(scale=0.04, seed=2, probes=5)
+
+    def test_all_series_present(self, fig3):
+        assert set(fig3.series) == {
+            "HyRec k=10",
+            "HyRec k=10 IR=7",
+            "HyRec k=20",
+            "Offline Ideal k=10",
+            "Ideal upper bound",
+        }
+
+    def test_view_similarity_grows(self, fig3):
+        for name, series in fig3.series.items():
+            assert series[-1][1] >= series[0][1], name
+
+    def test_ideal_dominates_everyone(self, fig3):
+        ideal = dict(fig3.series["Ideal upper bound"])
+        for name, series in fig3.series.items():
+            if name == "Ideal upper bound":
+                continue
+            for day, value in series:
+                assert value <= ideal[day] + 0.02, (name, day)
+
+    def test_report_formats(self, fig3):
+        assert "Figure 3" in fig3.format_report()
+
+    def test_fig4_activity_correlation(self):
+        result = run_fig4(scale=0.04, seed=2)
+        assert result.points
+        # Most users near their ideal on a small world (paper: >70%
+        # ratio for the vast majority).
+        assert result.fraction_above(0.7) > 0.6
+        assert "Figure 4" in result.format_report()
+
+
+class TestFig5:
+    def test_converges_below_bound(self):
+        result = run_fig5(scale=0.1, seed=1, ks=(5,), buckets=6)
+        series = result.series["k=5"]
+        bound = result.upper_bounds["k=5"]
+        assert result.final_mean("k=5") < bound
+        assert "Figure 5" in result.format_report()
+        assert len(series) >= 3
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6(scale=0.04, seed=3)
+
+    def test_all_systems_present(self, fig6):
+        assert set(fig6.results) == {
+            "HyRec",
+            "Offline Ideal p=24h",
+            "Offline Ideal p=1h",
+            "Online Ideal",
+        }
+
+    def test_hits_monotone_in_n(self, fig6):
+        for quality in fig6.results.values():
+            counts = [quality.hits_at[n] for n in range(1, fig6.n_max + 1)]
+            assert counts == sorted(counts)
+
+    def test_online_ideal_at_least_offline_24h(self, fig6):
+        # 10% slack: tiny smoke-test populations make hit counts noisy.
+        assert (
+            fig6.results["Online Ideal"].hits_at[10]
+            >= fig6.results["Offline Ideal p=24h"].hits_at[10] * 0.9
+        )
+
+    def test_report(self, fig6):
+        assert "Figure 6" in fig6.format_report()
+
+
+class TestFig7:
+    def test_orderings(self):
+        result = run_fig7(
+            scales={"ML1": 0.1, "Digg": 0.008},
+            names=["ML1", "Digg"],
+            seed=1,
+            k=5,
+        )
+        for dataset in ("ML1", "Digg"):
+            walltimes = result.walltimes[dataset]
+            assert set(walltimes) == {
+                "Exhaustive",
+                "MahoutSingle",
+                "ClusMahout",
+                "CRec",
+            }
+            assert all(v > 0 for v in walltimes.values())
+        assert "Figure 7" in result.format_report()
+
+
+class TestFig8Fig9:
+    def test_fig8_hyrec_beats_crec_and_ideal_is_worst(self):
+        result = run_fig8(
+            profile_sizes=(10, 100),
+            num_users=80,
+            requests=30,
+            seed=1,
+        )
+        assert result.mean_ms["HyRec k=10"][100] < result.mean_ms["CRec k=10"][100]
+        assert (
+            result.mean_ms["Online Ideal k=10"][100]
+            > result.mean_ms["HyRec k=10"][100]
+        )
+        assert "Figure 8" in result.format_report()
+
+    def test_fig9_saturation_shapes(self):
+        result = run_fig9(
+            concurrencies=(1, 16, 128),
+            profile_sizes=(10,),
+            num_users=60,
+            calibration_requests=30,
+            seed=1,
+        )
+        for name, curve in result.curves.items():
+            assert curve[-1].mean_response_ms > curve[0].mean_response_ms, name
+        assert "Figure 9" in result.format_report()
+
+    def test_scalability_factor_direction(self):
+        factors = scalability_factor(
+            hyrec_profile_size=200,
+            crec_profile_size=10,
+            num_users=80,
+            requests=60,
+        )
+        # HyRec at 20x the profile size must still hold a meaningful
+        # share of CRec's small-profile capacity (the Section 5.5
+        # claim's direction).  The threshold is loose because this is
+        # a timing measurement at smoke-test scale.
+        assert factors["capacity_ratio"] * 20 > 1.2
+
+    def test_build_population_validates(self):
+        with pytest.raises(ValueError):
+            build_population(num_users=5, profile_size=10, k=10)
+
+
+class TestFig10:
+    def test_sizes_grow_and_compress(self):
+        result = run_fig10(
+            profile_sizes=(10, 100), num_users=60, jobs_per_point=5, seed=1
+        )
+        assert result.raw_bytes[100] > result.raw_bytes[10]
+        assert result.gzip_bytes[100] < result.raw_bytes[100]
+        assert 0.5 < result.compression_ratio(100) < 0.95
+        assert "Figure 10" in result.format_report()
+
+
+class TestFig11To13:
+    def test_fig11_ordering(self):
+        result = run_fig11()
+        progress = result.progress
+        for index in range(len(result.loads)):
+            assert (
+                progress["Baseline"][index]
+                > progress["Decentralized"][index]
+                > progress["HyRec operation"][index]
+            )
+        # Load degrades the monitor in every configuration.
+        for series in progress.values():
+            assert series[-1] < series[0]
+        assert "Figure 11" in result.format_report()
+
+    def test_fig12_paper_targets(self):
+        result = run_fig12(loads=(0.0, 0.5, 1.0))
+        smartphone = result.times_ms["smartphone"]
+        laptop = result.times_ms["laptop"]
+        assert laptop[1] < 10.0  # <10ms at 50% load
+        assert smartphone[1] < 60.0  # <60ms at 50% load
+        assert laptop[2] / laptop[0] < 1.35  # gentle slope
+        assert "Figure 12" in result.format_report()
+
+    def test_fig13_growth_factors(self):
+        result = run_fig13(profile_sizes=(10, 100, 500))
+        assert result.growth_factor("laptop k=10") < 1.55
+        assert 6.0 < result.growth_factor("smartphone k=10") < 8.5
+        # k=20 jobs cost more than k=10 at equal profile size.
+        assert (
+            result.times_ms["laptop k=20"][500]
+            > result.times_ms["laptop k=10"][500]
+        )
+        assert "Figure 13" in result.format_report()
+
+
+class TestP2PBandwidth:
+    def test_hyrec_orders_of_magnitude_cheaper(self):
+        result = run_p2p_bandwidth(scale=0.002, seed=1, measured_cycles=8)
+        assert result.p2p_bytes_per_node > 0
+        assert result.hyrec_bytes_per_widget > 0
+        # The paper's headline: HyRec is a tiny fraction of P2P.
+        assert result.ratio < 0.05
+        assert "5.6" in result.format_report()
+
+
+class TestAblations:
+    def test_sampler_ablation_full_wins(self):
+        result = run_sampler_ablation(scale=0.03, seed=4)
+        full = result.view_similarity["full (2-hop + random)"]
+        for name, value in result.view_similarity.items():
+            assert value <= full + 0.05, name
+        assert result.ideal >= full - 1e-9
+        assert "Ablation" in result.format_report()
+
+    def test_similarity_ablation_all_metrics_run(self):
+        result = run_similarity_ablation(scale=0.03, seed=4)
+        assert set(result.view_similarity) == {"cosine", "jaccard", "overlap"}
+        for name in result.view_similarity:
+            assert result.view_similarity[name] <= result.ideal[name] + 1e-9
+        assert "Ablation" in result.format_report()

@@ -1,0 +1,103 @@
+"""Tests for the numpy exact-KNN index against the pure-Python path."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import ExactKnnIndex, exact_knn_table
+from repro.core.knn import knn_select
+from repro.core.similarity import cosine, jaccard, overlap
+
+liked_maps = st.dictionaries(
+    keys=st.integers(0, 30),
+    values=st.frozensets(st.integers(0, 40), max_size=12),
+    min_size=2,
+    max_size=18,
+)
+
+
+class TestExactIndex:
+    def test_topk_matches_pure_python(self):
+        liked = {
+            1: frozenset({1, 2, 3}),
+            2: frozenset({1, 2}),
+            3: frozenset({7, 8}),
+            4: frozenset({2, 3}),
+        }
+        index = ExactKnnIndex(liked)
+        for user in liked:
+            fast = index.topk(user, k=2)
+            slow = knn_select(liked[user], liked, k=2, exclude=user)
+            assert [n.user_id for n in fast] == [n.user_id for n in slow]
+            for a, b in zip(fast, slow):
+                assert a.score == pytest.approx(b.score, abs=1e-5)
+
+    def test_table_matches_topk(self):
+        liked = {u: frozenset({u % 3, u % 5, 10}) for u in range(12)}
+        index = ExactKnnIndex(liked)
+        table = index.table(k=3)
+        for user in liked:
+            assert table[user] == [n.user_id for n in index.topk(user, 3)]
+
+    def test_blocking_invariant(self):
+        liked = {u: frozenset({u % 4, 50}) for u in range(20)}
+        index = ExactKnnIndex(liked)
+        assert index.table(k=3, block=4) == index.table(k=3, block=64)
+
+    def test_pair_similarity_matches_set_cosine(self):
+        liked = {1: frozenset({1, 2, 3}), 2: frozenset({2, 3, 4, 5})}
+        index = ExactKnnIndex(liked)
+        assert index.pair_similarity(1, 2) == pytest.approx(
+            cosine(liked[1], liked[2])
+        )
+
+    def test_jaccard_metric(self):
+        liked = {1: frozenset({1, 2}), 2: frozenset({2, 3, 4})}
+        index = ExactKnnIndex(liked, metric="jaccard")
+        assert index.pair_similarity(1, 2) == pytest.approx(
+            jaccard(liked[1], liked[2])
+        )
+
+    def test_overlap_metric(self):
+        liked = {1: frozenset({1, 2}), 2: frozenset({2, 3, 4})}
+        index = ExactKnnIndex(liked, metric="overlap")
+        assert index.pair_similarity(1, 2) == pytest.approx(
+            overlap(liked[1], liked[2])
+        )
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            ExactKnnIndex({1: frozenset()}, metric="euclidean")
+
+    def test_empty_profiles_handled(self):
+        liked = {1: frozenset(), 2: frozenset({1}), 3: frozenset({1})}
+        index = ExactKnnIndex(liked)
+        result = index.topk(1, k=2)
+        assert len(result) == 2
+        assert all(n.score == 0.0 for n in result)
+
+    def test_single_user(self):
+        index = ExactKnnIndex({1: frozenset({1})})
+        assert index.topk(1, k=5) == []
+
+    def test_invalid_k(self):
+        index = ExactKnnIndex({1: frozenset({1}), 2: frozenset({1})})
+        with pytest.raises(ValueError):
+            index.topk(1, k=0)
+        with pytest.raises(ValueError):
+            index.table(k=0)
+
+    def test_exact_knn_table_empty(self):
+        assert exact_knn_table({}, k=3) == {}
+
+
+class TestExactVsPurePython:
+    @settings(max_examples=40, deadline=None)
+    @given(liked=liked_maps, k=st.integers(1, 6))
+    def test_tables_agree(self, liked, k):
+        """The numpy path and Algorithm 1 must agree everywhere."""
+        table = exact_knn_table(liked, k=k)
+        for user in liked:
+            expected = knn_select(liked[user], liked, k=k, exclude=user)
+            assert table[user] == [n.user_id for n in expected]

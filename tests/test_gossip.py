@@ -1,0 +1,202 @@
+"""Tests for peer sampling and epidemic clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip import (
+    ClusteringOverlay,
+    NodeDescriptor,
+    PartialView,
+    PeerSamplingService,
+)
+from repro.sim.randomness import derive_rng
+
+
+class TestPartialView:
+    def test_capacity_enforced(self):
+        view = PartialView(3, [NodeDescriptor(i, age=i) for i in range(10)])
+        assert len(view) == 3
+        # Freshest survive.
+        assert view.node_ids() == [0, 1, 2]
+
+    def test_freshest_wins_merge(self):
+        view = PartialView(5, [NodeDescriptor(1, age=5)])
+        view.merge([NodeDescriptor(1, age=2)], exclude=99)
+        assert view.descriptors()[0].age == 2
+
+    def test_stale_does_not_overwrite_fresh(self):
+        view = PartialView(5, [NodeDescriptor(1, age=2)])
+        view.merge([NodeDescriptor(1, age=7)], exclude=99)
+        assert view.descriptors()[0].age == 2
+
+    def test_exclude_self(self):
+        view = PartialView(5)
+        view.merge([NodeDescriptor(7)], exclude=7)
+        assert 7 not in view
+
+    def test_oldest(self):
+        view = PartialView(5, [NodeDescriptor(1, age=1), NodeDescriptor(2, age=9)])
+        assert view.oldest().node_id == 2
+
+    def test_increase_age(self):
+        view = PartialView(5, [NodeDescriptor(1, age=0)])
+        view.increase_age()
+        assert view.descriptors()[0].age == 1
+
+    def test_remove(self):
+        view = PartialView(5, [NodeDescriptor(1)])
+        view.remove(1)
+        assert len(view) == 0
+
+    def test_random_subset_bounds(self):
+        view = PartialView(10, [NodeDescriptor(i) for i in range(6)])
+        rng = derive_rng(0, "t")
+        assert len(view.random_subset(3, rng)) == 3
+        assert len(view.random_subset(99, rng)) == 6
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PartialView(0)
+
+
+class TestPeerSampling:
+    def build(self, nodes=40, seed=0) -> PeerSamplingService:
+        service = PeerSamplingService(view_size=8, seed=seed)
+        for node in range(nodes):
+            service.add_node(node)
+        return service
+
+    def test_bootstrap_fills_views(self):
+        service = self.build()
+        sizes = [len(service.nodes[n].view) for n in service.nodes]
+        assert all(size > 0 for size in sizes[1:])
+
+    def test_cycle_runs_exchanges(self):
+        service = self.build()
+        exchanges = service.cycle()
+        assert exchanges > 0
+        assert service.cycles_run == 1
+
+    def test_views_never_contain_self(self):
+        service = self.build()
+        for _ in range(5):
+            service.cycle()
+        for node_id, node in service.nodes.items():
+            assert node_id not in node.view
+
+    def test_views_stay_within_capacity(self):
+        service = self.build()
+        for _ in range(5):
+            service.cycle()
+        assert all(
+            len(node.view) <= service.view_size for node in service.nodes.values()
+        )
+
+    def test_overlay_mixes_over_time(self):
+        """After enough cycles every node should have been seen by many
+        distinct peers (approximate uniformity of the random graph)."""
+        service = self.build(nodes=60)
+        union_before = {
+            nid: set(service.view_of(nid)) for nid in list(service.nodes)[:5]
+        }
+        for _ in range(15):
+            service.cycle()
+        changed = 0
+        for nid, before in union_before.items():
+            if set(service.view_of(nid)) != before:
+                changed += 1
+        assert changed >= 4
+
+    def test_in_degree_reasonably_balanced(self):
+        service = self.build(nodes=60)
+        for _ in range(20):
+            service.cycle()
+        degrees = service.in_degree_distribution()
+        mean = sum(degrees.values()) / len(degrees)
+        assert max(degrees.values()) < mean * 4
+
+    def test_dead_node_aged_out(self):
+        service = self.build(nodes=20)
+        for _ in range(3):
+            service.cycle()
+        service.remove_node(5)
+        for _ in range(25):
+            service.cycle()
+        holders = [
+            nid for nid in service.nodes if 5 in service.view_of(nid)
+        ]
+        assert len(holders) <= 2  # stragglers possible, but rare
+
+    def test_removed_node_not_partnered(self):
+        service = self.build(nodes=10)
+        service.remove_node(3)
+        for _ in range(5):
+            service.cycle()  # must not raise
+
+
+class TestClustering:
+    def build(self, nodes=30, seed=0):
+        profiles = {n: frozenset({n % 5, 100 + n % 5}) for n in range(nodes)}
+        rps = PeerSamplingService(view_size=8, seed=seed)
+        overlay = ClusteringOverlay(
+            profile_provider=lambda n: profiles.get(n, frozenset()),
+            peer_sampling=rps,
+            k=4,
+            seed=seed,
+        )
+        for n in range(nodes):
+            overlay.add_node(n)
+        return overlay, profiles
+
+    def test_converges_to_similar_neighbors(self):
+        overlay, profiles = self.build(nodes=30)
+        for _ in range(15):
+            overlay.cycle()
+        # Users sharing n % 5 have identical profiles: after epidemic
+        # clustering most neighbors must come from the same class.
+        good = 0
+        total = 0
+        for node_id, node in overlay.nodes.items():
+            for neighbor in node.neighbors:
+                total += 1
+                if neighbor % 5 == node_id % 5:
+                    good += 1
+        assert total > 0
+        assert good / total > 0.8
+
+    def test_views_bounded_by_k(self):
+        overlay, _ = self.build()
+        for _ in range(5):
+            overlay.cycle()
+        assert all(len(n.neighbors) <= 4 for n in overlay.nodes.values())
+
+    def test_no_self_neighbors(self):
+        overlay, _ = self.build()
+        for _ in range(5):
+            overlay.cycle()
+        for node_id, node in overlay.nodes.items():
+            assert node_id not in node.neighbors
+
+    def test_exchange_log_records_packages(self):
+        overlay, _ = self.build()
+        overlay.cycle()
+        assert overlay.last_cycle_exchanges
+        for initiator, partner, sent, received in overlay.last_cycle_exchanges:
+            assert initiator != partner
+            assert initiator in sent  # own descriptor travels along
+            assert partner in received
+
+    def test_knn_table_snapshot(self):
+        overlay, _ = self.build()
+        for _ in range(3):
+            overlay.cycle()
+        table = overlay.knn_table()
+        assert set(table) == set(overlay.nodes)
+
+    def test_remove_node(self):
+        overlay, _ = self.build(nodes=10)
+        overlay.remove_node(0)
+        for _ in range(3):
+            overlay.cycle()
+        assert 0 not in overlay.nodes

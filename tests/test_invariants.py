@@ -1,0 +1,163 @@
+"""Cross-module invariants: the load-bearing properties tied together.
+
+These tests check relationships *between* components rather than
+single units: metric bounds versus exact indexes, cache coherence on
+the wire path, and end-to-end conservation laws.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import ExactKnnIndex
+from repro.core.config import HyRecConfig
+from repro.core.knn import knn_select
+from repro.core.profiles import Profile
+from repro.core.server import HyRecServer
+from repro.core.similarity import get_metric
+from repro.messages import decode_json, encode_json, gzip_decompress
+
+liked_maps = st.dictionaries(
+    keys=st.integers(0, 25),
+    values=st.frozensets(st.integers(0, 30), max_size=10),
+    min_size=2,
+    max_size=14,
+)
+
+
+class TestIdealIsUpperBound:
+    @settings(max_examples=25, deadline=None)
+    @given(liked=liked_maps, k=st.integers(1, 5))
+    def test_no_neighborhood_beats_the_ideal_per_user(self, liked, k):
+        """For every user, the exact top-k mean similarity dominates
+        the mean similarity of ANY k-subset -- in particular whatever
+        HyRec's sampling or the gossip overlay converge to."""
+        index = ExactKnnIndex(liked)
+        metric = get_metric("cosine")
+        for user in liked:
+            ideal = index.topk(user, k)
+            if not ideal:
+                continue
+            ideal_mean = sum(n.score for n in ideal) / len(ideal)
+            # Adversarial subset: the *worst* candidates by similarity.
+            worst = knn_select(
+                liked[user],
+                {u: s for u, s in liked.items() if u != user},
+                k=len(liked),
+                metric=metric,
+            )[-k:]
+            worst_mean = sum(n.score for n in worst) / len(worst)
+            assert worst_mean <= ideal_mean + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(liked=liked_maps, k=st.integers(1, 4))
+    def test_exact_index_agrees_with_algorithm1_for_all_metrics(self, liked, k):
+        for metric_name in ("cosine", "jaccard", "overlap"):
+            index = ExactKnnIndex(liked, metric=metric_name)
+            metric = get_metric(metric_name)
+            for user in liked:
+                fast = [n.user_id for n in index.topk(user, k)]
+                slow = [
+                    n.user_id
+                    for n in knn_select(
+                        liked[user], liked, k=k, metric=metric, exclude=user
+                    )
+                ]
+                assert fast == slow, (metric_name, user)
+
+
+class TestWirePathCoherence:
+    def _server(self, ratings_per_user=8, users=25) -> HyRecServer:
+        from repro.sim.randomness import derive_rng
+
+        server = HyRecServer(HyRecConfig(k=4, r=4), seed=5)
+        rng = derive_rng(5, "coherence")
+        for uid in range(users):
+            for _ in range(ratings_per_user):
+                server.record_rating(
+                    uid, rng.randrange(60), 1.0 if rng.random() < 0.8 else 0.0
+                )
+        return server
+
+    def test_render_matches_reference_encoding_repeatedly(self):
+        server = self._server()
+        for uid in range(5):
+            job = server.handle_online_request(uid)
+            wire = server.render_online_response(job)
+            assert gzip_decompress(wire) == encode_json(job.to_payload())
+
+    def test_render_stays_correct_across_profile_updates(self):
+        """Cache invalidation: rate between renders, bytes must track."""
+        server = self._server()
+        job1 = server.handle_online_request(0)
+        server.render_online_response(job1)
+        # Mutate several profiles that likely appear in candidate sets.
+        for uid in range(10):
+            server.record_rating(uid, 999, 1.0)
+        job2 = server.handle_online_request(0)
+        wire2 = server.render_online_response(job2)
+        decoded = decode_json(gzip_decompress(wire2))
+        assert decoded == job2.to_payload()
+        # The new rating is visible wherever its owner appears.
+        for token, profile in job2.candidates.items():
+            owner = server.anonymizer.resolve_user(token)
+            if owner < 10:
+                assert profile.get("999") == 1.0
+
+    def test_render_correct_after_reshuffle(self):
+        server = self._server()
+        job1 = server.handle_online_request(0)
+        server.render_online_response(job1)
+        server.anonymizer.reshuffle()
+        job2 = server.handle_online_request(0)
+        wire = server.render_online_response(job2)
+        assert gzip_decompress(wire) == encode_json(job2.to_payload())
+
+    def test_fragment_caches_invalidate_together(self):
+        profile = Profile(1)
+        profile.add(10, 1.0)
+        fragment_before = profile.json_fragment()
+        deflated_before = profile.deflated_fragment()
+        profile.add(11, 1.0)
+        assert profile.json_fragment() != fragment_before
+        assert profile.deflated_fragment() != deflated_before
+        # Deflated segment must always decompress to the fragment.
+        import zlib
+
+        decompressor = zlib.decompressobj(wbits=-15)
+        assert (
+            decompressor.decompress(profile.deflated_fragment())
+            == profile.json_fragment()
+        )
+
+
+class TestConservationLaws:
+    def test_replay_conserves_ratings(self, ml1_small):
+        """Every trace rating lands in exactly one profile entry
+        (modulo re-rates of the same item)."""
+        from repro.core.system import HyRecSystem
+
+        system = HyRecSystem(HyRecConfig(k=5), seed=0)
+        system.replay(ml1_small)
+        stored = sum(
+            system.server.profiles.get(uid).size
+            for uid in system.server.profiles.users()
+        )
+        distinct_pairs = len({(r.user, r.item) for r in ml1_small})
+        assert stored == distinct_pairs
+
+    def test_meter_totals_are_sums_of_channels(self, replayed_system):
+        meter = replayed_system.server.meter
+        assert meter.total_wire_bytes == sum(
+            reading.wire_bytes for reading in meter.channels.values()
+        )
+        down = meter.reading("server->client")
+        up = meter.reading("client->server")
+        assert down.messages == up.messages == replayed_system.requests_served
+
+    def test_knn_rows_only_reference_known_users(self, replayed_system):
+        profiles = replayed_system.server.profiles
+        for user in replayed_system.server.knn_table.users():
+            for neighbor in replayed_system.server.knn_table.neighbors_of(user):
+                assert neighbor in profiles
+                assert neighbor != user

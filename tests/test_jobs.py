@@ -1,0 +1,95 @@
+"""Tests for personalization-job wire messages."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.jobs import JobResult, PersonalizationJob
+from repro.messages import decode_json, encode_json
+
+profiles = st.dictionaries(
+    keys=st.integers(0, 500).map(str),
+    values=st.sampled_from([0.0, 1.0]),
+    max_size=20,
+)
+
+
+class TestPersonalizationJob:
+    def test_payload_round_trip(self):
+        job = PersonalizationJob(
+            user_token="u0_ab",
+            user_profile={"1": 1.0, "2": 0.0},
+            candidates={"u0_cd": {"3": 1.0}},
+            k=10,
+            r=5,
+            metric="jaccard",
+        )
+        rebuilt = PersonalizationJob.from_payload(job.to_payload())
+        assert rebuilt == job
+
+    def test_payload_survives_json(self):
+        job = PersonalizationJob(
+            user_token="u0_ab",
+            user_profile={"1": 1.0},
+            candidates={"u0_cd": {"3": 1.0}, "u0_ef": {}},
+            k=3,
+            r=2,
+        )
+        wire = encode_json(job.to_payload())
+        rebuilt = PersonalizationJob.from_payload(decode_json(wire))
+        assert rebuilt == job
+
+    def test_candidate_count(self):
+        job = PersonalizationJob("t", {}, {"a": {}, "b": {}}, k=1, r=1)
+        assert job.candidate_count() == 2
+
+    def test_default_metric_is_cosine(self):
+        payload = {"u": "t", "p": {}, "c": {}, "k": 1, "r": 1}
+        job = PersonalizationJob.from_payload(payload)
+        assert job.metric == "cosine"
+
+    @given(profile=profiles, candidates=st.dictionaries(
+        keys=st.text(alphabet="abcdef0123456789_u", min_size=1, max_size=10),
+        values=profiles,
+        max_size=8,
+    ))
+    def test_round_trip_property(self, profile, candidates):
+        job = PersonalizationJob(
+            user_token="u0_x",
+            user_profile=profile,
+            candidates=candidates,
+            k=5,
+            r=5,
+        )
+        wire = encode_json(job.to_payload())
+        assert PersonalizationJob.from_payload(decode_json(wire)) == job
+
+
+class TestJobResult:
+    def test_payload_round_trip(self):
+        result = JobResult(
+            user_token="u0_ab",
+            neighbor_tokens=["u0_cd", "u0_ef"],
+            recommended_items=["5", "7"],
+            neighbor_scores=[0.8, 0.5],
+        )
+        rebuilt = JobResult.from_payload(result.to_payload())
+        assert rebuilt == result
+
+    def test_scores_optional_on_the_wire(self):
+        payload = {"u": "t", "n": ["a"], "r": []}
+        result = JobResult.from_payload(payload)
+        assert result.neighbor_scores == []
+
+    @given(
+        neighbors=st.lists(st.text(min_size=1, max_size=8), max_size=10),
+        items=st.lists(st.text(min_size=1, max_size=8), max_size=10),
+    )
+    def test_round_trip_property(self, neighbors, items):
+        result = JobResult(
+            user_token="u",
+            neighbor_tokens=neighbors,
+            recommended_items=items,
+        )
+        wire = encode_json(result.to_payload())
+        assert JobResult.from_payload(decode_json(wire)) == result

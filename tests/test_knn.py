@@ -1,0 +1,119 @@
+"""Unit and property tests for Algorithm 1 (KNN selection)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.knn import Neighbor, knn_select
+from repro.core.similarity import cosine, jaccard
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=40), max_size=15)
+candidate_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=50),
+    values=item_sets,
+    max_size=20,
+)
+
+
+class TestKnnSelect:
+    def test_selects_most_similar(self):
+        user = frozenset({1, 2, 3})
+        candidates = {
+            10: frozenset({1, 2, 3}),  # identical
+            11: frozenset({1, 2}),  # close
+            12: frozenset({9}),  # disjoint
+        }
+        result = knn_select(user, candidates, k=2)
+        assert [n.user_id for n in result] == [10, 11]
+        assert result[0].score == pytest.approx(1.0)
+
+    def test_k_larger_than_candidates(self):
+        result = knn_select(frozenset({1}), {5: frozenset({1})}, k=10)
+        assert len(result) == 1
+
+    def test_excludes_self(self):
+        user = frozenset({1, 2})
+        candidates = {0: user, 1: frozenset({1})}
+        result = knn_select(user, candidates, k=5, exclude=0)
+        assert all(n.user_id != 0 for n in result)
+
+    def test_deterministic_tie_break_by_user_id(self):
+        user = frozenset({1, 2})
+        candidates = {7: frozenset({1}), 3: frozenset({2}), 5: frozenset({1})}
+        result = knn_select(user, candidates, k=3)
+        # All three have identical similarity; order must be by id.
+        assert [n.user_id for n in result] == [3, 5, 7]
+
+    def test_scores_are_sorted_descending(self):
+        user = frozenset(range(10))
+        candidates = {i: frozenset(range(i)) for i in range(1, 11)}
+        result = knn_select(user, candidates, k=10)
+        scores = [n.score for n in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_custom_metric_changes_selection(self):
+        user = frozenset({1, 2, 3, 4})
+        candidates = {
+            # Candidate 1: one shared item out of one.
+            #   cosine = 1/sqrt(4)   = 0.500, jaccard = 1/4  = 0.250
+            # Candidate 2: three shared items out of ten.
+            #   cosine = 3/sqrt(40)  = 0.474, jaccard = 3/11 = 0.273
+            1: frozenset({1}),
+            2: frozenset({1, 2, 3, 10, 11, 12, 13, 14, 15, 16}),
+        }
+        by_cosine = knn_select(user, candidates, k=1, metric=cosine)
+        by_jaccard = knn_select(user, candidates, k=1, metric=jaccard)
+        assert by_cosine[0].user_id == 1
+        assert by_jaccard[0].user_id == 2
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError, match="k must be at least 1"):
+            knn_select(frozenset(), {}, k=0)
+
+    def test_empty_candidates_empty_result(self):
+        assert knn_select(frozenset({1}), {}, k=3) == []
+
+
+class TestKnnProperties:
+    @given(user=item_sets, candidates=candidate_maps, k=st.integers(1, 10))
+    def test_result_size_bounded_by_k(self, user, candidates, k):
+        result = knn_select(user, candidates, k=k)
+        assert len(result) <= k
+        assert len(result) == min(k, len(candidates))
+
+    @given(user=item_sets, candidates=candidate_maps, k=st.integers(1, 10))
+    def test_results_are_candidates(self, user, candidates, k):
+        result = knn_select(user, candidates, k=k)
+        assert all(n.user_id in candidates for n in result)
+
+    @given(user=item_sets, candidates=candidate_maps, k=st.integers(1, 10))
+    def test_no_duplicates(self, user, candidates, k):
+        result = knn_select(user, candidates, k=k)
+        ids = [n.user_id for n in result]
+        assert len(ids) == len(set(ids))
+
+    @given(user=item_sets, candidates=candidate_maps, k=st.integers(1, 10))
+    def test_selected_dominate_rejected(self, user, candidates, k):
+        """Every selected neighbor scores >= every rejected candidate."""
+        result = knn_select(user, candidates, k=k)
+        if not result:
+            return
+        selected = {n.user_id for n in result}
+        worst_selected = min(n.score for n in result)
+        for uid, liked in candidates.items():
+            if uid not in selected:
+                assert cosine(user, liked) <= worst_selected + 1e-12
+
+    @given(user=item_sets, candidates=candidate_maps)
+    def test_deterministic(self, user, candidates):
+        first = knn_select(user, candidates, k=5)
+        second = knn_select(user, candidates, k=5)
+        assert first == second
+
+    @given(user=item_sets, candidates=candidate_maps, k=st.integers(1, 5))
+    def test_neighbor_is_frozen_dataclass(self, user, candidates, k):
+        for neighbor in knn_select(user, candidates, k=k):
+            assert isinstance(neighbor, Neighbor)
+            with pytest.raises(AttributeError):
+                neighbor.score = 2.0  # type: ignore[misc]

@@ -1,0 +1,39 @@
+"""Tests for the ab-style load generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.loadgen import LoadGenerator, LoadResult
+
+
+class TestLoadGenerator:
+    def test_single_run_fields(self):
+        generator = LoadGenerator(lambda _: 0.005, workers=4)
+        result = generator.run(requests=100, concurrency=2)
+        assert isinstance(result, LoadResult)
+        assert result.requests == 100
+        assert result.concurrency == 2
+        assert result.mean_response_s == pytest.approx(0.005)
+        assert result.mean_response_ms == pytest.approx(5.0)
+        assert result.throughput_rps > 0
+
+    def test_sweep_returns_one_point_per_level(self):
+        generator = LoadGenerator(lambda _: 0.002, workers=4)
+        results = generator.sweep_concurrency([1, 4, 16], requests_per_point=50)
+        assert [r.concurrency for r in results] == [1, 4, 16]
+
+    def test_hockey_stick_shape(self):
+        """Response time is flat below saturation, linear above."""
+        generator = LoadGenerator(lambda _: 0.010, workers=8)
+        results = generator.sweep_concurrency([1, 8, 64], requests_per_point=200)
+        flat_ratio = results[1].mean_response_s / results[0].mean_response_s
+        steep_ratio = results[2].mean_response_s / results[1].mean_response_s
+        assert flat_ratio < 1.5
+        assert steep_ratio > 4.0
+
+    def test_p95_at_least_mean_for_mixed_load(self):
+        times = [0.001, 0.010]
+        generator = LoadGenerator(lambda seq: times[seq % 2], workers=1)
+        result = generator.run(requests=100, concurrency=1)
+        assert result.p95_response_s >= result.mean_response_s

@@ -1,0 +1,196 @@
+"""Tests for the map-reduce engine and the three KNN jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import exact_knn_table
+from repro.mapreduce import (
+    MapReduceEngine,
+    crec_knn_job,
+    exhaustive_knn_job,
+    mahout_knn_job,
+    makespan,
+)
+
+
+def word_count_engine(**kwargs) -> MapReduceEngine:
+    return MapReduceEngine(workers=2, task_overhead_s=0.0, **kwargs)
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_single_worker_sums(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_perfect_split(self):
+        assert makespan([1.0, 1.0, 1.0, 1.0], 2) == 2.0
+
+    def test_lpt_balances_uneven(self):
+        # LPT: 5 -> w1; 4 -> w2; 3 -> w2(7)? no w1=5 w2=4, 3->w2=7.
+        assert makespan([5.0, 4.0, 3.0], 2) == 7.0
+
+    def test_dominated_by_longest_task(self):
+        assert makespan([10.0, 0.1, 0.1], 4) == 10.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+
+class TestEngine:
+    def test_word_count(self):
+        engine = word_count_engine()
+        documents = ["a b a", "b c", "a"]
+
+        def mapper(doc: str):
+            for word in doc.split():
+                yield word, 1
+
+        def reducer(word: str, counts: list[int]):
+            return word, sum(counts)
+
+        result = engine.run(documents, mapper, reducer)
+        assert dict(result.results) == {"a": 3, "b": 2, "c": 1}
+
+    def test_stats_recorded(self):
+        engine = word_count_engine()
+        result = engine.run(
+            list(range(20)),
+            lambda x: [(x % 3, x)],
+            lambda key, values: (key, len(values)),
+        )
+        assert result.map_stats.tasks > 0
+        assert result.reduce_stats.tasks > 0
+        assert result.shuffled_pairs == 20
+        assert result.cpu_seconds >= 0
+        assert result.wall_clock_s > 0
+
+    def test_more_workers_reduce_wall_clock(self):
+        def slow_mapper(x):
+            total = 0
+            for i in range(20_000):
+                total += i
+            yield x, total
+
+        inputs = list(range(32))
+        slow = MapReduceEngine(workers=1, task_overhead_s=0.0).run(
+            inputs, slow_mapper, lambda k, v: (k, v[0])
+        )
+        fast = MapReduceEngine(workers=8, task_overhead_s=0.0).run(
+            inputs, slow_mapper, lambda k, v: (k, v[0])
+        )
+        assert fast.wall_clock_s < slow.wall_clock_s
+
+    def test_task_overhead_added(self):
+        cheap = MapReduceEngine(workers=1, task_overhead_s=0.0, tasks_per_worker=1)
+        costly = MapReduceEngine(workers=1, task_overhead_s=1.0, tasks_per_worker=1)
+        inputs = [1, 2, 3]
+        identity = (lambda x: [(x, x)], lambda k, v: (k, v[0]))
+        fast = cheap.run(inputs, *identity)
+        slow = costly.run(inputs, *identity)
+        # One map task + one reduce task, each 1.0s of launch overhead
+        # (allow measurement noise on the real task durations).
+        assert slow.wall_clock_s >= fast.wall_clock_s + 1.99
+
+    def test_shuffle_penalty_increases_wall_clock(self):
+        inputs = list(range(200))
+        identity = (lambda x: [(x, x)], lambda k, v: (k, v[0]))
+        local = MapReduceEngine(
+            workers=2, task_overhead_s=0.0, shuffle_cost_per_pair_s=1e-4
+        ).run(inputs, *identity)
+        remote = MapReduceEngine(
+            workers=2,
+            task_overhead_s=0.0,
+            shuffle_cost_per_pair_s=1e-4,
+            shuffle_penalty=5.0,
+        ).run(inputs, *identity)
+        assert remote.wall_clock_s > local.wall_clock_s
+
+    def test_empty_inputs(self):
+        engine = word_count_engine()
+        result = engine.run([], lambda x: [(x, 1)], lambda k, v: (k, v))
+        assert result.results == []
+        assert result.wall_clock_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(workers=0)
+        with pytest.raises(ValueError):
+            MapReduceEngine(tasks_per_worker=0)
+        with pytest.raises(ValueError):
+            MapReduceEngine(shuffle_penalty=0.5)
+
+
+@pytest.fixture(scope="module")
+def liked_sets(ml1_tiny_module):
+    return ml1_tiny_module
+
+
+@pytest.fixture(scope="module")
+def ml1_tiny_module():
+    from repro.datasets import load_dataset
+    from repro.eval.common import liked_sets_of_trace
+
+    return liked_sets_of_trace(load_dataset("ML1", scale=0.02, seed=77))
+
+
+class TestKnnJobs:
+    def test_exhaustive_matches_exact_index(self, liked_sets):
+        engine = MapReduceEngine(workers=2, task_overhead_s=0.0)
+        table, _ = exhaustive_knn_job(engine, liked_sets, k=5)
+        expected = exact_knn_table(liked_sets, k=5)
+        assert table == expected
+
+    def test_mahout_matches_exact_index(self, liked_sets):
+        """Co-occurrence pruning must not change the result: every
+        user pair with nonzero cosine co-rates at least one item."""
+        engine = MapReduceEngine(workers=2, task_overhead_s=0.0)
+        table, _ = mahout_knn_job(engine, liked_sets, k=5)
+        expected = exact_knn_table(liked_sets, k=5)
+        mismatches = 0
+        for user, ideal_neighbors in expected.items():
+            got = table[user]
+            # Zero-similarity tail positions may legitimately differ:
+            # mahout omits non-co-rating users, exact ranks them by id.
+            shared = [n for n in ideal_neighbors if n in set(got)]
+            if len(shared) < min(3, len(ideal_neighbors)):
+                mismatches += 1
+        assert mismatches <= len(expected) * 0.1
+
+    def test_mahout_covers_all_users(self, liked_sets):
+        engine = MapReduceEngine(workers=2, task_overhead_s=0.0)
+        table, _ = mahout_knn_job(engine, liked_sets, k=5)
+        assert set(table) == set(liked_sets)
+
+    def test_crec_converges_near_ideal(self, liked_sets):
+        engine = MapReduceEngine(workers=2, task_overhead_s=0.0)
+        table, _ = crec_knn_job(engine, liked_sets, k=5, iterations=6, seed=1)
+        from repro.metrics.view_similarity import (
+            ideal_view_similarity,
+            view_similarity_of_table,
+        )
+
+        achieved = view_similarity_of_table(liked_sets, table)
+        ideal = ideal_view_similarity(liked_sets, k=5)
+        assert achieved >= 0.75 * ideal
+
+    def test_crec_respects_k(self, liked_sets):
+        engine = MapReduceEngine(workers=2, task_overhead_s=0.0)
+        table, _ = crec_knn_job(engine, liked_sets, k=3, iterations=2, seed=1)
+        assert all(len(neighbors) <= 3 for neighbors in table.values())
+        assert all(user not in neighbors for user, neighbors in table.items())
+
+    def test_crec_accumulates_iterations(self, liked_sets):
+        engine = MapReduceEngine(workers=2, task_overhead_s=0.0)
+        _, one = crec_knn_job(engine, liked_sets, k=3, iterations=1, seed=1)
+        _, three = crec_knn_job(engine, liked_sets, k=3, iterations=3, seed=1)
+        assert three.cpu_seconds > one.cpu_seconds
+        assert three.map_stats.tasks == 3 * one.map_stats.tasks
+
+    def test_crec_invalid_iterations(self, liked_sets):
+        engine = MapReduceEngine(workers=2)
+        with pytest.raises(ValueError):
+            crec_knn_job(engine, liked_sets, k=3, iterations=0)

@@ -1,0 +1,179 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.schema import Rating, Trace
+from repro.metrics import (
+    LatencySummary,
+    QualityProtocol,
+    bucket_series,
+    format_bytes,
+    ideal_view_similarity,
+    summarize_latencies,
+    view_similarity_of_table,
+    view_similarity_per_user,
+)
+from repro.metrics.recommendation_quality import QualityResult
+
+
+class TestViewSimilarity:
+    LIKED = {
+        1: frozenset({1, 2, 3}),
+        2: frozenset({1, 2, 3}),
+        3: frozenset({9}),
+    }
+
+    def test_per_user_values(self):
+        table = {1: [2], 2: [1], 3: [1]}
+        per_user = view_similarity_per_user(self.LIKED, table)
+        assert per_user[1] == pytest.approx(1.0)
+        assert per_user[2] == pytest.approx(1.0)
+        assert per_user[3] == 0.0
+
+    def test_empty_neighborhood_scores_zero(self):
+        per_user = view_similarity_per_user(self.LIKED, {})
+        assert per_user == {1: 0.0, 2: 0.0, 3: 0.0}
+
+    def test_average(self):
+        table = {1: [2], 2: [1], 3: [1]}
+        average = view_similarity_of_table(self.LIKED, table)
+        assert average == pytest.approx(2.0 / 3.0)
+
+    def test_unknown_neighbors_skipped(self):
+        table = {1: [999]}
+        per_user = view_similarity_per_user(self.LIKED, table)
+        assert per_user[1] == 0.0
+
+    def test_ideal_is_upper_bound(self):
+        """No table may beat the ideal average view similarity."""
+        ideal = ideal_view_similarity(self.LIKED, k=1)
+        best_table = {1: [2], 2: [1], 3: [1]}
+        assert view_similarity_of_table(self.LIKED, best_table) <= ideal + 1e-9
+
+    def test_ideal_empty(self):
+        assert ideal_view_similarity({}, k=3) == 0.0
+
+
+class TestQualityProtocol:
+    class PerfectSystem:
+        """Always recommends exactly the item about to be liked."""
+
+        def __init__(self, test_trace):
+            self._upcoming = [r.item for r in test_trace if r.value == 1.0]
+            self._cursor = 0
+
+        def record_rating(self, user_id, item, value, timestamp):
+            pass
+
+        def recommend_for(self, user_id, now, n):
+            item = self._upcoming[self._cursor]
+            self._cursor += 1
+            return [item] + [10_000 + i for i in range(n - 1)]
+
+    class UselessSystem:
+        def record_rating(self, user_id, item, value, timestamp):
+            pass
+
+        def recommend_for(self, user_id, now, n):
+            return [99_999] * n
+
+    def _traces(self):
+        train = Trace("train", [Rating(0.0, 1, 1, 1.0)])
+        test = Trace(
+            "test",
+            [
+                Rating(10.0, 1, 5, 1.0),
+                Rating(11.0, 1, 6, 0.0),  # negative: no request
+                Rating(12.0, 2, 7, 1.0),
+            ],
+        )
+        return train, test
+
+    def test_perfect_system_hits_everything(self):
+        train, test = self._traces()
+        protocol = QualityProtocol(n_max=5)
+        result = protocol.run(self.PerfectSystem(test), train, test)
+        assert result.positives == 2
+        assert result.hits_at[1] == 2
+        assert result.hits_at[5] == 2
+
+    def test_useless_system_hits_nothing(self):
+        train, test = self._traces()
+        result = QualityProtocol(n_max=5).run(self.UselessSystem(), train, test)
+        assert result.positives == 2
+        assert all(count == 0 for count in result.hits_at.values())
+
+    def test_only_positive_ratings_request(self):
+        train, test = self._traces()
+        result = QualityProtocol(n_max=3).run(self.PerfectSystem(test), train, test)
+        assert result.requests == 2  # the dislike never asks
+
+    def test_hits_monotone_in_n(self):
+        result = QualityResult(n_max=5)
+        result.record_rank(3)
+        result.record_rank(None)
+        result.record_rank(1)
+        counts = [result.hits_at[n] for n in range(1, 6)]
+        assert counts == sorted(counts)
+        assert result.hits_at[1] == 1
+        assert result.hits_at[3] == 2
+
+    def test_precision(self):
+        result = QualityResult(n_max=2)
+        result.record_rank(1)
+        result.record_rank(None)
+        assert result.precision_at(1) == 0.5
+
+    def test_curve_shape(self):
+        result = QualityResult(n_max=3)
+        result.record_rank(2)
+        assert result.curve() == [(1, 0), (2, 1), (3, 1)]
+
+    def test_invalid_n_max(self):
+        with pytest.raises(ValueError):
+            QualityProtocol(n_max=0)
+
+
+class TestBucketSeries:
+    def test_bucketing(self):
+        samples = [(0.0, 10.0), (1.0, 20.0), (5.0, 30.0)]
+        points = bucket_series(samples, bucket_width=2.0)
+        assert len(points) == 2
+        assert points[0].mean == pytest.approx(15.0)
+        assert points[0].count == 2
+        assert points[1].time == 4.0
+
+    def test_empty(self):
+        assert bucket_series([], 1.0) == []
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bucket_series([(0.0, 1.0)], 0.0)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        summary = summarize_latencies([0.001, 0.002, 0.003, 0.010])
+        assert isinstance(summary, LatencySummary)
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.004)
+        assert summary.maximum == 0.010
+        assert summary.mean_ms == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+
+class TestFormatBytes:
+    def test_ranges(self):
+        assert format_bytes(500) == "500B"
+        assert format_bytes(8_000) == "8.0kB"
+        assert format_bytes(24_000_000) == "24.0MB"
+        assert format_bytes(3_200_000_000) == "3.20GB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)

@@ -1,0 +1,84 @@
+"""Tests for the linkage attack and the privacy experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy import LinkageAttack, LinkageReport
+from repro.eval.privacy import run_privacy_attack
+
+
+class TestLinkageAttack:
+    def test_perfect_linkage_on_identical_profiles(self):
+        before = {"old_a": frozenset({"1", "2"}), "old_b": frozenset({"9"})}
+        after = {"new_a": frozenset({"1", "2"}), "new_b": frozenset({"9"})}
+        truth = {"new_a": "old_a", "new_b": "old_b"}
+        report = LinkageAttack().evaluate(before, after, truth)
+        assert report.accuracy == 1.0
+        assert report.attempted == 2
+
+    def test_greedy_assignment_without_replacement(self):
+        # Both new tokens resemble old_a, but only one may claim it.
+        before = {"old_a": frozenset({"1", "2", "3"})}
+        after = {
+            "new_x": frozenset({"1", "2", "3"}),
+            "new_y": frozenset({"1", "2"}),
+        }
+        linked = LinkageAttack().link(before, after)
+        assert linked == {"new_x": "old_a"}
+
+    def test_threshold_abstains_on_weak_matches(self):
+        before = {"old_a": frozenset({"1"})}
+        after = {"new_z": frozenset({"2"})}
+        linked = LinkageAttack(threshold=0.1).link(before, after)
+        assert linked == {}
+
+    def test_zero_similarity_not_linked(self):
+        before = {"old_a": frozenset({"1"})}
+        after = {"new_z": frozenset({"2"})}
+        assert LinkageAttack().link(before, after) == {}
+
+    def test_wrong_guess_counts_against_accuracy(self):
+        before = {
+            "old_a": frozenset({"1", "2"}),
+            "old_b": frozenset({"1", "3"}),
+        }
+        after = {"new_1": frozenset({"1", "2"})}
+        # Truth says new_1 is old_b; content says old_a: a wrong claim.
+        report = LinkageAttack().evaluate(before, after, {"new_1": "old_b"})
+        assert report.attempted == 1
+        assert report.correct == 0
+        assert report.accuracy == 0.0
+
+    def test_empty_report(self):
+        report = LinkageReport(linked={}, attempted=0, correct=0)
+        assert report.accuracy == 0.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LinkageAttack(threshold=-0.5)
+
+
+class TestPrivacyExperiment:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_privacy_attack(
+            profile_sizes=(5, 50),
+            drifts=(0.5, 10.0),
+            num_users=60,
+            observe_requests=20,
+            seed=1,
+        )
+
+    def test_reshuffling_alone_is_weak(self, grid):
+        """The Section 6 caveat: distinctive profiles re-link easily."""
+        assert grid.accuracy(50, 0.5) > 0.9
+
+    def test_extreme_drift_protects_small_profiles(self, grid):
+        assert grid.accuracy(5, 10.0) < grid.accuracy(5, 0.5)
+        assert grid.accuracy(5, 10.0) < grid.accuracy(50, 10.0) + 0.05
+
+    def test_report_formats(self, grid):
+        report = grid.format_report()
+        assert "linkage" in report
+        assert "drift" in report

@@ -1,0 +1,87 @@
+"""Tests for the queueing model, including closed-form validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.queueing import QueueingServer, RequestStats
+
+
+class TestRequestStats:
+    def test_empty_stats(self):
+        stats = RequestStats()
+        assert stats.mean == 0.0
+        assert stats.p95 == 0.0
+        assert stats.throughput == 0.0
+
+    def test_mean_and_p95(self):
+        stats = RequestStats(response_times=[1.0, 2.0, 3.0, 4.0], completed=4)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p95 == 4.0
+
+
+class TestClosedLoop:
+    def test_single_client_sees_service_time(self):
+        server = QueueingServer(workers=4, service_time_fn=lambda _: 0.010)
+        stats = server.run_closed_loop(concurrency=1, total_requests=50)
+        assert stats.completed == 50
+        assert stats.mean == pytest.approx(0.010)
+
+    def test_below_saturation_no_queueing(self):
+        """C <= W: every request is served immediately."""
+        server = QueueingServer(workers=8, service_time_fn=lambda _: 0.010)
+        stats = server.run_closed_loop(concurrency=8, total_requests=80)
+        assert stats.mean == pytest.approx(0.010)
+
+    def test_saturated_matches_closed_form(self):
+        """C > W: steady-state response approximates C * s / W."""
+        service = 0.010
+        workers = 4
+        concurrency = 40
+        server = QueueingServer(workers=workers, service_time_fn=lambda _: service)
+        stats = server.run_closed_loop(
+            concurrency=concurrency, total_requests=800
+        )
+        expected = concurrency * service / workers
+        assert stats.mean == pytest.approx(expected, rel=0.15)
+
+    def test_throughput_capped_by_workers(self):
+        service = 0.010
+        workers = 4
+        server = QueueingServer(workers=workers, service_time_fn=lambda _: service)
+        stats = server.run_closed_loop(concurrency=100, total_requests=500)
+        assert stats.throughput == pytest.approx(workers / service, rel=0.1)
+
+    def test_completes_exactly_total_requests(self):
+        server = QueueingServer(workers=2, service_time_fn=lambda _: 0.001)
+        stats = server.run_closed_loop(concurrency=7, total_requests=33)
+        assert stats.completed == 33
+        assert len(stats.response_times) == 33
+
+    def test_response_time_grows_with_concurrency(self):
+        server = QueueingServer(workers=4, service_time_fn=lambda _: 0.010)
+        low = server.run_closed_loop(concurrency=2, total_requests=100)
+        high = server.run_closed_loop(concurrency=64, total_requests=100)
+        assert high.mean > low.mean * 5
+
+    def test_variable_service_times(self):
+        times = [0.001, 0.005, 0.020]
+        server = QueueingServer(
+            workers=1, service_time_fn=lambda seq: times[seq % 3]
+        )
+        stats = server.run_closed_loop(concurrency=1, total_requests=30)
+        assert stats.mean == pytest.approx(sum(times) / 3, rel=0.01)
+
+    def test_negative_service_time_rejected(self):
+        server = QueueingServer(workers=1, service_time_fn=lambda _: -1.0)
+        with pytest.raises(ValueError, match="negative"):
+            server.run_closed_loop(concurrency=1, total_requests=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueingServer(workers=0, service_time_fn=lambda _: 1.0)
+        server = QueueingServer(workers=1, service_time_fn=lambda _: 1.0)
+        with pytest.raises(ValueError):
+            server.run_closed_loop(concurrency=0, total_requests=1)
+        with pytest.raises(ValueError):
+            server.run_closed_loop(concurrency=1, total_requests=0)

@@ -1,0 +1,99 @@
+"""Unit and property tests for Algorithm 2 (item recommendation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.recommend import Recommendation, recommend_most_popular
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=40), max_size=15)
+liked_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=30),
+    values=item_sets,
+    max_size=15,
+)
+
+
+class TestRecommendMostPopular:
+    def test_counts_popularity(self):
+        candidates = {
+            1: frozenset({10, 11}),
+            2: frozenset({10}),
+            3: frozenset({11}),
+        }
+        result = recommend_most_popular(frozenset(), candidates, r=2)
+        assert [(r.item_id, r.popularity) for r in result] == [(10, 2), (11, 2)]
+
+    def test_excludes_rated_items(self):
+        """Anything in Pu -- liked OR disliked -- is never recommended."""
+        candidates = {1: frozenset({10, 11, 12})}
+        result = recommend_most_popular(frozenset({10, 12}), candidates, r=5)
+        assert [r.item_id for r in result] == [11]
+
+    def test_tie_break_by_item_id(self):
+        candidates = {1: frozenset({30, 20, 10})}
+        result = recommend_most_popular(frozenset(), candidates, r=3)
+        assert [r.item_id for r in result] == [10, 20, 30]
+
+    def test_r_limits_results(self):
+        candidates = {1: frozenset(range(20))}
+        result = recommend_most_popular(frozenset(), candidates, r=4)
+        assert len(result) == 4
+
+    def test_accepts_iterable_of_sets(self):
+        result = recommend_most_popular(
+            frozenset(), [frozenset({1}), frozenset({1, 2})], r=2
+        )
+        assert result[0] == Recommendation(item_id=1, popularity=2)
+
+    def test_invalid_r_raises(self):
+        with pytest.raises(ValueError, match="r must be at least 1"):
+            recommend_most_popular(frozenset(), {}, r=0)
+
+    def test_empty_candidates(self):
+        assert recommend_most_popular(frozenset({1}), {}, r=3) == []
+
+    def test_everything_already_rated(self):
+        candidates = {1: frozenset({5, 6})}
+        assert recommend_most_popular(frozenset({5, 6}), candidates, r=3) == []
+
+
+class TestRecommendProperties:
+    @given(rated=item_sets, candidates=liked_maps, r=st.integers(1, 10))
+    def test_never_recommends_rated(self, rated, candidates, r):
+        result = recommend_most_popular(rated, candidates, r=r)
+        assert all(rec.item_id not in rated for rec in result)
+
+    @given(rated=item_sets, candidates=liked_maps, r=st.integers(1, 10))
+    def test_result_bounded_by_r(self, rated, candidates, r):
+        assert len(recommend_most_popular(rated, candidates, r=r)) <= r
+
+    @given(rated=item_sets, candidates=liked_maps, r=st.integers(1, 10))
+    def test_popularity_sorted_descending(self, rated, candidates, r):
+        result = recommend_most_popular(rated, candidates, r=r)
+        pops = [rec.popularity for rec in result]
+        assert pops == sorted(pops, reverse=True)
+
+    @given(rated=item_sets, candidates=liked_maps, r=st.integers(1, 10))
+    def test_popularity_counts_are_exact(self, rated, candidates, r):
+        result = recommend_most_popular(rated, candidates, r=r)
+        for rec in result:
+            true_count = sum(
+                1 for liked in candidates.values() if rec.item_id in liked
+            )
+            assert rec.popularity == true_count
+
+    @given(rated=item_sets, candidates=liked_maps, r=st.integers(1, 10))
+    def test_recommended_items_come_from_candidates(self, rated, candidates, r):
+        all_liked = set()
+        for liked in candidates.values():
+            all_liked |= liked
+        result = recommend_most_popular(rated, candidates, r=r)
+        assert all(rec.item_id in all_liked for rec in result)
+
+    @given(rated=item_sets, candidates=liked_maps)
+    def test_no_duplicate_items(self, rated, candidates):
+        result = recommend_most_popular(rated, candidates, r=10)
+        items = [rec.item_id for rec in result]
+        assert len(items) == len(set(items))

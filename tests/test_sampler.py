@@ -1,0 +1,142 @@
+"""Tests for the HyRec candidate-set sampler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampler import HyRecSampler
+from repro.core.tables import KnnTable
+
+
+def make_sampler(k=3, users=20, rng=0, **kwargs) -> tuple[HyRecSampler, KnnTable]:
+    table = KnnTable()
+    sampler = HyRecSampler(
+        table, user_registry=list(range(users)), k=k, rng=rng, **kwargs
+    )
+    return sampler, table
+
+
+class TestSamplerComposition:
+    def test_includes_current_neighbors(self):
+        sampler, table = make_sampler()
+        table.update(0, [1, 2, 3])
+        sample = sampler.sample(0)
+        assert {1, 2, 3} <= sample
+
+    def test_includes_two_hop_neighbors(self):
+        sampler, table = make_sampler()
+        table.update(0, [1])
+        table.update(1, [5, 6])
+        sample = sampler.sample(0)
+        assert {1, 5, 6} <= sample
+
+    def test_two_hop_disabled(self):
+        sampler, table = make_sampler(include_two_hop=False, users=200, k=3)
+        table.update(0, [1])
+        table.update(1, [150, 151])
+        # Two-hop users 150/151 can only appear via random draws, which
+        # are unlikely to hit exactly them in a 200-user registry; check
+        # several draws never *require* them.
+        sample = sampler.sample(0)
+        assert 1 in sample
+        # The sample should be tiny: 1 neighbor + k randoms at most.
+        assert len(sample) <= 1 + 3
+
+    def test_never_contains_self(self):
+        sampler, table = make_sampler()
+        table.update(0, [0, 1] if False else [1])  # table rejects self anyway
+        for _ in range(20):
+            assert 0 not in sampler.sample(0)
+
+    def test_random_component_size(self):
+        sampler, _ = make_sampler(k=5, users=100)
+        # No neighbors yet: the sample is exactly the random component.
+        sample = sampler.sample(0)
+        assert len(sample) == 5
+
+    def test_num_random_zero(self):
+        sampler, table = make_sampler(num_random=0)
+        table.update(0, [1])
+        assert sampler.sample(0) == {1}
+
+    def test_empty_everything(self):
+        table = KnnTable()
+        sampler = HyRecSampler(table, user_registry=[], k=3, rng=0)
+        assert sampler.sample(0) == set()
+
+    def test_registry_smaller_than_request(self):
+        sampler, _ = make_sampler(k=10, users=4)
+        sample = sampler.sample(0)
+        # Can draw at most the 3 other registered users.
+        assert sample == {1, 2, 3}
+
+
+class TestSamplerBounds:
+    def test_max_candidate_size_formula(self):
+        sampler, _ = make_sampler(k=10)
+        assert sampler.max_candidate_size() == 120
+
+    @settings(max_examples=30)
+    @given(k=st.integers(1, 8), seed=st.integers(0, 1000))
+    def test_sample_never_exceeds_bound(self, k, seed):
+        table = KnnTable()
+        users = list(range(300))
+        sampler = HyRecSampler(table, user_registry=users, k=k, rng=seed)
+        import random
+
+        rng = random.Random(seed)
+        for user in range(30):
+            neighbors = rng.sample(users, k + 1)
+            table.update(user, [n for n in neighbors if n != user][:k])
+        for user in range(30):
+            sample = sampler.sample(user)
+            assert len(sample) <= 2 * k + k * k
+            assert user not in sample
+
+
+class TestSamplerRegistry:
+    def test_register_user_is_idempotent(self):
+        sampler, _ = make_sampler(users=5)
+        sampler.register_user(2)
+        sampler.register_user(2)
+        assert sampler.population == 5
+
+    def test_new_registration_becomes_sampleable(self):
+        sampler, _ = make_sampler(users=0)
+        assert sampler.sample(0) == set()
+        sampler.register_user(1)
+        sampler.register_user(2)
+        # With only users 1,2 registered, sampling for 0 must find them.
+        assert sampler.sample(0) == {1, 2}
+
+
+class TestSizeHistory:
+    def test_history_records_when_time_given(self):
+        sampler, _ = make_sampler()
+        sampler.sample(0, now=5.0)
+        sampler.sample(0, now=6.0)
+        history = sampler.size_history
+        assert len(history) == 2
+        assert history[0][0] == 5.0
+
+    def test_history_skipped_without_time(self):
+        sampler, _ = make_sampler()
+        sampler.sample(0)
+        assert sampler.size_history == []
+
+    def test_clear_history(self):
+        sampler, _ = make_sampler()
+        sampler.sample(0, now=1.0)
+        sampler.clear_history()
+        assert sampler.size_history == []
+
+
+class TestSamplerValidation:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be at least 1"):
+            HyRecSampler(KnnTable(), k=0)
+
+    def test_negative_num_random(self):
+        with pytest.raises(ValueError, match="num_random"):
+            HyRecSampler(KnnTable(), k=2, num_random=-1)

@@ -1,0 +1,195 @@
+"""Tests for the HyRec server (orchestration, privacy, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HyRecConfig
+from repro.core.jobs import JobResult
+from repro.core.server import HyRecServer
+from repro.messages import encode_json
+
+
+class TestRegistration:
+    def test_record_rating_creates_user(self):
+        server = HyRecServer(seed=1)
+        server.record_rating(1, 10, 1.0)
+        assert server.num_users == 1
+        assert server.profiles.get(1).liked_items() == {10}
+
+    def test_new_user_gets_random_bootstrap_knn(self):
+        server = HyRecServer(HyRecConfig(k=3), seed=1)
+        for uid in range(10):
+            server.record_rating(uid, uid, 1.0)
+        # Users joining after enough others exist get a full bootstrap.
+        assert len(server.knn_table.neighbors_of(9)) == 3
+        assert 9 not in server.knn_table.neighbors_of(9)
+
+    def test_first_user_has_no_bootstrap(self):
+        server = HyRecServer(seed=1)
+        server.record_rating(0, 1, 1.0)
+        assert server.knn_table.neighbors_of(0) == []
+
+    def test_reregistration_keeps_profile(self):
+        server = HyRecServer(seed=1)
+        server.record_rating(1, 10, 1.0)
+        server.register_user(1)
+        assert server.profiles.get(1).liked_items() == {10}
+
+
+class TestOnlineRequest:
+    def test_job_contains_user_profile(self, loaded_server):
+        job = loaded_server.handle_online_request(0)
+        assert job.user_profile == {"10": 1.0, "11": 1.0, "20": 0.0}
+
+    def test_job_candidates_are_anonymous(self, loaded_server):
+        job = loaded_server.handle_online_request(0)
+        raw_ids = {str(uid) for uid in (0, 1, 2, 3)}
+        for token in job.candidates:
+            assert token not in raw_ids
+            assert token.startswith("u")
+
+    def test_job_excludes_requesting_user(self, loaded_server):
+        job = loaded_server.handle_online_request(0)
+        own = loaded_server.anonymizer.token_for_user(0)
+        assert own not in job.candidates
+        assert job.user_token == own
+
+    def test_job_carries_config(self, loaded_server):
+        job = loaded_server.handle_online_request(1)
+        assert job.k == 2
+        assert job.r == 3
+        assert job.metric == "cosine"
+
+    def test_traffic_metered_both_ways(self, loaded_server):
+        job = loaded_server.handle_online_request(0)
+        loaded_server.render_online_response(job)
+        down = loaded_server.meter.reading("server->client")
+        assert down.messages == 1
+        assert down.wire_bytes > 0
+        result = JobResult(
+            user_token=job.user_token, neighbor_tokens=[], recommended_items=[]
+        )
+        loaded_server.handle_knn_update(0, result)
+        up = loaded_server.meter.reading("client->server")
+        assert up.messages == 1
+
+    def test_wire_payload_never_leaks_user_ids(self, loaded_server):
+        """No raw user id may appear as a candidate key on the wire."""
+        job = loaded_server.handle_online_request(0)
+        wire = encode_json(job.to_payload()).decode()
+        for uid in (1, 2, 3):
+            token = loaded_server.anonymizer.token_for_user(uid)
+            # The token is on the wire; the plain '"<uid>":' key is not.
+            if token in wire:
+                assert f'"{uid}":{{' not in wire
+
+
+class TestKnnUpdate:
+    def _round_trip(self, server, uid=0):
+        from repro.core.client import HyRecWidget
+
+        job = server.handle_online_request(uid)
+        result = HyRecWidget().process_job(job)
+        return server.handle_knn_update(uid, result)
+
+    def test_update_fills_knn_table(self, loaded_server):
+        self._round_trip(loaded_server, uid=0)
+        neighbors = loaded_server.knn_table.neighbors_of(0)
+        assert 0 < len(neighbors) <= loaded_server.config.k
+        assert 0 not in neighbors
+
+    def test_similar_user_selected(self, loaded_server):
+        """User 1 shares items 10, 11 with user 0: must be a neighbor."""
+        self._round_trip(loaded_server, uid=0)
+        assert 1 in loaded_server.knn_table.neighbors_of(0)
+
+    def test_recommendations_resolved_to_item_ids(self, loaded_server):
+        recommendations = self._round_trip(loaded_server, uid=3)
+        assert all(isinstance(item, int) for item in recommendations)
+
+    def test_malicious_self_neighbor_filtered(self, loaded_server):
+        own = loaded_server.anonymizer.token_for_user(0)
+        other = loaded_server.anonymizer.token_for_user(1)
+        result = JobResult(
+            user_token=own, neighbor_tokens=[own, other], recommended_items=[]
+        )
+        loaded_server.handle_knn_update(0, result)
+        assert loaded_server.knn_table.neighbors_of(0) == [1]
+
+    def test_unknown_token_rejected(self, loaded_server):
+        result = JobResult(
+            user_token="u0_zz",
+            neighbor_tokens=["u0_nosuchtoken"],
+            recommended_items=[],
+        )
+        with pytest.raises(KeyError):
+            loaded_server.handle_knn_update(0, result)
+
+    def test_oversized_neighbor_list_truncated(self, loaded_server):
+        tokens = [
+            loaded_server.anonymizer.token_for_user(uid) for uid in (1, 2, 3)
+        ]
+        result = JobResult(
+            user_token=loaded_server.anonymizer.token_for_user(0),
+            neighbor_tokens=tokens,
+            recommended_items=[],
+        )
+        loaded_server.handle_knn_update(0, result)
+        assert len(loaded_server.knn_table.neighbors_of(0)) <= loaded_server.config.k
+
+
+class TestReshuffling:
+    def test_periodic_reshuffle_changes_epoch(self):
+        server = HyRecServer(HyRecConfig(k=2, reshuffle_every=3), seed=1)
+        for uid in range(6):
+            server.record_rating(uid, uid, 1.0)
+        for _ in range(6):
+            server.handle_online_request(0)
+        assert server.anonymizer.epoch == 2
+        assert server.stats.reshuffles == 2
+
+    def test_job_and_result_share_epoch(self):
+        from repro.core.client import HyRecWidget
+
+        server = HyRecServer(HyRecConfig(k=2, reshuffle_every=1), seed=1)
+        for uid in range(5):
+            server.record_rating(uid, uid % 3, 1.0)
+        widget = HyRecWidget()
+        # Reshuffle happens at request start; tokens in the job stay
+        # valid through the synchronous result update.
+        for _ in range(4):
+            job = server.handle_online_request(1)
+            result = widget.process_job(job)
+            server.handle_knn_update(1, result)  # must not raise
+
+    def test_anonymize_items_round_trip(self):
+        from repro.core.client import HyRecWidget
+
+        server = HyRecServer(HyRecConfig(k=2, r=2, anonymize_items=True), seed=1)
+        for uid in range(4):
+            server.record_rating(uid, 100 + uid, 1.0)
+            server.record_rating(uid, 200, 1.0)
+        job = server.handle_online_request(0)
+        # Item keys on the wire are tokens, not raw ids.
+        for profile in job.candidates.values():
+            for key in profile:
+                assert key.startswith("i")
+        result = HyRecWidget().process_job(job)
+        recommendations = server.handle_knn_update(0, result)
+        assert all(isinstance(item, int) for item in recommendations)
+        assert all(item in (100, 101, 102, 103, 200) for item in recommendations)
+
+
+class TestStats:
+    def test_counters(self, loaded_server):
+        from repro.core.client import HyRecWidget
+
+        widget = HyRecWidget()
+        for uid in (0, 1):
+            job = loaded_server.handle_online_request(uid)
+            loaded_server.handle_knn_update(uid, widget.process_job(job))
+        stats = loaded_server.stats
+        assert stats.online_requests == 2
+        assert stats.knn_updates == 2
+        assert stats.reshuffles == 0

@@ -1,0 +1,54 @@
+"""Tests for the virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, MINUTE, WEEK, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_delta(self):
+        clock = SimClock(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.0)
+
+    def test_cannot_advance_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_unit_conversions(self):
+        clock = SimClock(2 * DAY)
+        assert clock.days == pytest.approx(2.0)
+        assert clock.hours == pytest.approx(48.0)
+        assert clock.minutes == pytest.approx(48 * 60)
+
+    def test_constants_consistent(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY

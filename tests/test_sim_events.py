@@ -1,0 +1,131 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None, "c")
+        queue.push(1.0, lambda: None, "a")
+        queue.push(2.0, lambda: None, "b")
+        labels = [queue.pop().label for _ in range(3)]
+        assert labels == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, "first")
+        queue.push(1.0, lambda: None, "second")
+        assert queue.pop().label == "first"
+        assert queue.pop().label == "second"
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, "keep")
+        drop = queue.push(0.5, lambda: None, "drop")
+        queue.cancel(drop)
+        assert queue.pop() is keep
+
+    def test_len_accounts_for_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert len(queue) == 1
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_runs_actions_in_order(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.clock.now == 5.0
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        fired: list[float] = []
+        sim.at(3.0, lambda: fired.append(sim.clock.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.clock.advance_to(10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.at(5.0, lambda: None)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_actions_can_schedule_more(self):
+        sim = Simulator()
+        fired: list[float] = []
+
+        def chain() -> None:
+            fired.append(sim.clock.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_every_repeats_until(self):
+        sim = Simulator()
+        fired: list[float] = []
+        sim.every(2.0, lambda: fired.append(sim.clock.now), until=7.0)
+        sim.run()
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_every_with_start(self):
+        sim = Simulator()
+        fired: list[float] = []
+        sim.every(5.0, lambda: fired.append(sim.clock.now), start=1.0, until=11.0)
+        sim.run()
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_every_invalid_period(self):
+        with pytest.raises(ValueError, match="period"):
+            Simulator().every(0.0, lambda: None)
+
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        fired: list[float] = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.at(t, lambda t=t: fired.append(t))
+        count = sim.run_until(2.5)
+        assert count == 2
+        assert fired == [1.0, 2.0]
+        assert sim.clock.now == 2.5
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.events_processed == 2
+
+    def test_deterministic_tie_order(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.at(1.0, lambda: fired.append("a"))
+        sim.at(1.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b"]

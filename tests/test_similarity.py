@@ -1,0 +1,131 @@
+"""Unit and property tests for the similarity metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.similarity import (
+    cosine,
+    get_metric,
+    jaccard,
+    metric_names,
+    overlap,
+    register_metric,
+)
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=60), max_size=25)
+
+
+class TestCosine:
+    def test_identical_sets_score_one(self):
+        assert cosine({1, 2, 3}, {1, 2, 3}) == pytest.approx(1.0)
+
+    def test_disjoint_sets_score_zero(self):
+        assert cosine({1, 2}, {3, 4}) == 0.0
+
+    def test_empty_set_scores_zero(self):
+        assert cosine(set(), {1, 2}) == 0.0
+        assert cosine({1, 2}, set()) == 0.0
+        assert cosine(set(), set()) == 0.0
+
+    def test_known_value(self):
+        # |{2}| / sqrt(2 * 3)
+        assert cosine({1, 2}, {2, 3, 4}) == pytest.approx(1 / math.sqrt(6))
+
+    def test_subset_relationship(self):
+        # A subset of B: cos = |A| / sqrt(|A| |B|) = sqrt(|A| / |B|)
+        assert cosine({1, 2}, {1, 2, 3, 4}) == pytest.approx(math.sqrt(0.5))
+
+
+class TestJaccard:
+    def test_identical_sets_score_one(self):
+        assert jaccard({5, 6}, {5, 6}) == 1.0
+
+    def test_disjoint_sets_score_zero(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_known_value(self):
+        # |{2}| / |{1,2,3,4}|
+        assert jaccard({1, 2}, {2, 3, 4}) == pytest.approx(0.25)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), {1}) == 0.0
+
+
+class TestOverlap:
+    def test_subset_scores_one(self):
+        assert overlap({1, 2}, {1, 2, 3, 4, 5}) == 1.0
+
+    def test_known_value(self):
+        assert overlap({1, 2, 3}, {3, 4}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert overlap(set(), set()) == 0.0
+
+
+class TestMetricProperties:
+    @given(a=item_sets, b=item_sets)
+    def test_cosine_symmetric(self, a, b):
+        assert cosine(a, b) == pytest.approx(cosine(b, a))
+
+    @given(a=item_sets, b=item_sets)
+    def test_jaccard_symmetric(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(a=item_sets, b=item_sets)
+    def test_overlap_symmetric(self, a, b):
+        assert overlap(a, b) == pytest.approx(overlap(b, a))
+
+    @given(a=item_sets, b=item_sets)
+    def test_all_metrics_bounded(self, a, b):
+        for metric in (cosine, jaccard, overlap):
+            value = metric(a, b)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(a=item_sets)
+    def test_self_similarity_is_one_when_nonempty(self, a):
+        for metric in (cosine, jaccard, overlap):
+            expected = 1.0 if a else 0.0
+            assert metric(a, a) == pytest.approx(expected)
+
+    @given(a=item_sets, b=item_sets)
+    def test_jaccard_lower_bound_of_cosine(self, a, b):
+        # For binary sets, jaccard <= cosine <= overlap always holds.
+        assert jaccard(a, b) <= cosine(a, b) + 1e-12
+        assert cosine(a, b) <= overlap(a, b) + 1e-12
+
+    @given(a=item_sets, b=item_sets)
+    def test_zero_iff_no_intersection(self, a, b):
+        has_overlap = bool(a & b)
+        assert (cosine(a, b) > 0) == has_overlap
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"cosine", "jaccard", "overlap"} <= set(metric_names())
+
+    def test_get_metric_returns_callable(self):
+        assert get_metric("cosine") is cosine
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError, match="unknown similarity metric"):
+            get_metric("euclidean")
+
+    def test_register_custom_metric(self):
+        name = "test-only-dice"
+
+        def dice(a, b):
+            if not a or not b:
+                return 0.0
+            return 2 * len(a & b) / (len(a) + len(b))
+
+        if name not in metric_names():
+            register_metric(name, dice)
+        assert get_metric(name)({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_reregistering_builtin_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_metric("cosine", cosine)

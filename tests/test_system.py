@@ -1,0 +1,143 @@
+"""Integration tests for the end-to-end HyRec system."""
+
+from __future__ import annotations
+
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets.schema import Rating, Trace
+from repro.sim.clock import DAY, WEEK
+
+
+class TestRoundTrip:
+    def test_request_returns_outcome(self, toy_trace):
+        system = HyRecSystem(HyRecConfig(k=2, r=3), seed=1)
+        for rating in toy_trace:
+            system.record_rating(rating.user, rating.item, rating.value)
+        outcome = system.request(0, now=10.0)
+        assert outcome.user_id == 0
+        assert outcome.timestamp == 10.0
+        assert outcome.job.user_token == outcome.result.user_token
+
+    def test_similar_users_become_neighbors(self, toy_trace):
+        system = HyRecSystem(HyRecConfig(k=2, r=3), seed=1)
+        for rating in toy_trace:
+            system.record_rating(rating.user, rating.item, rating.value)
+        # A few iterations so sampling finds everyone in a 4-user world.
+        for _ in range(3):
+            for uid in (0, 1, 2, 3):
+                system.request(uid)
+        assert 1 in system.server.knn_table.neighbors_of(0)
+        assert 0 in system.server.knn_table.neighbors_of(1)
+        assert 3 in system.server.knn_table.neighbors_of(2)
+
+    def test_recommendations_exclude_rated(self, toy_trace):
+        system = HyRecSystem(HyRecConfig(k=2, r=5), seed=1)
+        for rating in toy_trace:
+            system.record_rating(rating.user, rating.item, rating.value)
+        for _ in range(3):
+            for uid in (0, 1, 2, 3):
+                system.request(uid)
+        recs = system.recommend(0)
+        rated = system.server.profiles.get(0).rated_items()
+        assert all(item not in rated for item in recs)
+
+
+class TestReplay:
+    def test_replay_serves_one_request_per_rating(self, ml1_small):
+        system = HyRecSystem(HyRecConfig(k=5), seed=1)
+        served = system.replay(ml1_small)
+        assert served == len(ml1_small)
+
+    def test_replay_observer_called(self, toy_trace):
+        system = HyRecSystem(HyRecConfig(k=2), seed=1)
+        seen: list[int] = []
+        system.replay(toy_trace, on_request=lambda o: seen.append(o.user_id))
+        assert seen == [r.user for r in toy_trace]
+
+    def test_replay_timestamps_flow_through(self, toy_trace):
+        system = HyRecSystem(HyRecConfig(k=2), seed=1)
+        stamps: list[float] = []
+        system.replay(toy_trace, on_request=lambda o: stamps.append(o.timestamp))
+        assert stamps == [r.timestamp for r in toy_trace]
+
+
+class TestInterRequestBound:
+    def _spread_trace(self) -> Trace:
+        """Two users: one rates on day 0 only, one keeps rating."""
+        ratings = [Rating(timestamp=0.0, user=0, item=1, value=1.0)]
+        for day in range(0, 30):
+            ratings.append(
+                Rating(timestamp=day * DAY, user=1, item=day + 10, value=1.0)
+            )
+        return Trace("spread", ratings)
+
+    def test_bound_triggers_synthetic_requests(self):
+        trace = self._spread_trace()
+        with_bound = HyRecSystem(HyRecConfig(k=2), seed=1)
+        served_with = with_bound.replay(trace, inter_request_bound=WEEK)
+        without = HyRecSystem(HyRecConfig(k=2), seed=1)
+        served_without = without.replay(trace)
+        # User 0 is inactive after day 0; the bound must add requests.
+        assert served_with > served_without
+
+    def test_synthetic_requests_only_for_inactive(self):
+        trace = self._spread_trace()
+        system = HyRecSystem(HyRecConfig(k=2), seed=1)
+        users: list[int] = []
+        system.replay(
+            trace,
+            on_request=lambda o: users.append(o.user_id),
+            inter_request_bound=WEEK,
+        )
+        # About 4 synthetic requests (30 days / 7) for user 0.
+        synthetic = users.count(0) - 1
+        assert 2 <= synthetic <= 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_tables(self, ml1_small):
+        a = HyRecSystem(HyRecConfig(k=5), seed=42)
+        b = HyRecSystem(HyRecConfig(k=5), seed=42)
+        a.replay(ml1_small)
+        b.replay(ml1_small)
+        assert a.server.knn_table.as_dict() == b.server.knn_table.as_dict()
+        assert (
+            a.server.meter.total_wire_bytes == b.server.meter.total_wire_bytes
+        )
+
+    def test_different_seed_different_sampling(self, ml1_small):
+        a = HyRecSystem(HyRecConfig(k=5), seed=1)
+        b = HyRecSystem(HyRecConfig(k=5), seed=2)
+        a.replay(ml1_small)
+        b.replay(ml1_small)
+        # Profiles agree (trace-driven)...
+        assert a.server.profiles.liked_sets() == b.server.profiles.liked_sets()
+        # ...but the sampled paths, and hence some KNN rows, differ.
+        assert a.server.knn_table.as_dict() != b.server.knn_table.as_dict()
+
+
+class TestConvergenceQuality:
+    def test_hyrec_close_to_ideal_on_small_world(self, ml1_small):
+        """On a trace where candidate sets cover most users, HyRec's
+        final view similarity must come close to the ideal bound."""
+        from repro.metrics.view_similarity import (
+            ideal_view_similarity,
+            view_similarity_of_table,
+        )
+
+        system = HyRecSystem(HyRecConfig(k=5), seed=3)
+        system.replay(ml1_small)
+        liked = system.server.profiles.liked_sets()
+        achieved = view_similarity_of_table(
+            liked, system.server.knn_table.as_dict()
+        )
+        ideal = ideal_view_similarity(liked, k=5)
+        assert ideal > 0
+        assert achieved >= 0.8 * ideal
+
+    def test_bandwidth_grows_with_requests(self, toy_trace):
+        system = HyRecSystem(HyRecConfig(k=2), seed=1)
+        system.replay(toy_trace)
+        before = system.server.meter.total_wire_bytes
+        system.request(0)
+        assert system.server.meter.total_wire_bytes > before

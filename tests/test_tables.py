@@ -1,0 +1,95 @@
+"""Tests for the server's Profile and KNN tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tables import KnnTable, ProfileTable
+
+
+class TestProfileTable:
+    def test_get_or_create_registers(self):
+        table = ProfileTable()
+        profile = table.get_or_create(5)
+        assert 5 in table
+        assert table.get(5) is profile
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ProfileTable().get(1)
+
+    def test_record_creates_user(self):
+        table = ProfileTable()
+        table.record(1, 10, 1.0, timestamp=2.0)
+        assert table.get(1).liked_items() == {10}
+
+    def test_liked_sets_snapshot(self):
+        table = ProfileTable()
+        table.record(1, 10, 1.0)
+        table.record(1, 11, 0.0)
+        table.record(2, 12, 1.0)
+        assert table.liked_sets() == {1: frozenset({10}), 2: frozenset({12})}
+
+    def test_snapshot_is_deep(self):
+        table = ProfileTable()
+        table.record(1, 10, 1.0)
+        snapshot = table.snapshot()
+        table.record(1, 11, 1.0)
+        assert snapshot.get(1).liked_items() == {10}
+        assert table.get(1).liked_items() == {10, 11}
+
+    def test_users_and_len(self):
+        table = ProfileTable()
+        table.record(3, 1, 1.0)
+        table.record(7, 1, 1.0)
+        assert len(table) == 2
+        assert sorted(table.users()) == [3, 7]
+        assert sorted(table) == [3, 7]
+
+
+class TestKnnTable:
+    def test_update_and_read(self):
+        table = KnnTable()
+        table.update(1, [2, 3, 4])
+        assert table.neighbors_of(1) == [2, 3, 4]
+
+    def test_unknown_user_empty(self):
+        assert KnnTable().neighbors_of(9) == []
+
+    def test_self_loop_rejected(self):
+        table = KnnTable()
+        with pytest.raises(ValueError, match="own neighbor"):
+            table.update(1, [2, 1])
+
+    def test_duplicates_removed_preserving_order(self):
+        table = KnnTable()
+        table.update(1, [5, 3, 5, 3, 7])
+        assert table.neighbors_of(1) == [5, 3, 7]
+
+    def test_update_replaces(self):
+        table = KnnTable()
+        table.update(1, [2, 3])
+        table.update(1, [4])
+        assert table.neighbors_of(1) == [4]
+
+    def test_neighbors_of_returns_copy(self):
+        table = KnnTable()
+        table.update(1, [2, 3])
+        neighbors = table.neighbors_of(1)
+        neighbors.append(99)
+        assert table.neighbors_of(1) == [2, 3]
+
+    def test_as_dict_is_copy(self):
+        table = KnnTable()
+        table.update(1, [2])
+        snapshot = table.as_dict()
+        snapshot[1].append(99)
+        assert table.neighbors_of(1) == [2]
+
+    def test_users_and_contains(self):
+        table = KnnTable()
+        table.update(1, [2])
+        assert 1 in table
+        assert 2 not in table
+        assert table.users() == [1]
+        assert len(table) == 1

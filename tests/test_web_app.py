@@ -1,0 +1,44 @@
+"""Smoke tests for the demo application entry point."""
+
+from __future__ import annotations
+
+from repro.web.app import build_server, main
+
+
+class TestBuildServer:
+    def test_loads_workload(self):
+        server = build_server("ML1", scale=0.02, seed=1, k=5, r=5)
+        assert server.num_users > 0
+        assert server.config.k == 5
+        # Profiles are binarized and non-empty.
+        some_user = server.profiles.users()[0]
+        assert server.profiles.get(some_user).size > 0
+
+
+class TestMain:
+    def test_serves_and_exits(self, capsys):
+        exit_code = main(
+            [
+                "--dataset",
+                "ML1",
+                "--scale",
+                "0.02",
+                "--warmup",
+                "1",
+                "--duration",
+                "0.05",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "HyRec serving ML1" in captured.out
+        assert "warmed up" in captured.out
+        assert "server stopped." in captured.out
+
+    def test_no_warmup(self, capsys):
+        exit_code = main(
+            ["--dataset", "Digg", "--scale", "0.001", "--warmup", "0",
+             "--duration", "0.05"]
+        )
+        assert exit_code == 0
+        assert "warmed up" not in capsys.readouterr().out
