@@ -1,0 +1,213 @@
+"""Engine benchmark: python vs vectorized KNN, kernel and replay level.
+
+Run directly (writes ``BENCH_engine.json`` next to the repo root so the
+perf trajectory is tracked across PRs)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_knn.py
+    PYTHONPATH=src python benchmarks/bench_engine_knn.py --quick
+
+Two measurements:
+
+1. **Kernel**: one user's KNN selection against 1k / 10k candidates --
+   :func:`repro.core.knn.knn_select` over Python sets vs the batched
+   kernels of :class:`repro.engine.LikedMatrix`.  Both the CSR scan
+   (what small online requests run) and the CSC inverted-index kernel
+   are timed separately; the headline ``vectorized_ms`` is the
+   adaptive KNN entry point (:meth:`LikedMatrix.knn_intersections`),
+   the same kernel choice the serving path makes.  Every path must
+   return the identical top-k (scores bit-for-bit).
+2. **Replay**: a full ``eval``-style ML1 trace replay through
+   :class:`repro.core.system.HyRecSystem` with ``engine="python"`` vs
+   ``engine="vectorized"`` -- the complete request round trip
+   including wire rendering and metering, which must stay
+   byte-identical.  The headline number uses the raw-JSON wire (the
+   "json" curve of Figure 10); the gzip wire is reported too, where
+   the shared compression cost bounds the achievable ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np
+
+from repro.core.config import HyRecConfig
+from repro.core.knn import knn_select
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.datasets import load_dataset
+from repro.engine import LikedMatrix, rank_descending, similarity_scores
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def bench_kernel(
+    n_candidates: int,
+    profile_size: int = 40,
+    n_items: int = 2000,
+    k: int = 10,
+    reps: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Time one KNN selection over ``n_candidates`` on both paths."""
+    rng = random.Random(seed)
+    table = ProfileTable()
+    matrix = LikedMatrix(table)
+    for uid in range(n_candidates + 1):
+        for item in rng.sample(range(n_items), profile_size):
+            table.record(uid, item, 1.0 if rng.random() < 0.8 else 0.0)
+
+    liked = {
+        uid: table.get(uid).liked_items() for uid in range(1, n_candidates + 1)
+    }
+    user_liked = table.get(0).liked_items()
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        python_top = knn_select(user_liked, liked, k=k)
+    python_s = (time.perf_counter() - start) / reps
+
+    ids_list = list(range(1, n_candidates + 1))
+    ids = np.asarray(ids_list, dtype=np.int64)
+    matrix.liked_sizes(ids_list)  # warm rows and postings once
+    matrix.batch_intersections_csc(matrix.liked_row(0), ids)
+
+    def run_auto() -> tuple:
+        """The KNN-only entry point (adaptive kernel choice)."""
+        user_cols = matrix.liked_row(0)
+        inter, sizes = matrix.knn_intersections(user_cols, ids_list)
+        scores = similarity_scores("cosine", inter, float(user_cols.size), sizes)
+        return scores, rank_descending(scores)[:k]
+
+    def run_csr() -> tuple:
+        user_cols = matrix.liked_row(0)
+        indices, indptr, sizes = matrix.gather_liked(ids_list)
+        inter = matrix.batch_intersections(user_cols, indices, indptr)
+        scores = similarity_scores("cosine", inter, float(user_cols.size), sizes)
+        return scores, rank_descending(scores)[:k]
+
+    def run_csc() -> tuple:
+        user_cols = matrix.liked_row(0)
+        inter = matrix.batch_intersections_csc(user_cols, ids)
+        sizes = matrix.liked_sizes(ids_list)
+        scores = similarity_scores("cosine", inter, float(user_cols.size), sizes)
+        return scores, rank_descending(scores)[:k]
+
+    timings = {}
+    for name, fn in (("auto", run_auto), ("csr", run_csr), ("csc", run_csc)):
+        scores, top = fn()
+        assert [n.user_id for n in python_top] == [int(ids[i]) for i in top]
+        assert [n.score for n in python_top] == [float(scores[i]) for i in top]
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        timings[name] = (time.perf_counter() - start) / reps
+
+    return {
+        "candidates": n_candidates,
+        "profile_size": profile_size,
+        "python_ms": round(python_s * 1e3, 4),
+        "vectorized_ms": round(timings["auto"] * 1e3, 4),
+        "vectorized_csr_ms": round(timings["csr"] * 1e3, 4),
+        "vectorized_csc_ms": round(timings["csc"] * 1e3, 4),
+        "speedup": round(python_s / timings["auto"], 2),
+        "speedup_csr": round(python_s / timings["csr"], 2),
+        "speedup_csc": round(python_s / timings["csc"], 2),
+        "topk_identical": True,
+    }
+
+
+def bench_replay(scale: float, compress: bool, seed: int = 0) -> dict:
+    """Replay ML1 at ``scale`` through both engines; verify parity."""
+    trace = load_dataset("ML1", scale=scale, seed=seed)
+    timings: dict[str, float] = {}
+    wire_bytes: dict[str, int] = {}
+    outcome_digests: dict[str, int] = {}
+    for engine in ("python", "vectorized"):
+        system = HyRecSystem(
+            HyRecConfig(k=10, compress=compress, engine=engine), seed=seed
+        )
+        digest: list = []
+        start = time.perf_counter()
+        system.replay(
+            trace, on_request=lambda o: digest.append(tuple(o.recommendations))
+        )
+        timings[engine] = time.perf_counter() - start
+        wire_bytes[engine] = system.server.meter.total_wire_bytes
+        outcome_digests[engine] = hash(tuple(digest))
+
+    return {
+        "dataset": "ML1",
+        "scale": scale,
+        "requests": len(trace),
+        "compress": compress,
+        "python_s": round(timings["python"], 3),
+        "vectorized_s": round(timings["vectorized"], 3),
+        "speedup": round(timings["python"] / timings["vectorized"], 2),
+        "wire_bytes_identical": wire_bytes["python"] == wire_bytes["vectorized"],
+        "recommendations_identical": (
+            outcome_digests["python"] == outcome_digests["vectorized"]
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=0.15, help="ML1 replay scale"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller kernel reps + replay"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    reps = 5 if args.quick else 20
+    scale = min(args.scale, 0.05) if args.quick else args.scale
+
+    report = {"kernel": [], "replay": []}
+    for n_candidates in (1000, 10000):
+        entry = bench_kernel(n_candidates, reps=reps)
+        report["kernel"].append(entry)
+        print(
+            f"kernel {n_candidates:>6} candidates: "
+            f"python {entry['python_ms']:8.3f}ms  "
+            f"vectorized {entry['vectorized_ms']:8.3f}ms  "
+            f"speedup {entry['speedup']:5.1f}x  "
+            f"(csr {entry['speedup_csr']:.1f}x, csc {entry['speedup_csc']:.1f}x)"
+        )
+
+    for compress in (False, True):
+        entry = bench_replay(scale, compress=compress)
+        report["replay"].append(entry)
+        wire = "gzip" if compress else "json"
+        print(
+            f"replay ML1@{scale} ({wire} wire): "
+            f"python {entry['python_s']:7.2f}s  "
+            f"vectorized {entry['vectorized_s']:7.2f}s  "
+            f"speedup {entry['speedup']:5.2f}x  "
+            f"bytes-identical={entry['wire_bytes_identical']}  "
+            f"recs-identical={entry['recommendations_identical']}"
+        )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ All-pairs cosine over binary profiles is a matrix product: with
 ``A`` the users-by-items 0/1 matrix, ``A @ A.T`` counts intersections
 and the norms are row sums.  We block over rows so that the largest
 intermediate is ``block x N`` (ML3-scale tables fit comfortably).
+The intersection-counts-to-scores step is the shared batch kernel of
+:mod:`repro.engine.kernels` -- the same code that scores the online
+request hot path.
 
 Tie-breaking matches :func:`repro.core.knn.knn_select` exactly
 (descending score, then ascending user id), so the exact and sampled
@@ -24,6 +27,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.knn import Neighbor
+from repro.engine.kernels import similarity_scores
 
 LikedSets = Mapping[int, frozenset[int]]
 
@@ -63,17 +67,10 @@ class ExactKnnIndex:
         bitwise with the pure-Python :func:`repro.core.knn.knn_select`.
         """
         inter = (self.matrix[rows] @ self.matrix.T).astype(np.float64)
-        sizes_a = self.sizes.astype(np.float64)[rows][:, None]
-        sizes_b = self.sizes.astype(np.float64)[None, :]
-        if self.metric == "cosine":
-            denom = np.sqrt(sizes_a * sizes_b)
-        elif self.metric == "jaccard":
-            denom = sizes_a + sizes_b - inter
-        else:  # overlap
-            denom = np.minimum(sizes_a, sizes_b)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sims = np.where(denom > 0, inter / denom, 0.0)
-        return sims
+        sizes = self.sizes.astype(np.float64)
+        return similarity_scores(
+            self.metric, inter, sizes[rows][:, None], sizes[None, :]
+        )
 
     # --- queries --------------------------------------------------------------------
 

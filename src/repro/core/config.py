@@ -28,6 +28,15 @@ class HyRecConfig:
             (ablation A2 turns it off).
         num_random: Random users injected per sample (default ``k``;
             ablation A1 sets it to 0).
+        engine: Request-path execution engine.  ``"python"`` is the
+            paper-faithful set-arithmetic path; ``"vectorized"`` keeps
+            an incrementally-maintained integer matrix of liked sets
+            next to the Profile Table and scores whole candidate sets
+            with numpy batch kernels.  The two engines produce
+            identical neighbors, scores, recommendations and wire
+            metering; the vectorized engine automatically falls back
+            to the Python path for custom metrics and item-anonymized
+            deployments (see :mod:`repro.engine`).
     """
 
     k: int = 10
@@ -38,6 +47,7 @@ class HyRecConfig:
     compress: bool = True
     include_two_hop: bool = True
     num_random: int | None = None
+    engine: str = "python"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -46,4 +56,9 @@ class HyRecConfig:
             raise ValueError(f"r must be at least 1, got {self.r}")
         if self.reshuffle_every < 0:
             raise ValueError("reshuffle_every cannot be negative")
+        if self.engine not in ("python", "vectorized"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                "expected 'python' or 'vectorized'"
+            )
         get_metric(self.metric)  # fail fast on unknown metrics

@@ -15,6 +15,7 @@ deployments, exactly as in the paper.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import AbstractSet, Mapping
 
@@ -52,10 +53,11 @@ def knn_select(
     """
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
-    scored = [
+    scored = (
         Neighbor(user_id=uid, score=metric(user_liked, liked))
         for uid, liked in candidates.items()
         if uid != exclude
-    ]
-    scored.sort(key=lambda n: (-n.score, n.user_id))
-    return scored[:k]
+    )
+    # O(n log k) partial selection; the (-score, user_id) key is unique
+    # per candidate, so the result matches a full sort exactly.
+    return heapq.nsmallest(k, scored, key=lambda n: (-n.score, n.user_id))

@@ -26,6 +26,7 @@ class Profile:
         "_liked",
         "_payload_cache",
         "_liked_frozen",
+        "_disliked_frozen",
         "_fragment_cache",
         "_deflated_cache",
     )
@@ -36,6 +37,7 @@ class Profile:
         self._liked: set[int] = set()
         self._payload_cache: dict[str, float] | None = None
         self._liked_frozen: frozenset[int] | None = None
+        self._disliked_frozen: frozenset[int] | None = None
         self._fragment_cache: bytes | None = None
         self._deflated_cache: bytes | None = None
 
@@ -67,6 +69,7 @@ class Profile:
             self._liked.discard(item)
         self._payload_cache = None
         self._liked_frozen = None
+        self._disliked_frozen = None
         self._fragment_cache = None
         self._deflated_cache = None
 
@@ -87,8 +90,10 @@ class Profile:
         return self._liked_frozen
 
     def disliked_items(self) -> frozenset[int]:
-        """Items this user explicitly disliked."""
-        return frozenset(self._ratings) - self._liked
+        """Items this user explicitly disliked (cached between writes)."""
+        if self._disliked_frozen is None:
+            self._disliked_frozen = frozenset(self._ratings) - self._liked
+        return self._disliked_frozen
 
     def rated_items(self) -> frozenset[int]:
         """All items with any opinion (Algorithm 2 excludes these)."""

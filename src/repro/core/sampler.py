@@ -89,6 +89,20 @@ class HyRecSampler:
         """Snapshot of the registry (random-candidate population)."""
         return list(self._registry)
 
+    def registry_view(self) -> Sequence[int]:
+        """The live registry list, **without copying**.
+
+        Callers must treat the returned sequence as read-only; it is
+        the sampler's own backing list.  Bulk user registration reads
+        this once per new user, so handing out a copy would turn
+        loading ``n`` users into ~n^2/2 list-element copies.
+        """
+        return self._registry
+
+    def is_registered(self, user_id: int) -> bool:
+        """Whether ``user_id`` is already in the registry."""
+        return user_id in self._registered
+
     # --- sampling ---------------------------------------------------------------
 
     def max_candidate_size(self) -> int:

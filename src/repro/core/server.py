@@ -28,6 +28,8 @@ from repro.core.jobs import JobResult, PersonalizationJob
 from repro.core.profiles import Profile
 from repro.core.sampler import HyRecSampler
 from repro.core.tables import KnnTable, ProfileTable
+from repro.engine.jobs import EngineJob
+from repro.engine.liked_matrix import LikedMatrix
 from repro.messages import MessageMeter
 from repro.sim.randomness import derive_rng
 
@@ -57,6 +59,14 @@ class HyRecServer:
             num_random=self.config.num_random,
         )
         self.anonymizer = AnonymousMapping(seed=derive_seed_for_anonymizer(seed))
+        #: CSR-style integer mirror of the profile table, maintained
+        #: incrementally from ProfileTable writes.  Only materialized
+        #: for the vectorized engine; ``None`` on the Python engine.
+        self.liked_matrix: LikedMatrix | None = (
+            LikedMatrix(self.profiles)
+            if self.config.engine == "vectorized"
+            else None
+        )
         self.meter = MessageMeter()
         self._bootstrap_rng = derive_rng(seed, "server:bootstrap")
         self._online_requests = 0
@@ -76,9 +86,13 @@ class HyRecServer:
         if user_id in self.profiles:
             return self.profiles.get(user_id)
         profile = self.profiles.get_or_create(user_id)
-        existing = [
-            uid for uid in self.sampler.registered_users() if uid != user_id
-        ]
+        # Read the sampler's registry in place: copying it here made
+        # bulk-loading n users cost ~n^2/2 list-element copies.  A
+        # brand-new user is never in the registry yet (we register her
+        # below), so no self-exclusion filter is needed on this path.
+        existing = self.sampler.registry_view()
+        if self.sampler.is_registered(user_id):  # defensive, never via this path
+            existing = [uid for uid in existing if uid != user_id]
         if existing:
             count = min(self.config.k, len(existing))
             bootstrap = self._bootstrap_rng.sample(existing, count)
@@ -130,6 +144,59 @@ class HyRecServer:
             metric=self.config.metric,
         )
 
+    def handle_engine_request(self, user_id: int, now: float = 0.0) -> EngineJob:
+        """Integer-id twin of :meth:`handle_online_request`.
+
+        Performs the exact same orchestration (registration, request
+        counting, reshuffle epochs, sampling, token minting -- in the
+        same order, so RNG and anonymizer state stay in lockstep with
+        the wire path) but skips the ``{str(item): value}`` payload
+        materialization: the widget reads liked sets straight from
+        :attr:`liked_matrix`.  Requires ``engine="vectorized"`` and no
+        item anonymization (item tokens only exist on wire payloads).
+        """
+        if self.liked_matrix is None:
+            raise RuntimeError(
+                "engine requests need HyRecConfig(engine='vectorized')"
+            )
+        if self.config.anonymize_items:
+            raise RuntimeError(
+                "the in-process fast path cannot anonymize items; "
+                "use handle_online_request"
+            )
+        self.register_user(user_id)
+        self._online_requests += 1
+        if (
+            self.config.reshuffle_every
+            and self._online_requests % self.config.reshuffle_every == 0
+        ):
+            self.anonymizer.reshuffle()
+            self._reshuffles += 1
+
+        candidate_ids = self.sampler.sample(user_id, now=now)
+        # Mint candidate tokens in sampling-iteration order (matching
+        # the wire path's dict comprehension), *then* sort by token --
+        # the deterministic order tie-breaks and rendering share.
+        pairs = sorted(
+            (self.anonymizer.token_for_user(uid), uid)
+            for uid in candidate_ids
+            if uid in self.profiles
+        )
+        user_token = self.anonymizer.token_for_user(user_id)
+        return EngineJob(
+            user_id=user_id,
+            user_token=user_token,
+            candidate_ids=tuple(uid for _, uid in pairs),
+            candidate_tokens=tuple(token for token, _ in pairs),
+            k=self.config.k,
+            r=self.config.r,
+            metric=self.config.metric,
+            user_profile_size=len(self.profiles.get(user_id)),
+            candidate_profile_sizes=tuple(
+                len(self.profiles.get(uid)) for _, uid in pairs
+            ),
+        )
+
     def render_online_response(self, job: PersonalizationJob) -> bytes:
         """Serialize (and compress) a job; meters the wire bytes.
 
@@ -145,7 +212,7 @@ class HyRecServer:
         their item keys are per-epoch tokens that cannot be cached on
         the profile.
         """
-        from repro.messages import FragmentGzipWriter, encode_json, gzip_compress
+        from repro.messages import encode_json, gzip_compress
 
         if self.config.anonymize_items:
             raw = encode_json(job.to_payload())
@@ -154,8 +221,44 @@ class HyRecServer:
             return wire
 
         user = self.anonymizer.resolve_user(job.user_token)
-        tail = b',"k":%d,"m":%s,"p":' % (self.config.k, encode_json(job.metric))
-        end = b',"r":%d,"u":%s}' % (self.config.r, encode_json(job.user_token))
+        pairs = [
+            (token, self.anonymizer.resolve_user(token))
+            for token in sorted(job.candidates)
+        ]
+        return self._render_tokenized(user, job.user_token, pairs, job.metric)
+
+    def render_engine_response(self, job: EngineJob) -> bytes:
+        """Render an :class:`EngineJob` to the wire; meters the bytes.
+
+        Byte-identical to :meth:`render_online_response` on the
+        equivalent :class:`PersonalizationJob` -- both feed the same
+        token-sorted candidate list to the same fragment renderer, so
+        Figure 9/10 metering does not depend on the engine.
+        """
+        return self._render_tokenized(
+            job.user_id,
+            job.user_token,
+            list(zip(job.candidate_tokens, job.candidate_ids)),
+            job.metric,
+        )
+
+    def _render_tokenized(
+        self,
+        user: int,
+        user_token: str,
+        pairs: list[tuple[str, int]],
+        metric: str,
+    ) -> bytes:
+        """Shared fragment-splicing renderer over (token, user-id) pairs.
+
+        ``pairs`` must be sorted by ascending token (both callers
+        guarantee it); profiles are embedded via their cached JSON /
+        deflate fragments exactly as before.
+        """
+        from repro.messages import FragmentGzipWriter, encode_json
+
+        tail = b',"k":%d,"m":%s,"p":' % (self.config.k, encode_json(metric))
+        end = b',"r":%d,"u":%s}' % (self.config.r, encode_json(user_token))
 
         if self.config.compress:
             # Fragments below this size are cheaper to re-compress
@@ -164,8 +267,7 @@ class HyRecServer:
             writer = FragmentGzipWriter()
             writer.write(b'{"c":{')
             first = True
-            for token in sorted(job.candidates):
-                candidate = self.anonymizer.resolve_user(token)
+            for token, candidate in pairs:
                 profile = self.profiles.get(candidate)
                 writer.write(
                     (b"" if first else b",") + b'"%s":' % token.encode("ascii")
@@ -191,8 +293,7 @@ class HyRecServer:
 
         parts: list[bytes] = [b'{"c":{']
         first = True
-        for token in sorted(job.candidates):
-            candidate = self.anonymizer.resolve_user(token)
+        for token, candidate in pairs:
             if not first:
                 parts.append(b",")
             first = False

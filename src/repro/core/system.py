@@ -29,6 +29,8 @@ from repro.core.config import HyRecConfig
 from repro.core.jobs import JobResult, PersonalizationJob
 from repro.core.server import HyRecServer
 from repro.datasets.schema import Trace
+from repro.engine.jobs import EngineJob
+from repro.engine.widget import VectorizedWidget
 
 
 @dataclass(frozen=True)
@@ -37,7 +39,7 @@ class RequestOutcome:
 
     user_id: int
     timestamp: float
-    job: PersonalizationJob
+    job: PersonalizationJob | EngineJob
     result: JobResult
     recommendations: list[int]  # resolved to real item ids
 
@@ -52,8 +54,26 @@ class HyRecSystem:
     def __init__(self, config: HyRecConfig | None = None, seed: int = 0) -> None:
         self.config = config if config is not None else HyRecConfig()
         self.server = HyRecServer(self.config, seed=seed)
-        self.widget = HyRecWidget()
+        self.widget: HyRecWidget | VectorizedWidget = (
+            VectorizedWidget()
+            if self.config.engine == "vectorized"
+            else HyRecWidget()
+        )
         self.requests_served = 0
+
+    def _use_fast_path(self) -> bool:
+        """Whether the in-process integer fast path applies.
+
+        The fast path needs the vectorized engine, a built-in metric
+        with no custom widget hooks, and real item ids on the wire
+        (item anonymization only exists on serialized payloads).
+        """
+        return (
+            self.server.liked_matrix is not None
+            and not self.config.anonymize_items
+            and isinstance(self.widget, VectorizedWidget)
+            and self.widget.can_vectorize(self.config.metric)
+        )
 
     # --- single interactions ----------------------------------------------------
 
@@ -69,9 +89,17 @@ class HyRecSystem:
         The job is rendered to wire bytes (and metered) exactly as the
         HTTP deployment would, so replay bandwidth numbers are real.
         """
-        job = self.server.handle_online_request(user_id, now=now)
-        self.server.render_online_response(job)
-        result = self.widget.process_job(job)
+        job: PersonalizationJob | EngineJob
+        if self._use_fast_path():
+            assert isinstance(self.widget, VectorizedWidget)
+            assert self.server.liked_matrix is not None
+            job = self.server.handle_engine_request(user_id, now=now)
+            self.server.render_engine_response(job)
+            result = self.widget.process_engine_job(job, self.server.liked_matrix)
+        else:
+            job = self.server.handle_online_request(user_id, now=now)
+            self.server.render_online_response(job)
+            result = self.widget.process_job(job)
         recommendations = self.server.handle_knn_update(user_id, result)
         self.requests_served += 1
         return RequestOutcome(

@@ -7,9 +7,13 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.profiles import Profile
+
+#: Observer signature for profile writes:
+#: ``(user_id, item, value, previous_value_or_None)``.
+WriteListener = Callable[[int, int, float, "float | None"], None]
 
 
 class ProfileTable:
@@ -17,6 +21,17 @@ class ProfileTable:
 
     def __init__(self) -> None:
         self._profiles: dict[int, Profile] = {}
+        self._listeners: list[WriteListener] = []
+
+    def add_listener(self, listener: WriteListener) -> None:
+        """Subscribe to every write that goes through :meth:`record`.
+
+        This is how incrementally-maintained read structures (e.g. the
+        vectorized engine's :class:`~repro.engine.LikedMatrix`) stay in
+        sync without polling: the server funnels all rating writes
+        through :meth:`record`.
+        """
+        self._listeners.append(listener)
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -48,7 +63,13 @@ class ProfileTable:
     ) -> Profile:
         """Add one rating, creating the user on first sight."""
         profile = self.get_or_create(user_id)
-        profile.add(item, value, timestamp)
+        if self._listeners:
+            previous = profile.value_of(item)
+            profile.add(item, value, timestamp)
+            for listener in self._listeners:
+                listener(user_id, item, value, previous)
+        else:
+            profile.add(item, value, timestamp)
         return profile
 
     def liked_sets(self) -> dict[int, frozenset[int]]:

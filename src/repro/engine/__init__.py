@@ -1,0 +1,31 @@
+"""The vectorized personalization engine.
+
+Array-backed profiles plus batched KNN kernels for the request hot
+path: the same sampler -> job -> KNN -> recommend round trip as
+:mod:`repro.core`, but executed over integer arrays instead of
+string-keyed dicts and Python sets.  Selected per deployment with
+``HyRecConfig(engine="vectorized")``; results (neighbors, scores,
+recommendations, wire metering) are identical to the Python engine.
+"""
+
+from repro.engine.jobs import EngineJob
+from repro.engine.kernels import (
+    SUPPORTED_METRICS,
+    intersection_counts,
+    rank_descending,
+    segment_sums,
+    similarity_scores,
+)
+from repro.engine.liked_matrix import LikedMatrix
+from repro.engine.widget import VectorizedWidget
+
+__all__ = [
+    "EngineJob",
+    "LikedMatrix",
+    "VectorizedWidget",
+    "SUPPORTED_METRICS",
+    "intersection_counts",
+    "rank_descending",
+    "segment_sums",
+    "similarity_scores",
+]

@@ -1,0 +1,109 @@
+"""Batched numpy similarity kernels for the vectorized engine.
+
+These kernels consolidate the ad-hoc numpy blocking that used to live
+only inside :mod:`repro.baselines.exact`: one shared implementation of
+"intersection counts -> similarity scores" now serves the exact
+offline baselines *and* the online request hot path.
+
+Bit-exactness contract
+----------------------
+Every kernel computes in float64 using the same operations (and the
+same operation order) as the pure-Python metrics in
+:mod:`repro.core.similarity`:
+
+* set sizes are exact small integers, so their float64 conversions and
+  products are exact;
+* ``np.sqrt`` and ``math.sqrt`` are both correctly-rounded IEEE-754
+  square roots;
+* the final division is a single IEEE-754 operation in both paths.
+
+Scores -- and therefore tie-breaks and neighbor rankings -- are
+bitwise identical to the Python engine.  ``tests/test_engine_parity.py``
+asserts this property across metrics and random workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Metric names the vectorized kernels implement.  Jobs carrying any
+#: other (custom-registered) metric fall back to the Python path.
+SUPPORTED_METRICS = ("cosine", "jaccard", "overlap")
+
+
+def segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row sums of a CSR-flattened value array.
+
+    Unlike ``np.add.reduceat``, this handles empty rows correctly
+    (``reduceat`` yields ``values[i]`` instead of 0 when a segment is
+    empty).
+    """
+    csum = np.zeros(values.size + 1, dtype=np.int64)
+    np.cumsum(values, out=csum[1:])
+    return csum[indptr[1:]] - csum[indptr[:-1]]
+
+
+def intersection_counts(
+    query_flags: np.ndarray, indices: np.ndarray, indptr: np.ndarray
+) -> np.ndarray:
+    """``|Q ∩ row_i|`` for every CSR row in one vectorized pass.
+
+    Args:
+        query_flags: 0/1 (or bool) membership array over the column
+            space, with ``query_flags[c]`` truthy iff column ``c`` is
+            in the query set.
+        indices: Concatenated column indices of all rows.
+        indptr: Row offsets into ``indices`` (``len(rows) + 1``).
+    """
+    if indices.size == 0:
+        return np.zeros(indptr.size - 1, dtype=np.int64)
+    hits = query_flags[indices].astype(np.int64, copy=False)
+    return segment_sums(hits, indptr)
+
+
+def similarity_scores(
+    metric: str,
+    inter: np.ndarray,
+    sizes_a: np.ndarray | float,
+    sizes_b: np.ndarray,
+) -> np.ndarray:
+    """Batch similarity scores from intersection counts and set sizes.
+
+    Args:
+        metric: One of :data:`SUPPORTED_METRICS`.
+        inter: Intersection counts; any shape broadcastable with the
+            size arrays (a vector for one query against many rows, a
+            matrix for the all-pairs baselines).
+        sizes_a: ``|L_a|`` -- scalar or array broadcastable with
+            ``inter``.
+        sizes_b: ``|L_b|`` per compared row.
+
+    Empty sets and empty intersections score 0.0, exactly like the
+    Python metrics.
+    """
+    if metric not in SUPPORTED_METRICS:
+        raise KeyError(
+            f"unknown vectorized metric {metric!r}; "
+            f"available: {', '.join(SUPPORTED_METRICS)}"
+        )
+    inter = np.asarray(inter, dtype=np.float64)
+    a = np.asarray(sizes_a, dtype=np.float64)
+    b = np.asarray(sizes_b, dtype=np.float64)
+    if metric == "cosine":
+        denom = np.sqrt(a * b)
+    elif metric == "jaccard":
+        denom = a + b - inter
+    else:  # overlap
+        denom = np.minimum(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where((inter > 0) & (denom > 0), inter / denom, 0.0)
+
+
+def rank_descending(scores: np.ndarray) -> np.ndarray:
+    """Indices of ``scores`` ordered by descending score, stable.
+
+    With the compared rows pre-sorted by their deterministic tie-break
+    key (ascending token / user id), the stable sort reproduces the
+    Python engine's ``(-score, key)`` ordering exactly.
+    """
+    return np.argsort(-scores, kind="stable")

@@ -1,0 +1,219 @@
+"""Unit tests for the vectorized engine's data structures and kernels."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import cosine, get_metric, jaccard, overlap
+from repro.core.tables import ProfileTable
+from repro.engine import (
+    LikedMatrix,
+    intersection_counts,
+    rank_descending,
+    segment_sums,
+    similarity_scores,
+)
+
+
+def _matrix_with(ratings: list[tuple[int, int, float]]) -> tuple[ProfileTable, LikedMatrix]:
+    table = ProfileTable()
+    matrix = LikedMatrix(table)
+    for user, item, value in ratings:
+        table.record(user, item, value)
+    return table, matrix
+
+
+def _liked_cols(matrix: LikedMatrix, user: int) -> set[int]:
+    return set(matrix.liked_row(user).tolist())
+
+
+class TestKernels:
+    def test_segment_sums_handles_empty_rows(self):
+        values = np.array([1, 0, 1, 1], dtype=np.int64)
+        indptr = np.array([0, 0, 2, 2, 4], dtype=np.int64)
+        assert segment_sums(values, indptr).tolist() == [0, 1, 0, 2]
+
+    def test_intersection_counts_matches_python_sets(self):
+        rng = random.Random(5)
+        rows = [frozenset(rng.sample(range(60), rng.randrange(0, 25))) for _ in range(40)]
+        query = frozenset(rng.sample(range(60), 12))
+        sizes = np.array([len(r) for r in rows], dtype=np.int64)
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        indices = np.array([c for r in rows for c in sorted(r)], dtype=np.int64)
+        flags = np.zeros(60, dtype=np.int64)
+        flags[list(query)] = 1
+        counts = intersection_counts(flags, indices, indptr)
+        assert counts.tolist() == [len(query & r) for r in rows]
+
+    @pytest.mark.parametrize(
+        "name,fn", [("cosine", cosine), ("jaccard", jaccard), ("overlap", overlap)]
+    )
+    def test_scores_bitwise_equal_python_metrics(self, name, fn):
+        rng = random.Random(9)
+        for _ in range(200):
+            a = frozenset(rng.sample(range(50), rng.randrange(0, 20)))
+            b = frozenset(rng.sample(range(50), rng.randrange(0, 20)))
+            inter = np.array([len(a & b)], dtype=np.int64)
+            got = similarity_scores(
+                name, inter, float(len(a)), np.array([len(b)], dtype=np.int64)
+            )
+            expected = fn(a, b)
+            assert float(got[0]) == expected  # bitwise, no tolerance
+
+    def test_scores_rejects_unknown_metric(self):
+        with pytest.raises(KeyError):
+            similarity_scores("hamming", np.zeros(1), 1.0, np.ones(1))
+
+    def test_rank_descending_is_stable(self):
+        scores = np.array([0.5, 0.9, 0.5, 0.1])
+        assert rank_descending(scores).tolist() == [1, 0, 2, 3]
+
+    def test_cosine_matches_math_sqrt_exactly(self):
+        # The parity guarantee hinges on np.sqrt == math.sqrt bit-for-bit.
+        for a, b, inter in [(3, 7, 2), (123, 456, 77), (1, 1, 1)]:
+            got = similarity_scores(
+                "cosine",
+                np.array([inter], dtype=np.int64),
+                float(a),
+                np.array([b], dtype=np.int64),
+            )
+            assert float(got[0]) == inter / math.sqrt(a * b)
+
+
+class TestLikedMatrix:
+    def test_rows_track_profile_writes(self):
+        table, matrix = _matrix_with([(1, 10, 1.0), (1, 11, 1.0), (1, 12, 0.0)])
+        assert _liked_cols(matrix, 1) == {
+            matrix.column_of(10),
+            matrix.column_of(11),
+        }
+        table.record(1, 13, 1.0)
+        assert matrix.column_of(13) in _liked_cols(matrix, 1)
+        # Un-like removes from the row.
+        table.record(1, 10, 0.0)
+        assert matrix.column_of(10) not in _liked_cols(matrix, 1)
+        # Re-rating without flipping the opinion changes nothing.
+        before = _liked_cols(matrix, 1)
+        table.record(1, 11, 1.0)
+        assert _liked_cols(matrix, 1) == before
+
+    def test_rated_row_includes_dislikes(self):
+        table, matrix = _matrix_with([(2, 5, 1.0), (2, 6, 0.0)])
+        rated = set(matrix.rated_row(2).tolist())
+        assert rated == {matrix.column_of(5), matrix.column_of(6)}
+        table.record(2, 7, 0.0)
+        assert matrix.column_of(7) in set(matrix.rated_row(2).tolist())
+
+    def test_attaches_to_prepopulated_table(self):
+        table = ProfileTable()
+        table.record(4, 1, 1.0)
+        table.record(4, 2, 1.0)
+        matrix = LikedMatrix(table)
+        assert len(_liked_cols(matrix, 4)) == 2
+
+    def test_gather_matches_individual_rows(self):
+        rng = random.Random(3)
+        ratings = [
+            (u, i, 1.0) for u in range(20) for i in rng.sample(range(40), 8)
+        ]
+        table, matrix = _matrix_with(ratings)
+        ids = list(range(20))
+        indices, indptr, sizes = matrix.gather_liked(ids)
+        for pos, uid in enumerate(ids):
+            row = indices[indptr[pos] : indptr[pos + 1]]
+            assert set(row.tolist()) == _liked_cols(matrix, uid)
+            assert sizes[pos] == len(_liked_cols(matrix, uid))
+        assert matrix.liked_sizes(ids).tolist() == sizes.tolist()
+
+    def test_compaction_preserves_rows(self):
+        table = ProfileTable()
+        matrix = LikedMatrix(table, initial_capacity=16)
+        rng = random.Random(1)
+        expected: dict[int, set[int]] = {}
+        for step in range(600):
+            user = rng.randrange(8)
+            item = rng.randrange(30)
+            value = 1.0 if rng.random() < 0.7 else 0.0
+            table.record(user, item, value)
+            matrix.liked_row(user)  # keep rows materialized across churn
+            expected.setdefault(user, set())
+            if value == 1.0:
+                expected[user].add(item)
+            else:
+                expected[user].discard(item)
+        for user, items in expected.items():
+            assert _liked_cols(matrix, user) == {
+                matrix.column_of(i) for i in items
+            }
+
+    def test_csc_agrees_with_csr(self):
+        rng = random.Random(11)
+        ratings = []
+        for u in range(29):
+            for i in rng.sample(range(50), rng.randrange(1, 15)):
+                ratings.append((u, i, 1.0 if rng.random() < 0.8 else 0.0))
+        table, matrix = _matrix_with(ratings)
+        table.get_or_create(29)  # registered but rating-less user
+        ids = list(range(30))
+        query = matrix.liked_row(7)
+        indices, indptr, _ = matrix.gather_liked(ids)
+        csr = matrix.batch_intersections(query, indices, indptr)
+        csc = matrix.batch_intersections_csc(query, np.array(ids))
+        assert csr.tolist() == csc.tolist()
+        # ...and both survive further incremental writes.
+        for u, i, v in [(7, 99, 1.0), (3, 99, 1.0), (3, 99, 0.0), (5, 1, 0.0)]:
+            table.record(u, i, v)
+        query = matrix.liked_row(7)
+        indices, indptr, _ = matrix.gather_liked(ids)
+        assert (
+            matrix.batch_intersections(query, indices, indptr).tolist()
+            == matrix.batch_intersections_csc(query, np.array(ids)).tolist()
+        )
+
+    def test_adaptive_kernels_agree_with_csr(self):
+        rng = random.Random(21)
+        ratings = []
+        for u in range(40):
+            for i in rng.sample(range(60), rng.randrange(1, 20)):
+                ratings.append((u, i, 1.0 if rng.random() < 0.8 else 0.0))
+        table, matrix = _matrix_with(ratings)
+        ids = list(range(40))
+        query = matrix.liked_row(3)
+        indices, indptr, sizes = matrix.gather_liked(ids)
+        expected = matrix.batch_intersections(query, indices, indptr)
+        auto = matrix.intersections_auto(query, ids, indices, indptr)
+        assert auto.tolist() == expected.tolist()
+        knn_inter, knn_sizes = matrix.knn_intersections(query, ids)
+        assert knn_inter.tolist() == expected.tolist()
+        assert knn_sizes.tolist() == sizes.tolist()
+
+    def test_posting_lists_users_liking_item(self):
+        table, matrix = _matrix_with(
+            [(1, 10, 1.0), (2, 10, 1.0), (3, 10, 0.0), (1, 11, 1.0)]
+        )
+        assert set(matrix.posting(10).tolist()) == {1, 2}
+        table.record(2, 10, 0.0)
+        assert set(matrix.posting(10).tolist()) == {1}
+        assert matrix.posting(404).size == 0
+
+    def test_refresh_after_out_of_band_write(self):
+        table, matrix = _matrix_with([(1, 10, 1.0)])
+        matrix.liked_row(1)
+        table.get(1).add(11, 1.0)  # bypasses record(); matrix is stale
+        matrix.refresh(1)
+        assert _liked_cols(matrix, 1) == {
+            matrix.column_of(10),
+            matrix.column_of(11),
+        }
+        assert set(matrix.posting(11).tolist()) == {1}
+
+
+class TestMetricRegistryUnchanged:
+    def test_builtin_names_still_resolve(self):
+        for name in ("cosine", "jaccard", "overlap"):
+            assert callable(get_metric(name))
