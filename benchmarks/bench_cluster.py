@@ -1,0 +1,291 @@
+"""Cluster benchmark: shard-count sweep + engine-parity replay.
+
+Run directly (writes ``BENCH_cluster.json`` next to the repo root so
+the perf trajectory is tracked across PRs)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick
+
+Two measurements:
+
+1. **Sweep** (the COB-Service replicas shape): a synthetic worst-case
+   population (fixed-size profiles, randomized KNN rows so candidate
+   sets sit near ``2k + k^2``) served by the sharded engine at 1/2/4/8
+   shards under both executors, driven by
+   :class:`repro.sim.loadgen.ClusterLoadGenerator` -- real requests,
+   wall-clock RPS.  A sequential run of the single-matrix
+   ``engine="vectorized"`` path is recorded alongside as the
+   no-cluster reference.  The headline check: batched multi-shard
+   throughput at 8 shards on the thread-pool executor must be at least
+   the sweep's single-shard throughput.  (On a single-core host the
+   gain comes from window batching and per-shard cache locality --
+   each shard's gather slices stay cache-resident where the unsharded
+   window streams one huge arena pass; the thread pool only adds real
+   parallelism where cores exist, since the kernels release the GIL.)
+
+2. **Replay**: a full ML1 trace replay through all three engines --
+   equal outcomes and byte-identical wire metering are asserted, wall
+   times reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets import load_dataset
+from repro.sim.loadgen import ClusterLoadGenerator
+from repro.sim.randomness import derive_rng
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SHARD_SWEEP = (1, 2, 4, 8)
+EXECUTORS = ("serial", "thread")
+
+
+def build_system(
+    engine: str,
+    num_users: int,
+    profile_size: int,
+    catalog: int,
+    k: int,
+    batch_window: int,
+    num_shards: int = 1,
+    executor: str = "serial",
+    seed: int = 0,
+) -> HyRecSystem:
+    """A system preloaded with fixed-size profiles and random KNN rows."""
+    rng = derive_rng(seed, "cluster-population")
+    system = HyRecSystem(
+        HyRecConfig(
+            k=k,
+            r=10,
+            compress=False,  # measure engines, not shared gzip cost
+            engine=engine,
+            num_shards=num_shards,
+            executor=executor,
+            batch_window=batch_window,
+        ),
+        seed=seed,
+    )
+    for user in range(num_users):
+        for item in rng.sample(range(catalog), profile_size):
+            value = 1.0 if rng.random() < 0.8 else 0.0
+            system.record_rating(user, item, value, timestamp=0.0)
+    users = list(range(num_users))
+    for user in users:
+        neighbors = [n for n in rng.sample(users, k + 1) if n != user][:k]
+        system.server.knn_table.update(user, neighbors)
+    return system
+
+
+def bench_sweep(
+    num_users: int,
+    profile_size: int,
+    catalog: int,
+    k: int,
+    requests: int,
+    batch_window: int,
+    rounds: int = 3,
+    seed: int = 0,
+) -> dict:
+    """RPS per (shard count, executor), plus the vectorized reference.
+
+    All configurations are measured in interleaved rounds and each
+    keeps its best round: shared boxes drift (thermal throttling,
+    noisy neighbors), and a sequential sweep would systematically
+    punish whichever configuration runs last.
+    """
+    users = list(range(num_users))
+
+    configs: list[tuple[str, HyRecSystem, int]] = []
+    vectorized = build_system(
+        "vectorized", num_users, profile_size, catalog, k, batch_window,
+        seed=seed,
+    )
+    configs.append(("vectorized", vectorized, 1))
+    for num_shards in SHARD_SWEEP:
+        for executor in EXECUTORS:
+            system = build_system(
+                "sharded", num_users, profile_size, catalog, k, batch_window,
+                num_shards=num_shards, executor=executor, seed=seed,
+            )
+            configs.append((f"x{num_shards}/{executor}", system, batch_window))
+
+    generators = {
+        name: ClusterLoadGenerator(system, users)
+        for name, system, _ in configs
+    }
+    best: dict[str, dict] = {}
+    for name, system, concurrency in configs:  # warm caches and pools
+        generators[name].run(requests=min(64, requests), concurrency=concurrency)
+    for _ in range(rounds):
+        for name, system, concurrency in configs:
+            result = generators[name].run(
+                requests=requests, concurrency=concurrency
+            )
+            entry = {
+                "rps": round(result.throughput_rps, 1),
+                "mean_ms": round(result.mean_response_ms, 3),
+                "p95_ms": round(result.p95_response_s * 1e3, 3),
+            }
+            if name not in best or entry["rps"] > best[name]["rps"]:
+                best[name] = entry
+
+    baseline = best["vectorized"]
+    print(
+        f"vectorized (sequential)     : {baseline['rps']:8.1f} rps  "
+        f"mean {baseline['mean_ms']:7.3f}ms"
+    )
+    rows = []
+    for name, system, _ in configs:
+        if name == "vectorized":
+            continue
+        num_shards, executor = name[1:].split("/")
+        entry = dict(best[name])
+        entry.update(
+            {
+                "num_shards": int(num_shards),
+                "executor": executor,
+                "batch_window": batch_window,
+                "speedup_vs_vectorized": round(
+                    entry["rps"] / baseline["rps"], 3
+                ),
+            }
+        )
+        stats = system.server.stats.shards
+        entry["max_shard_users"] = max(s.users for s in stats)
+        entry["min_shard_users"] = min(s.users for s in stats)
+        rows.append(entry)
+        print(
+            f"sharded x{num_shards} ({executor:6s}, w={batch_window:3d})"
+            f" : {entry['rps']:8.1f} rps  "
+            f"mean {entry['mean_ms']:7.3f}ms  "
+            f"x{entry['speedup_vs_vectorized']:.2f} vs vectorized"
+        )
+        system.close()
+
+    def rps_of(num_shards: int, executor: str) -> float:
+        return next(
+            row["rps"]
+            for row in rows
+            if row["num_shards"] == num_shards and row["executor"] == executor
+        )
+
+    single_shard = min(rps_of(1, executor) for executor in EXECUTORS)
+    eight_thread = rps_of(8, "thread")
+    meets_target = bool(eight_thread >= single_shard)
+    print(
+        f"8-shard thread-pool {eight_thread:.1f} rps vs single-shard "
+        f"{single_shard:.1f} rps -> "
+        f"{'scales' if meets_target else 'DOES NOT scale'} "
+        f"(x{eight_thread / single_shard:.2f})"
+    )
+    return {
+        "population": {
+            "users": num_users,
+            "profile_size": profile_size,
+            "catalog": catalog,
+            "k": k,
+            "requests": requests,
+        },
+        "vectorized_sequential": baseline,
+        "sweep": rows,
+        "single_shard_rps": single_shard,
+        "eight_shard_thread_rps": eight_thread,
+        "meets_target": meets_target,
+    }
+
+
+def bench_replay(scale: float, num_shards: int, seed: int = 0) -> dict:
+    """Replay ML1 through all engines; verify parity, report times."""
+    trace = load_dataset("ML1", scale=scale, seed=seed)
+    timings: dict[str, float] = {}
+    wire_bytes: dict[str, int] = {}
+    digests: dict[str, int] = {}
+    for engine in ("python", "vectorized", "sharded"):
+        system = HyRecSystem(
+            HyRecConfig(k=10, engine=engine, num_shards=num_shards),
+            seed=seed,
+        )
+        digest: list = []
+        start = time.perf_counter()
+        system.replay(
+            trace, on_request=lambda o: digest.append(tuple(o.recommendations))
+        )
+        timings[engine] = time.perf_counter() - start
+        wire_bytes[engine] = system.server.meter.total_wire_bytes
+        digests[engine] = hash(tuple(digest))
+        system.close()
+
+    parity = (
+        len(set(digests.values())) == 1 and len(set(wire_bytes.values())) == 1
+    )
+    entry = {
+        "dataset": "ML1",
+        "scale": scale,
+        "requests": len(trace),
+        "num_shards": num_shards,
+        "python_s": round(timings["python"], 3),
+        "vectorized_s": round(timings["vectorized"], 3),
+        "sharded_s": round(timings["sharded"], 3),
+        "parity_identical": parity,
+    }
+    print(
+        f"replay ML1@{scale} (x{num_shards} shards): "
+        f"python {entry['python_s']:7.2f}s  "
+        f"vectorized {entry['vectorized_s']:7.2f}s  "
+        f"sharded {entry['sharded_s']:7.2f}s  "
+        f"parity={parity}"
+    )
+    if not parity:
+        raise SystemExit("engine parity violated during replay")
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller population + replay"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="ML1 replay scale"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_cluster.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sweep = bench_sweep(
+            num_users=300, profile_size=120, catalog=2000, k=20,
+            requests=192, batch_window=32,
+        )
+        replay = bench_replay(scale=min(args.scale, 0.03), num_shards=4)
+    else:
+        sweep = bench_sweep(
+            num_users=800, profile_size=200, catalog=2500, k=20,
+            requests=512, batch_window=32,
+        )
+        replay = bench_replay(scale=args.scale, num_shards=4)
+
+    report = {"sweep": sweep, "replay": [replay]}
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Scale-out sweep: RPS versus shard count for one HyRec deployment.
+
+The COB-Service scalability experiment, in-process: take one synthetic
+population, serve the same closed-loop request load from deployments
+with 1, 2, 4 and 8 shards (``HyRecConfig(engine="sharded")``), and
+compare measured throughput and latency -- "scaling the backend"
+without docker-compose.  Every deployment returns bit-for-bit the same
+recommendations; only the serving topology changes.
+
+Run:  PYTHONPATH=src python examples/sharded_scaleout.py [--quick]
+"""
+
+import argparse
+
+from repro import HyRecConfig, HyRecSystem
+from repro.sim.loadgen import ClusterLoadGenerator
+from repro.sim.randomness import derive_rng
+
+
+def build_population(
+    num_shards: int,
+    executor: str,
+    num_users: int,
+    profile_size: int,
+    k: int = 20,
+    seed: int = 7,
+) -> HyRecSystem:
+    """One deployment, preloaded with a worst-case candidate topology."""
+    rng = derive_rng(seed, "scaleout-population")
+    catalog = max(1000, 10 * profile_size)
+    system = HyRecSystem(
+        HyRecConfig(
+            k=k,
+            r=10,
+            compress=False,
+            engine="sharded",
+            num_shards=num_shards,
+            executor=executor,
+            batch_window=32,
+        ),
+        seed=seed,
+    )
+    for user in range(num_users):
+        for item in rng.sample(range(catalog), profile_size):
+            system.record_rating(user, item, 1.0 if rng.random() < 0.8 else 0.0)
+    users = list(range(num_users))
+    for user in users:
+        neighbors = [n for n in rng.sample(users, k + 1) if n != user][:k]
+        system.server.knn_table.update(user, neighbors)
+    return system
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    parser.add_argument(
+        "--executor", default="thread", choices=("serial", "thread")
+    )
+    args = parser.parse_args()
+
+    num_users = 200 if args.quick else 600
+    profile_size = 80 if args.quick else 150
+    requests = 128 if args.quick else 384
+    concurrency = 32
+
+    print(
+        f"population: {num_users} users, profile size {profile_size}; "
+        f"load: {requests} requests at concurrency {concurrency} "
+        f"({args.executor} executor)\n"
+    )
+
+    results = []
+    for num_shards in (1, 2, 4, 8):
+        system = build_population(
+            num_shards, args.executor, num_users, profile_size
+        )
+        generator = ClusterLoadGenerator(system, list(range(num_users)))
+        generator.run(requests=min(64, requests), concurrency=concurrency)
+        load = generator.run(requests=requests, concurrency=concurrency)
+        results.append((num_shards, load))
+        stats = system.server.stats.shards
+        spread = f"{min(s.users for s in stats)}-{max(s.users for s in stats)}"
+        print(
+            f"shards={num_shards}:  {load.throughput_rps:8.1f} rps   "
+            f"mean {load.mean_response_ms:7.2f}ms   "
+            f"p95 {load.p95_response_s * 1e3:7.2f}ms   "
+            f"(users/shard {spread})"
+        )
+        system.close()
+
+    base = results[0][1].throughput_rps
+    best_shards, best = max(results, key=lambda entry: entry[1].throughput_rps)
+    print(
+        f"\n{best_shards} shards sustained "
+        f"{100 * (best.throughput_rps - base) / base:+.1f}% throughput "
+        f"vs the single shard"
+    )
+    if best.throughput_rps > base:
+        print("the deployment scales with shards on this host")
+    else:
+        print(
+            "no headroom on this host (single-core?) -- "
+            "the thread-pool executor needs cores to overlap shard tasks"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The sharded cluster engine.
+
+Runs the vectorized engine across N hash-partitioned shards: a
+:class:`ShardedLikedMatrix` of per-shard arenas and posting lists fed
+by placement-routed writes, a :class:`ClusterCoordinator` that fans a
+request's :class:`~repro.engine.jobs.EngineJob` out to shards and
+merges exact partial top-Ks, and a :class:`BatchScheduler` that
+coalesces concurrent requests into one batched kernel invocation per
+shard.  Selected per deployment with ``HyRecConfig(engine="sharded")``;
+results are bit-for-bit identical to the ``"python"`` and
+``"vectorized"`` engines for any shard count and executor.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ShardPartial,
+    merge_popularity,
+    merge_topk,
+)
+from repro.cluster.executors import (
+    EXECUTOR_NAMES,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
+from repro.cluster.placement import ShardPlacement
+from repro.cluster.scheduler import BatchScheduler, BatchTicket
+from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
+
+__all__ = [
+    "BatchScheduler",
+    "BatchTicket",
+    "ClusterCoordinator",
+    "EXECUTOR_NAMES",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardPartial",
+    "ShardPlacement",
+    "ShardStats",
+    "ShardedLikedMatrix",
+    "ThreadPoolExecutor",
+    "make_executor",
+    "merge_popularity",
+    "merge_topk",
+]

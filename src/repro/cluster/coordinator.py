@@ -1,0 +1,311 @@
+"""Scatter/gather orchestration over the sharded liked matrix.
+
+:class:`ClusterCoordinator` executes :class:`~repro.engine.jobs.EngineJob`
+requests across the shards of a :class:`~repro.cluster.ShardedLikedMatrix`:
+
+1. **Scatter** -- each job's (token-sorted) candidate list is split by
+   hash placement; every candidate keeps its *position* in the job's
+   global order, so tokens never travel to the shards.  The
+   requester's liked/rated sets map to columns *once* per job: the
+   shards share one item vocabulary, so the same column array is valid
+   everywhere.
+2. **Shard-local scoring** -- per shard, *one* CSR gather covers all
+   jobs of the batch, one :func:`~repro.engine.kernels.segment_sums`
+   pass turns the per-job membership flags into intersection counts,
+   and (for the config-uniform metric of a real deployment) one
+   :func:`~repro.engine.kernels.similarity_scores` call scores every
+   candidate row of every job in the window.  The shard's partial
+   result per job is a pair of zero-copy views: scores and global
+   positions.
+3. **Merge** -- per job, one ``lexsort`` over the concatenated
+   partials ranks by ``(-score, position)``; positions follow the
+   job's ascending-token order, so this *is* the Python engine's
+   ``(-score, token)`` total order.  Popularity counts merge as one
+   ``bincount`` over the concatenated liked-column segments, after
+   which the recommendation step is literally the single-matrix one
+   (zero the rated columns, ``(-count, str(item))`` selection).
+
+Because the shards partition the candidate set, the merged outputs are
+*bit-for-bit* the single-matrix engine's outputs: intersection counts
+are exact integers, similarity scores are elementwise float64 (no
+cross-candidate reductions, hence no float reassociation), and both
+tie-breaks use the same total orders.  A cross-process transport would
+truncate each shard's partial to its local top-K before shipping --
+an exactness-preserving cut, since every global top-K member is inside
+its own shard's top-K.  ``tests/test_cluster_parity.py`` enforces
+parity for 1/2/4/8 shards under both executors.
+
+Shard tasks touch only their own shard's state (the shared vocabulary
+is read-mostly, with locked interning), so the coordinator can run
+them on any :mod:`~repro.cluster.executors` back-end without changing
+a single output bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.executors import ShardExecutor, SerialExecutor
+from repro.cluster.placement import ShardPlacement
+from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
+from repro.core.jobs import JobResult
+from repro.core.tables import ProfileTable
+from repro.engine.jobs import EngineJob
+from repro.engine.kernels import (
+    segment_sums,
+    select_top_items,
+    similarity_scores,
+)
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+_EMPTY_F = np.zeros(0, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """One shard's contribution to one job (zero-copy views)."""
+
+    positions: np.ndarray  # candidate positions in the job's token order
+    scores: np.ndarray  # matching similarity scores (float64)
+    liked_cols: np.ndarray  # gathered liked-item columns (shared vocab)
+
+
+@dataclass(frozen=True)
+class _Query:
+    """Per-job requester context, mapped to shared columns once."""
+
+    cols: np.ndarray  # columns of the user's liked items
+    liked_count: int  # |L_u| (drives the similarity denominators)
+    rated_cols: np.ndarray  # columns of every rated item (exclusions)
+
+
+def merge_topk(
+    score_parts: Sequence[np.ndarray],
+    position_parts: Sequence[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact global top-``k`` from per-shard partial scores.
+
+    Shards hold disjoint candidates, so ranking the union under the
+    engine's total order is exact; positions follow the job's
+    ascending-token order, so ``(-score, position)`` *is* the Python
+    engine's ``(-score, token)``.  (``-0.0 == 0.0`` in IEEE-754, so
+    zero-score ties still fall through to the position.)  Works
+    unchanged on shard-side-truncated partials: any global top-``k``
+    member is inside its own shard's top-``k``.
+
+    Returns ``(positions, scores)`` of the winners, best first.
+    """
+    if not score_parts:
+        return _EMPTY, _EMPTY_F
+    if len(score_parts) == 1:
+        scores = score_parts[0]
+        positions = position_parts[0]
+    else:
+        scores = np.concatenate(score_parts)
+        positions = np.concatenate(position_parts)
+    top = np.lexsort((positions, -scores))[:k]
+    return positions[top], scores[top]
+
+
+def merge_popularity(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Dense per-column like counts from per-shard column segments.
+
+    Every part lists the liked-item columns this job's candidates hold
+    on one shard (columns are shared cluster-wide).  Candidates are
+    disjoint across shards, so one ``bincount`` over the concatenation
+    is exactly the single-matrix popularity pass -- integer-exact, and
+    cheaper than summing per-shard histograms.
+    """
+    parts = [part for part in parts if part.size]
+    if not parts:
+        return _EMPTY
+    cols = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return np.bincount(cols)
+
+
+class ClusterCoordinator:
+    """Fans engine jobs out to shards and merges exact results."""
+
+    def __init__(
+        self,
+        table: ProfileTable,
+        num_shards: int = 4,
+        executor: ShardExecutor | None = None,
+        placement: ShardPlacement | None = None,
+    ) -> None:
+        self._table = table
+        self.matrix = ShardedLikedMatrix(table, num_shards, placement)
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.batches_processed = 0
+        self.jobs_processed = 0
+
+    @property
+    def num_shards(self) -> int:
+        return self.matrix.num_shards
+
+    def shard_stats(self) -> tuple[ShardStats, ...]:
+        """Per-shard load/churn counters (surfaced via ``ServerStats``)."""
+        return self.matrix.stats()
+
+    def close(self) -> None:
+        """Release the executor's workers (if any)."""
+        self.executor.close()
+
+    # --- execution ----------------------------------------------------------
+
+    def process_engine_job(self, job: EngineJob) -> JobResult:
+        """Execute one job (a batch of one)."""
+        return self.process_batch([job])[0]
+
+    def process_batch(self, jobs: Sequence[EngineJob]) -> list[JobResult]:
+        """Execute a batch of jobs: one kernel invocation per shard."""
+        if not jobs:
+            return []
+        queries = [self._query_of(job.user_id) for job in jobs]
+
+        # Scatter: shard -> [(job index, candidate ids, positions), ...].
+        shard_work: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for index, job in enumerate(jobs):
+            for shard, (ids, positions) in enumerate(
+                self.matrix.partition(job.candidate_ids)
+            ):
+                if ids.size:
+                    shard_work[shard].append((index, ids, positions))
+
+        tasks = [
+            (lambda s=shard: self._run_shard(s, shard_work[s], queries, jobs))
+            for shard in range(self.num_shards)
+        ]
+        partials_by_shard = self.executor.run(tasks)
+
+        # Merge: per job, combine whatever each shard contributed.
+        results: list[JobResult] = []
+        item_array = self.matrix.vocab.item_array()
+        for index, job in enumerate(jobs):
+            score_parts: list[np.ndarray] = []
+            position_parts: list[np.ndarray] = []
+            col_parts: list[np.ndarray] = []
+            for shard_out in partials_by_shard:
+                partial = shard_out.get(index)
+                if partial is None:
+                    continue
+                score_parts.append(partial.scores)
+                position_parts.append(partial.positions)
+                col_parts.append(partial.liked_cols)
+            positions, scores = merge_topk(score_parts, position_parts, job.k)
+            tokens = job.candidate_tokens
+            popularity = merge_popularity(col_parts)
+            rated = queries[index].rated_cols
+            if popularity.size and rated.size:
+                popularity[rated[rated < popularity.size]] = 0
+            nonzero = np.nonzero(popularity)[0]
+            results.append(
+                JobResult(
+                    user_token=job.user_token,
+                    neighbor_tokens=[
+                        tokens[position] for position in positions.tolist()
+                    ],
+                    recommended_items=select_top_items(
+                        item_array[nonzero], popularity[nonzero], job.r
+                    ),
+                    neighbor_scores=scores.tolist(),
+                )
+            )
+        self.batches_processed += 1
+        self.jobs_processed += len(jobs)
+        return results
+
+    def _query_of(self, user_id: int) -> _Query:
+        profile = self._table.get(user_id)
+        liked = profile.liked_items()
+        vocab = self.matrix.vocab
+        # Interning (not skipping) matters on pre-populated tables:
+        # a query item must share the column a candidate row interns
+        # for it later in this very batch.  It runs on the calling
+        # thread, preserving the vocabulary's read-mostly discipline
+        # for the shard tasks.
+        return _Query(
+            cols=vocab.intern_columns(list(liked)),
+            liked_count=len(liked),
+            rated_cols=vocab.intern_columns(list(profile.rated_items())),
+        )
+
+    # --- shard-local scoring -------------------------------------------------
+
+    def _run_shard(
+        self,
+        shard: int,
+        entries: list[tuple[int, np.ndarray, np.ndarray]],
+        queries: list[_Query],
+        jobs: Sequence[EngineJob],
+    ) -> dict[int, ShardPartial]:
+        """Score every job's slice of this shard in one batched pass.
+
+        This is the "one batched kernel invocation per shard" shape:
+        one CSR gather, one membership flag per liked entry (queries
+        are marked per job, but flag gathering writes into one shared
+        array), one :func:`segment_sums`, and -- when the batch shares
+        a metric, which a config-driven deployment always does -- one
+        :func:`similarity_scores` call for every candidate row of
+        every job in the window.
+        """
+        if not entries:
+            return {}
+        matrix = self.matrix.shards[shard]
+        all_ids = (
+            np.concatenate([ids for _, ids, _ in entries])
+            if len(entries) > 1
+            else entries[0][1]
+        )
+        indices, indptr, sizes = matrix.gather_liked(all_ids.tolist())
+
+        # Flag every gathered index's query membership, job by job
+        # (each job has its own query set), into one shared array.
+        hits = np.empty(indices.size, dtype=np.int64)
+        spans: list[tuple[int, int, int, int, int, np.ndarray]] = []
+        row = 0
+        for index, ids, positions in entries:
+            count = ids.size
+            lo = int(indptr[row])
+            hi = int(indptr[row + count])
+            matrix.mark_hits(queries[index].cols, indices[lo:hi], hits[lo:hi])
+            spans.append((index, row, row + count, lo, hi, positions))
+            row += count
+
+        inter = segment_sums(hits, indptr)
+        liked_counts = np.repeat(
+            np.asarray(
+                [queries[index].liked_count for index, *_ in spans],
+                dtype=np.float64,
+            ),
+            np.asarray([r1 - r0 for _, r0, r1, *_ in spans], dtype=np.int64),
+        )
+        metrics = {jobs[index].metric for index, *_ in spans}
+        if len(metrics) == 1:
+            scores_all = similarity_scores(
+                next(iter(metrics)), inter, liked_counts, sizes
+            )
+        else:  # mixed-metric batch: score per job (same kernels, same bits)
+            scores_all = np.empty(inter.size, dtype=np.float64)
+            for index, r0, r1, _, _, _ in spans:
+                scores_all[r0:r1] = similarity_scores(
+                    jobs[index].metric,
+                    inter[r0:r1],
+                    liked_counts[r0:r1],
+                    sizes[r0:r1],
+                )
+
+        return {
+            index: ShardPartial(
+                positions=positions,
+                scores=scores_all[r0:r1],
+                liked_cols=indices[lo:hi],
+            )
+            for index, r0, r1, lo, hi, positions in spans
+        }

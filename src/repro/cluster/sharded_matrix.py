@@ -1,0 +1,141 @@
+"""A :class:`LikedMatrix` partitioned into hash-placed user shards.
+
+:class:`ShardedLikedMatrix` carries the vectorized engine's CSR/CSC
+structure across N independent shards: each shard is a plain
+:class:`~repro.engine.liked_matrix.LikedMatrix` that materializes only
+the rows of the users it owns (ownership is decided by a
+:class:`~repro.cluster.placement.ShardPlacement` hash of the user id).
+
+Writes stay incremental: the sharded matrix subscribes *once* to the
+shared :class:`~repro.core.tables.ProfileTable` and routes every write
+to the owning shard's :meth:`~repro.engine.liked_matrix.LikedMatrix.apply_write`,
+so the non-owning N-1 shards never touch the write at all.  All
+shards intern items in *one shared*
+:class:`~repro.engine.liked_matrix.ItemVocabulary`: a column index
+means the same item cluster-wide, which is what lets the coordinator
+map a query to columns once per request and merge per-shard
+popularity counts with a single histogram.  (A cross-process
+deployment would replicate this dictionary or shard it separately --
+items, unlike users, are shared read-mostly state.)
+
+The per-shard stats (:class:`ShardStats`) expose the load and churn
+picture an operator would watch: materialized rows, live/garbage arena
+entries, routed writes, and compaction count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.placement import ShardPlacement
+from repro.core.tables import ProfileTable
+from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Load/churn counters for one shard."""
+
+    shard: int
+    users: int  # rows materialized in this shard's arena
+    arena_live: int  # live liked-item entries
+    arena_garbage: int  # superseded entries awaiting compaction
+    writes: int  # profile writes routed to this shard
+    compactions: int  # arena compactions performed
+
+
+class ShardedLikedMatrix:
+    """N hash-partitioned liked matrices behind one write router."""
+
+    def __init__(
+        self,
+        table: ProfileTable,
+        num_shards: int,
+        placement: ShardPlacement | None = None,
+    ) -> None:
+        self._table = table
+        self.placement = (
+            placement if placement is not None else ShardPlacement(num_shards)
+        )
+        if self.placement.num_shards != num_shards:
+            raise ValueError("placement and num_shards disagree")
+        #: One vocabulary for all shards: column indices agree across
+        #: the cluster, so queries map to columns once per request and
+        #: per-shard popularity counts merge with a single histogram.
+        self.vocab = ItemVocabulary()
+        self.shards: list[LikedMatrix] = [
+            LikedMatrix(
+                table,
+                subscribe=False,
+                row_filter=self._owner_filter(shard),
+                vocab=self.vocab,
+            )
+            for shard in range(num_shards)
+        ]
+        table.add_listener(self._route_write)
+
+    def _owner_filter(self, shard: int):
+        placement = self.placement
+        return lambda user_id: placement.shard_of(user_id) == shard
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # --- write routing ------------------------------------------------------
+
+    def _route_write(
+        self, user_id: int, item: int, value: float, previous: float | None
+    ) -> None:
+        """ProfileTable hook: deliver the write to the owning shard."""
+        self.shards[self.placement.shard_of(user_id)].apply_write(
+            user_id, item, value, previous
+        )
+
+    # --- partitioning -------------------------------------------------------
+
+    def shard_of(self, user_id: int) -> int:
+        """Owning shard of ``user_id``."""
+        return self.placement.shard_of(user_id)
+
+    def partition(
+        self, user_ids: Sequence[int]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Split a candidate list by owning shard.
+
+        Returns one ``(ids, positions)`` pair per shard, where
+        ``positions`` are the candidates' indices in the *input*
+        sequence, ascending.  Positions carry the deterministic global
+        order (jobs sort candidates by token), so cross-shard merges
+        can reproduce the single-matrix tie-breaks exactly without
+        shipping tokens to the shards.
+        """
+        ids = np.asarray(user_ids, dtype=np.int64)
+        if ids.size == 0:
+            empty: np.ndarray = ids
+            return [(empty, empty) for _ in range(self.num_shards)]
+        shard_of_id = self.placement.shards_of(ids)
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        for shard in range(self.num_shards):
+            positions = np.nonzero(shard_of_id == shard)[0]
+            parts.append((ids[positions], positions))
+        return parts
+
+    # --- stats --------------------------------------------------------------
+
+    def stats(self) -> tuple[ShardStats, ...]:
+        """Per-shard load and churn counters."""
+        return tuple(
+            ShardStats(
+                shard=index,
+                users=matrix.num_rows,
+                arena_live=matrix.arena_live,
+                arena_garbage=matrix.arena_garbage,
+                writes=matrix.writes_applied,
+                compactions=matrix.compactions,
+            )
+            for index, matrix in enumerate(self.shards)
+        )

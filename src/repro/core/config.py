@@ -29,14 +29,26 @@ class HyRecConfig:
         num_random: Random users injected per sample (default ``k``;
             ablation A1 sets it to 0).
         engine: Request-path execution engine.  ``"python"`` is the
-            paper-faithful set-arithmetic path; ``"vectorized"`` keeps
-            an incrementally-maintained integer matrix of liked sets
-            next to the Profile Table and scores whole candidate sets
-            with numpy batch kernels.  The two engines produce
-            identical neighbors, scores, recommendations and wire
-            metering; the vectorized engine automatically falls back
-            to the Python path for custom metrics and item-anonymized
-            deployments (see :mod:`repro.engine`).
+            paper-faithful set-arithmetic path; ``"vectorized"`` (the
+            default) keeps an incrementally-maintained integer matrix
+            of liked sets next to the Profile Table and scores whole
+            candidate sets with numpy batch kernels; ``"sharded"``
+            partitions that matrix into ``num_shards`` hash-placed
+            shards behind a batching coordinator
+            (:mod:`repro.cluster`).  All engines produce identical
+            neighbors, scores, recommendations and wire metering; the
+            array engines automatically fall back to the Python path
+            for custom metrics and item-anonymized deployments.
+        num_shards: Shard count of the ``"sharded"`` engine (ignored
+            by the other engines).
+        executor: How the sharded engine runs its per-shard tasks:
+            ``"serial"`` (deterministic, on the calling thread) or
+            ``"thread"`` (a persistent pool; shard tasks overlap where
+            the kernels release the GIL).  Results are identical
+            either way.
+        batch_window: Requests the sharded engine's scheduler coalesces
+            into one batched kernel invocation per shard
+            (:class:`repro.cluster.BatchScheduler`).
     """
 
     k: int = 10
@@ -47,7 +59,10 @@ class HyRecConfig:
     compress: bool = True
     include_two_hop: bool = True
     num_random: int | None = None
-    engine: str = "python"
+    engine: str = "vectorized"
+    num_shards: int = 4
+    executor: str = "serial"
+    batch_window: int = 16
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -56,9 +71,25 @@ class HyRecConfig:
             raise ValueError(f"r must be at least 1, got {self.r}")
         if self.reshuffle_every < 0:
             raise ValueError("reshuffle_every cannot be negative")
-        if self.engine not in ("python", "vectorized"):
+        if self.engine not in ("python", "vectorized", "sharded"):
             raise ValueError(
                 f"unknown engine {self.engine!r}; "
-                "expected 'python' or 'vectorized'"
+                "expected 'python', 'vectorized' or 'sharded'"
+            )
+        if self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be at least 1, got {self.num_shards}"
+            )
+        # Mirrors repro.cluster.executors.EXECUTOR_NAMES; kept literal
+        # here so constructing a config never imports the cluster
+        # package (which imports core modules back).
+        if self.executor not in ("serial", "thread"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                "expected 'serial' or 'thread'"
+            )
+        if self.batch_window < 1:
+            raise ValueError(
+                f"batch_window must be at least 1, got {self.batch_window}"
             )
         get_metric(self.metric)  # fail fast on unknown metrics

@@ -20,7 +20,8 @@ the Section 5.6 bandwidth numbers read these meters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.anonymizer import AnonymousMapping
 from repro.core.config import HyRecConfig
@@ -33,6 +34,9 @@ from repro.engine.liked_matrix import LikedMatrix
 from repro.messages import MessageMeter
 from repro.sim.randomness import derive_rng
 
+if TYPE_CHECKING:  # imported lazily at runtime (cluster imports core back)
+    from repro.cluster import ClusterCoordinator, ShardStats
+
 
 @dataclass(frozen=True)
 class ServerStats:
@@ -41,6 +45,8 @@ class ServerStats:
     online_requests: int
     knn_updates: int
     reshuffles: int
+    #: Per-shard load/churn counters; empty unless ``engine="sharded"``.
+    shards: tuple["ShardStats", ...] = field(default=())
 
 
 class HyRecServer:
@@ -61,17 +67,44 @@ class HyRecServer:
         self.anonymizer = AnonymousMapping(seed=derive_seed_for_anonymizer(seed))
         #: CSR-style integer mirror of the profile table, maintained
         #: incrementally from ProfileTable writes.  Only materialized
-        #: for the vectorized engine; ``None`` on the Python engine.
+        #: for the vectorized engine; ``None`` on the other engines.
         self.liked_matrix: LikedMatrix | None = (
             LikedMatrix(self.profiles)
             if self.config.engine == "vectorized"
             else None
         )
+        #: Sharded twin of :attr:`liked_matrix`: partitioned shards
+        #: behind a scatter/gather coordinator.  Only materialized for
+        #: ``engine="sharded"``.
+        self.cluster: "ClusterCoordinator | None" = None
+        if self.config.engine == "sharded":
+            # Imported here, not at module top: the cluster package
+            # imports core modules back, and a top-level circular
+            # import would leave whichever package loads second
+            # half-initialized.
+            from repro.cluster import ClusterCoordinator, make_executor
+
+            self.cluster = ClusterCoordinator(
+                self.profiles,
+                num_shards=self.config.num_shards,
+                executor=make_executor(self.config.executor),
+            )
         self.meter = MessageMeter()
         self._bootstrap_rng = derive_rng(seed, "server:bootstrap")
         self._online_requests = 0
         self._knn_updates = 0
         self._reshuffles = 0
+
+    def close(self) -> None:
+        """Release engine resources (the cluster's executor workers).
+
+        Idempotent and a no-op on the python/vectorized engines.
+        Sweeps constructing many sharded deployments should call this
+        (or :meth:`HyRecSystem.close`) instead of reaching into
+        ``server.cluster``.
+        """
+        if self.cluster is not None:
+            self.cluster.close()
 
     # --- profile management ---------------------------------------------------
 
@@ -109,6 +142,26 @@ class HyRecServer:
 
     # --- orchestration -----------------------------------------------------------
 
+    def _begin_request(self, user_id: int, now: float) -> set[int]:
+        """Shared request preamble; returns the sampled candidate set.
+
+        Both online entry points (wire and engine) must mutate the
+        request counter, the anonymizer epoch, and the sampler RNG in
+        exactly this order -- the engines' bit-for-bit contract
+        (including byte-identical wire metering) rides on the two
+        paths staying in lockstep, which is why this lives in one
+        place.
+        """
+        self.register_user(user_id)
+        self._online_requests += 1
+        if (
+            self.config.reshuffle_every
+            and self._online_requests % self.config.reshuffle_every == 0
+        ):
+            self.anonymizer.reshuffle()
+            self._reshuffles += 1
+        return self.sampler.sample(user_id, now=now)
+
     def handle_online_request(
         self, user_id: int, now: float = 0.0
     ) -> PersonalizationJob:
@@ -120,16 +173,7 @@ class HyRecServer:
         :meth:`render_online_response`, which turns the job into bytes
         exactly once.
         """
-        self.register_user(user_id)
-        self._online_requests += 1
-        if (
-            self.config.reshuffle_every
-            and self._online_requests % self.config.reshuffle_every == 0
-        ):
-            self.anonymizer.reshuffle()
-            self._reshuffles += 1
-
-        candidate_ids = self.sampler.sample(user_id, now=now)
+        candidate_ids = self._begin_request(user_id, now)
         candidates = {
             self.anonymizer.token_for_user(uid): self._profile_payload(uid)
             for uid in candidate_ids
@@ -152,28 +196,22 @@ class HyRecServer:
         same order, so RNG and anonymizer state stay in lockstep with
         the wire path) but skips the ``{str(item): value}`` payload
         materialization: the widget reads liked sets straight from
-        :attr:`liked_matrix`.  Requires ``engine="vectorized"`` and no
-        item anonymization (item tokens only exist on wire payloads).
+        :attr:`liked_matrix` (or the shard arenas of :attr:`cluster`).
+        Requires an array engine -- ``"vectorized"`` or ``"sharded"``
+        -- and no item anonymization (item tokens only exist on wire
+        payloads).
         """
-        if self.liked_matrix is None:
+        if self.liked_matrix is None and self.cluster is None:
             raise RuntimeError(
-                "engine requests need HyRecConfig(engine='vectorized')"
+                "engine requests need HyRecConfig(engine='vectorized') "
+                "or engine='sharded'"
             )
         if self.config.anonymize_items:
             raise RuntimeError(
                 "the in-process fast path cannot anonymize items; "
                 "use handle_online_request"
             )
-        self.register_user(user_id)
-        self._online_requests += 1
-        if (
-            self.config.reshuffle_every
-            and self._online_requests % self.config.reshuffle_every == 0
-        ):
-            self.anonymizer.reshuffle()
-            self._reshuffles += 1
-
-        candidate_ids = self.sampler.sample(user_id, now=now)
+        candidate_ids = self._begin_request(user_id, now)
         # Mint candidate tokens in sampling-iteration order (matching
         # the wire path's dict comprehension), *then* sort by token --
         # the deterministic order tie-breaks and rendering share.
@@ -349,6 +387,9 @@ class HyRecServer:
             online_requests=self._online_requests,
             knn_updates=self._knn_updates,
             reshuffles=self._reshuffles,
+            shards=(
+                self.cluster.shard_stats() if self.cluster is not None else ()
+            ),
         )
 
     @property

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # imported lazily at runtime (cluster imports core back)
+    from repro.cluster import BatchScheduler
 
 from repro.core.client import HyRecWidget
 from repro.core.config import HyRecConfig
@@ -56,24 +59,55 @@ class HyRecSystem:
         self.server = HyRecServer(self.config, seed=seed)
         self.widget: HyRecWidget | VectorizedWidget = (
             VectorizedWidget()
-            if self.config.engine == "vectorized"
+            if self.config.engine in ("vectorized", "sharded")
             else HyRecWidget()
         )
+        #: Request-coalescing window in front of the cluster
+        #: coordinator; only materialized for ``engine="sharded"``.
+        self.scheduler: "BatchScheduler | None" = None
+        if self.server.cluster is not None:
+            from repro.cluster import BatchScheduler
+
+            self.scheduler = BatchScheduler(
+                self.server.cluster, batch_window=self.config.batch_window
+            )
         self.requests_served = 0
 
     def _use_fast_path(self) -> bool:
         """Whether the in-process integer fast path applies.
 
-        The fast path needs the vectorized engine, a built-in metric
-        with no custom widget hooks, and real item ids on the wire
-        (item anonymization only exists on serialized payloads).
+        The fast path needs an array engine (vectorized or sharded), a
+        built-in metric with no custom widget hooks, and real item ids
+        on the wire (item anonymization only exists on serialized
+        payloads).
         """
         return (
-            self.server.liked_matrix is not None
+            (
+                self.server.liked_matrix is not None
+                or self.server.cluster is not None
+            )
             and not self.config.anonymize_items
             and isinstance(self.widget, VectorizedWidget)
             and self.widget.can_vectorize(self.config.metric)
         )
+
+    def _execute_engine_job(self, job: EngineJob) -> JobResult:
+        """Run one fast-path job on whichever array back-end exists."""
+        if self.server.cluster is not None:
+            return self.server.cluster.process_engine_job(job)
+        assert isinstance(self.widget, VectorizedWidget)
+        assert self.server.liked_matrix is not None
+        return self.widget.process_engine_job(job, self.server.liked_matrix)
+
+    def close(self) -> None:
+        """Release engine resources; no-op except on the sharded engine."""
+        self.server.close()
+
+    def __enter__(self) -> "HyRecSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # --- single interactions ----------------------------------------------------
 
@@ -91,11 +125,9 @@ class HyRecSystem:
         """
         job: PersonalizationJob | EngineJob
         if self._use_fast_path():
-            assert isinstance(self.widget, VectorizedWidget)
-            assert self.server.liked_matrix is not None
             job = self.server.handle_engine_request(user_id, now=now)
             self.server.render_engine_response(job)
-            result = self.widget.process_engine_job(job, self.server.liked_matrix)
+            result = self._execute_engine_job(job)
         else:
             job = self.server.handle_online_request(user_id, now=now)
             self.server.render_online_response(job)
@@ -116,6 +148,58 @@ class HyRecSystem:
         if n is None:
             return outcome.recommendations
         return outcome.recommendations[:n]
+
+    def request_batch(
+        self, user_ids: list[int], now: float = 0.0
+    ) -> list[RequestOutcome]:
+        """Serve a window of *concurrent* requests.
+
+        Concurrency semantics: every job is built against the table
+        state at admission (none of the batch's KNN updates are
+        visible to its own sampling, exactly as simultaneous requests
+        against one server would see), then all jobs execute, then the
+        KNN updates apply in submission order.  On the sharded engine
+        the jobs flow through the :class:`~repro.cluster.BatchScheduler`
+        and execute as one batched kernel invocation per shard per
+        window; on the other engines they execute one by one.  For the
+        same admission state, per-job results are identical on every
+        engine and batch size.
+        """
+        jobs: list[PersonalizationJob | EngineJob] = []
+        fast = self._use_fast_path()
+        for user_id in user_ids:
+            if fast:
+                job: PersonalizationJob | EngineJob = (
+                    self.server.handle_engine_request(user_id, now=now)
+                )
+                self.server.render_engine_response(job)
+            else:
+                job = self.server.handle_online_request(user_id, now=now)
+                self.server.render_online_response(job)
+            jobs.append(job)
+
+        if fast and self.scheduler is not None:
+            results = self.scheduler.run(jobs)  # type: ignore[arg-type]
+        elif fast:
+            results = [self._execute_engine_job(job) for job in jobs]
+        else:
+            assert isinstance(self.widget, (HyRecWidget, VectorizedWidget))
+            results = [self.widget.process_job(job) for job in jobs]
+
+        outcomes: list[RequestOutcome] = []
+        for user_id, job, result in zip(user_ids, jobs, results):
+            recommendations = self.server.handle_knn_update(user_id, result)
+            self.requests_served += 1
+            outcomes.append(
+                RequestOutcome(
+                    user_id=user_id,
+                    timestamp=now,
+                    job=job,
+                    result=result,
+                    recommendations=recommendations,
+                )
+            )
+        return outcomes
 
     # --- trace replay ---------------------------------------------------------------
 

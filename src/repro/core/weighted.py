@@ -75,6 +75,10 @@ def payload_pearson(a: Mapping[str, float], b: Mapping[str, float]) -> float:
     if var_a == 0.0 or var_b == 0.0:
         return 0.0
     correlation = cov / math.sqrt(var_a * var_b)
+    # Rounding can push a perfect (anti-)correlation a few ulps past
+    # +/-1 (e.g. -1.0000000000000002), which would leak outside the
+    # documented [0, 1] range after the affine map.  Clamp first.
+    correlation = max(-1.0, min(1.0, correlation))
     return (correlation + 1.0) / 2.0
 
 

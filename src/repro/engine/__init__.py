@@ -14,6 +14,7 @@ from repro.engine.kernels import (
     intersection_counts,
     rank_descending,
     segment_sums,
+    select_top_items,
     similarity_scores,
 )
 from repro.engine.liked_matrix import LikedMatrix
@@ -27,5 +28,6 @@ __all__ = [
     "intersection_counts",
     "rank_descending",
     "segment_sums",
+    "select_top_items",
     "similarity_scores",
 ]

@@ -99,6 +99,33 @@ def similarity_scores(
         return np.where((inter > 0) & (denom > 0), inter / denom, 0.0)
 
 
+def select_top_items(
+    item_ids: np.ndarray, counts: np.ndarray, r: int
+) -> list[str]:
+    """Top-``r`` items by ``(-count, str(item))`` -- the engine tie-break.
+
+    ``item_ids``/``counts`` carry the *positive* popularity counts of a
+    recommendation step (already excluding the requester's rated
+    items).  Item ids arrive in arbitrary order, so ties cannot ride on
+    a stable sort: everything whose count could reach the top ``r``
+    (at or above the r-th best count) is selected with a partition,
+    then that small boundary set is resolved with the exact Python key
+    the classic engine uses, ``(-count, str(item))``.
+    """
+    if item_ids.size == 0:
+        return []
+    if item_ids.size > r:
+        kth = -np.partition(-counts, r - 1)[r - 1]
+        keep = counts >= kth
+        item_ids = item_ids[keep]
+        counts = counts[keep]
+    ranked = sorted(
+        ((int(count), str(int(item))) for count, item in zip(counts, item_ids)),
+        key=lambda entry: (-entry[0], entry[1]),
+    )
+    return [item for _, item in ranked[:r]]
+
+
 def rank_descending(scores: np.ndarray) -> np.ndarray:
     """Indices of ``scores`` ordered by descending score, stable.
 

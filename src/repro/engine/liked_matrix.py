@@ -34,7 +34,8 @@ profile's popularity mass instead of the candidate count.
 
 from __future__ import annotations
 
-from typing import Sequence
+import threading
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -44,13 +45,131 @@ from repro.engine.kernels import segment_sums
 _EMPTY = np.zeros(0, dtype=np.int64)
 
 
+class ItemVocabulary:
+    """Dynamic ``item id -> column`` interning, shareable across matrices.
+
+    A single matrix owns a private vocabulary; the sharded engine hands
+    one instance to every shard so that column indices mean the same
+    item everywhere -- queries then map to columns once per request and
+    per-shard popularity counts merge with a dense integer add.
+
+    Sharing discipline: interning is read-mostly but *not* read-only
+    under concurrency.  Most interning happens on the single-threaded
+    write path (every rated item passes through ``column_of`` when its
+    write is routed), and query projections intern on the coordinator
+    thread before shard tasks launch -- but a shard task lazily
+    materializing rows of a table that predates the matrix can still
+    intern from a pool thread.  That is why :meth:`intern` double-checks
+    under a lock.
+    """
+
+    __slots__ = ("_col_of", "_item_of", "_item_arr", "_lock")
+
+    def __init__(self) -> None:
+        self._col_of: dict[int, int] = {}
+        self._item_of: list[int] = []
+        self._item_arr = _EMPTY
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._item_of)
+
+    def intern(self, item: int) -> int:
+        """Column of ``item``, assigning the next column on first sight.
+
+        The hit path is lock-free; the miss path double-checks under a
+        lock so concurrent shard tasks lazily materializing rows of a
+        pre-populated table cannot assign one column to two items.
+        The item is appended before the column is published, so a
+        reader holding a column always finds its item.
+        """
+        col = self._col_of.get(item)
+        if col is None:
+            with self._lock:
+                col = self._col_of.get(item)
+                if col is None:
+                    col = len(self._item_of)
+                    self._item_of.append(item)
+                    self._col_of[item] = col
+        return col
+
+    def column_of(self, item: int) -> int | None:
+        """Column of ``item`` or ``None`` if never interned."""
+        return self._col_of.get(item)
+
+    def item_of(self, col: int) -> int:
+        """Inverse of :meth:`intern`."""
+        return self._item_of[col]
+
+    def item_array(self) -> np.ndarray:
+        """``col -> item id`` as an int64 array (cached between interns)."""
+        if self._item_arr.size != len(self._item_of):
+            self._item_arr = np.asarray(self._item_of, dtype=np.int64)
+        return self._item_arr
+
+    def columns_of(self, items: Sequence[int]) -> np.ndarray:
+        """Columns of the given items, *skipping* un-interned ones.
+
+        An item nobody ever rated has no column and can appear in no
+        row, so dropping it changes no intersection count.
+        """
+        col_of = self._col_of
+        cols = [
+            col
+            for col in (col_of.get(item) for item in items)
+            if col is not None
+        ]
+        if not cols:
+            return _EMPTY
+        return np.asarray(cols, dtype=np.int64)
+
+    def intern_columns(self, items: Sequence[int]) -> np.ndarray:
+        """Columns of the given items, interning any new ones.
+
+        Used for *query* projections computed before shard tasks run:
+        a query item must hold the same column a candidate row will
+        intern for it later in the batch, so skipping is not an option
+        there.
+        """
+        if not items:
+            return _EMPTY
+        intern = self.intern
+        return np.asarray([intern(item) for item in items], dtype=np.int64)
+
+
 class LikedMatrix:
     """Integer-array projection of a :class:`ProfileTable`'s liked sets."""
 
-    def __init__(self, table: ProfileTable, initial_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        table: ProfileTable,
+        initial_capacity: int = 1024,
+        *,
+        subscribe: bool = True,
+        row_filter: Callable[[int], bool] | None = None,
+        vocab: ItemVocabulary | None = None,
+    ) -> None:
+        """
+        Args:
+            table: The profile table this matrix mirrors.
+            initial_capacity: Starting arena size (grows as needed).
+            subscribe: Attach the write hook to ``table`` directly.  A
+                :class:`~repro.cluster.ShardedLikedMatrix` sets this to
+                ``False`` and routes each write to the owning shard's
+                :meth:`apply_write` itself, so non-owning shards never
+                see (or pay for) the write.
+            row_filter: Restricts which users this matrix considers its
+                own when rebuilding the CSC postings from the shared
+                table (shards own a hash slice of the user space).
+                Rows of non-owned users are never materialized because
+                callers only ever ask a shard about its own users.
+            vocab: Item vocabulary to intern columns in.  Defaults to
+                a private one; the sharded engine passes one shared
+                instance to all shards so columns agree across them.
+        """
         self._table = table
-        self._col_of: dict[int, int] = {}
-        self._item_of: list[int] = []
+        self._row_filter = row_filter
+        self.vocab = vocab if vocab is not None else ItemVocabulary()
         # CSR arena: row segments are arena[start : start + length].
         self._arena = np.zeros(max(16, initial_capacity), dtype=np.int64)
         self._used = 0
@@ -68,7 +187,10 @@ class LikedMatrix:
         self._postings: list[np.ndarray] = []
         self._post_len: list[int] = []
         self._postings_dirty = True
-        table.add_listener(self._on_record)
+        self.compactions = 0
+        self.writes_applied = 0
+        if subscribe:
+            table.add_listener(self._on_record)
         # A table can be populated before the matrix attaches (tests,
         # snapshots): rows are built lazily from the live profiles, so
         # no eager absorption pass is needed.
@@ -78,27 +200,45 @@ class LikedMatrix:
     @property
     def num_cols(self) -> int:
         """Number of distinct items interned so far."""
-        return len(self._item_of)
+        return len(self.vocab)
 
     @property
     def num_rows(self) -> int:
         """Number of user rows currently materialized in the arena."""
         return len(self._start)
 
+    @property
+    def arena_live(self) -> int:
+        """Live (non-garbage) index entries in the arena."""
+        return self._used - self._garbage
+
+    @property
+    def arena_garbage(self) -> int:
+        """Superseded index entries awaiting compaction."""
+        return self._garbage
+
     def column_of(self, item: int) -> int:
         """Column index of ``item``, interning it on first sight."""
-        col = self._col_of.get(item)
-        if col is None:
-            col = len(self._item_of)
-            self._col_of[item] = col
-            self._item_of.append(item)
-            self._postings.append(np.zeros(4, dtype=np.int64))
-            self._post_len.append(0)
-        return col
+        return self.vocab.intern(item)
 
     def item_of(self, col: int) -> int:
         """Inverse of :meth:`column_of`."""
-        return self._item_of[col]
+        return self.vocab.item_of(col)
+
+    def item_array(self) -> np.ndarray:
+        """``col -> item id`` as an int64 array (cached between interns)."""
+        return self.vocab.item_array()
+
+    def _sync_postings(self) -> None:
+        """Extend the posting lists to cover the whole vocabulary.
+
+        With a shared vocabulary, columns can be interned by sibling
+        shards between this matrix's posting reads; those columns have
+        (correctly) empty postings here.
+        """
+        while len(self._postings) < len(self.vocab):
+            self._postings.append(np.zeros(4, dtype=np.int64))
+            self._post_len.append(0)
 
     # --- write propagation --------------------------------------------------
 
@@ -112,6 +252,7 @@ class LikedMatrix:
         column appended, an un-like swap-deletes inside the segment,
         and a re-rate that doesn't flip the opinion costs nothing.
         """
+        self.writes_applied += 1
         col = self.column_of(item)
         liked_now = value == 1.0
         liked_before = previous == 1.0
@@ -127,6 +268,17 @@ class LikedMatrix:
                 self._posting_append(col, user_id)
             elif liked_before and not liked_now:
                 self._posting_remove(col, user_id)
+
+    def apply_write(
+        self, user_id: int, item: int, value: float, previous: float | None
+    ) -> None:
+        """Public entry for externally-routed writes (sharded setups).
+
+        Identical to the table-subscribed hook; exists so a placement
+        router built with ``subscribe=False`` has a stable name to
+        deliver writes to.
+        """
+        self._on_record(user_id, item, value, previous)
 
     def refresh(self, user_id: int) -> None:
         """Force a rebuild of ``user_id``'s rows on next read.
@@ -196,6 +348,7 @@ class LikedMatrix:
         self._arena = fresh
         self._used = cursor
         self._garbage = 0
+        self.compactions += 1
 
     def _materialize(self, user_id: int) -> None:
         """Slice the user's liked set into the arena."""
@@ -236,6 +389,10 @@ class LikedMatrix:
             )
             self._rated_rows[user_id] = row
         return row
+
+    def known_columns(self, items: Sequence[int]) -> np.ndarray:
+        """Columns of the given items, *skipping* un-interned ones."""
+        return self.vocab.columns_of(items)
 
     def gather_liked(
         self, user_ids: Sequence[int]
@@ -287,6 +444,15 @@ class LikedMatrix:
 
     # --- batched membership -------------------------------------------------
 
+    def _ensure_scratch(self) -> None:
+        """Grow the epoch-stamped scratch to cover the vocabulary."""
+        if self._scratch.size < self.num_cols:
+            grown = np.zeros(
+                max(self.num_cols, 2 * self._scratch.size + 64), dtype=np.int64
+            )
+            grown[: self._scratch.size] = self._scratch
+            self._scratch = grown
+
     def batch_intersections(
         self, query_cols: np.ndarray, indices: np.ndarray, indptr: np.ndarray
     ) -> np.ndarray:
@@ -298,20 +464,35 @@ class LikedMatrix:
         """
         if indices.size == 0 or query_cols.size == 0:
             return np.zeros(indptr.size - 1, dtype=np.int64)
-        if self._scratch.size < self.num_cols:
-            grown = np.zeros(
-                max(self.num_cols, 2 * self._scratch.size + 64), dtype=np.int64
-            )
-            grown[: self._scratch.size] = self._scratch
-            self._scratch = grown
+        self._ensure_scratch()
         self._stamp += 1
         self._scratch[query_cols] = self._stamp
         hits = (self._scratch[indices] == self._stamp).astype(np.int64)
         return segment_sums(hits, indptr)
 
+    def mark_hits(
+        self, query_cols: np.ndarray, indices: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Write membership flags of ``indices`` in the query set to ``out``.
+
+        The building block batched multi-query intersections are made
+        of: callers mark one query, flag its rows' indices, and defer
+        the per-row summation so a whole batch shares *one*
+        :func:`~repro.engine.kernels.segment_sums` pass.  Same
+        epoch-stamped scratch as :meth:`batch_intersections`.
+        """
+        if indices.size == 0:
+            return
+        self._ensure_scratch()
+        self._stamp += 1
+        self._scratch[query_cols] = self._stamp
+        out[:] = self._scratch[indices] == self._stamp
+
     # --- postings (CSC) -----------------------------------------------------
 
     def _posting_append(self, col: int, user_id: int) -> None:
+        if col >= len(self._postings):
+            self._sync_postings()
         posting = self._postings[col]
         length = self._post_len[col]
         if length == posting.size:
@@ -322,6 +503,8 @@ class LikedMatrix:
         self._post_len[col] = length + 1
 
     def _posting_remove(self, col: int, user_id: int) -> None:
+        if col >= len(self._postings):
+            self._sync_postings()
         posting = self._postings[col]
         length = self._post_len[col]
         where = np.nonzero(posting[:length] == user_id)[0]
@@ -330,22 +513,60 @@ class LikedMatrix:
             self._post_len[col] = length - 1
 
     def _rebuild_postings(self) -> None:
-        """Recompute every posting from the live profiles."""
+        """Recompute every posting from the live (owned) profiles."""
+        self._sync_postings()
         for col in range(len(self._postings)):
             self._post_len[col] = 0
+        owns = self._row_filter
         for user_id in self._table:
+            if owns is not None and not owns(user_id):
+                continue
             for item in self._table.get(user_id).liked_items():
                 self._posting_append(self.column_of(item), user_id)
         self._postings_dirty = False
 
     def posting(self, item: int) -> np.ndarray:
         """Users currently liking ``item`` (unordered; a live view)."""
-        if self._postings_dirty:
-            self._rebuild_postings()
-        col = self._col_of.get(item)
-        if col is None:
+        self._postings_ready()
+        col = self.vocab.column_of(item)
+        if col is None or col >= len(self._postings):
             return _EMPTY
         return self._postings[col][: self._post_len[col]]
+
+    def _postings_ready(self) -> None:
+        """Bring the CSC postings up to date for a read.
+
+        Rebuilds from the live profiles when an out-of-band write
+        dirtied them; otherwise just extends the lists over columns
+        sibling shards interned since the last read.
+        """
+        if self._postings_dirty:
+            self._rebuild_postings()
+        else:
+            self._sync_postings()
+
+    def _csc_candidates(
+        self,
+        query_cols: np.ndarray,
+        nnz: int,
+        candidate_ids: Sequence[int] | np.ndarray,
+    ) -> np.ndarray | None:
+        """The candidate-id array if the inverted index wins, else None.
+
+        One shared decision for both adaptive entry points: the CSC
+        bincount costs O(query posting mass) and requires non-negative
+        user ids; the CSR scan costs O(candidate nnz).  Small jobs
+        never bother building postings at all.
+        """
+        if nnz < 4096 or not query_cols.size:
+            return None
+        self._postings_ready()
+        post_len = self._post_len
+        posting_mass = sum(post_len[col] for col in query_cols.tolist())
+        ids = np.asarray(candidate_ids, dtype=np.int64)
+        if posting_mass < nnz and int(ids.min()) >= 0:
+            return ids
+        return None
 
     def intersections_auto(
         self,
@@ -363,14 +584,9 @@ class LikedMatrix:
         slice of the user base switch to the inverted index once the
         posting mass undercuts the candidate mass.
         """
-        if indices.size >= 4096 and query_cols.size:
-            if self._postings_dirty:
-                self._rebuild_postings()
-            post_len = self._post_len
-            posting_mass = sum(post_len[col] for col in query_cols.tolist())
-            ids = np.asarray(candidate_ids, dtype=np.int64)
-            if posting_mass < indices.size and int(ids.min()) >= 0:
-                return self.batch_intersections_csc(query_cols, ids)
+        ids = self._csc_candidates(query_cols, indices.size, candidate_ids)
+        if ids is not None:
+            return self.batch_intersections_csc(query_cols, ids)
         return self.batch_intersections(query_cols, indices, indptr)
 
     def knn_intersections(
@@ -391,15 +607,9 @@ class LikedMatrix:
             else list(candidate_ids)
         )
         sizes = self.liked_sizes(ids_list)
-        nnz = int(sizes.sum())
-        if nnz >= 4096 and query_cols.size:
-            if self._postings_dirty:
-                self._rebuild_postings()
-            post_len = self._post_len
-            posting_mass = sum(post_len[col] for col in query_cols.tolist())
-            ids = np.asarray(ids_list, dtype=np.int64)
-            if posting_mass < nnz and int(ids.min()) >= 0:
-                return self.batch_intersections_csc(query_cols, ids), sizes
+        ids = self._csc_candidates(query_cols, int(sizes.sum()), ids_list)
+        if ids is not None:
+            return self.batch_intersections_csc(query_cols, ids), sizes
         indices, indptr, _ = self.gather_liked(ids_list)
         return self.batch_intersections(query_cols, indices, indptr), sizes
 
@@ -415,8 +625,7 @@ class LikedMatrix:
         non-negative, which every workload in this repo satisfies).
         Results are identical to :meth:`batch_intersections`.
         """
-        if self._postings_dirty:
-            self._rebuild_postings()
+        self._postings_ready()
         candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
         if candidate_ids.size == 0:
             return np.zeros(0, dtype=np.int64)

@@ -41,6 +41,7 @@ from repro.engine.kernels import (
     SUPPORTED_METRICS,
     intersection_counts,
     rank_descending,
+    select_top_items,
     similarity_scores,
 )
 from repro.engine.liked_matrix import LikedMatrix
@@ -193,9 +194,14 @@ class VectorizedWidget:
         neighbor_tokens = [job.candidate_tokens[i] for i in order]
         neighbor_scores = [float(scores[i]) for i in order]
 
+        # Materialize the rated row *before* sizing the popularity
+        # array: on a matrix attached to a pre-populated table this is
+        # the read that interns the user's disliked items, and the
+        # exclusion scatter below must not index past the bincount.
+        rated_cols = matrix.rated_row(job.user_id)
         recommended = self._recommend_from_counts(
             np.bincount(indices, minlength=matrix.num_cols),
-            matrix.rated_row(job.user_id),
+            rated_cols,
             job.r,
             matrix,
         )
@@ -216,27 +222,17 @@ class VectorizedWidget:
         """Top-``r`` unseen items, tie-broken on the item-id *string*.
 
         Column interning order is item-arrival order, not string order,
-        so ties cannot ride on a stable sort here.  Instead: select
-        every column whose count could reach the top ``r`` (everything
-        at or above the r-th best count), then resolve that small
-        boundary set with the exact Python key ``(-count, str(item))``.
+        so tie resolution lives in :func:`select_top_items`, shared
+        with the cluster coordinator's cross-shard popularity merge.
         """
         if rated_cols.size:
             popularity[rated_cols] = 0
         nonzero = np.nonzero(popularity)[0]
         if nonzero.size == 0:
             return []
-        counts = popularity[nonzero]
-        if nonzero.size > r:
-            kth = -np.partition(-counts, r - 1)[r - 1]
-            keep = nonzero[counts >= kth]
-        else:
-            keep = nonzero
-        ranked = sorted(
-            ((int(popularity[c]), str(matrix.item_of(int(c)))) for c in keep),
-            key=lambda entry: (-entry[0], entry[1]),
+        return select_top_items(
+            matrix.item_array()[nonzero], popularity[nonzero], r
         )
-        return [item for _, item in ranked[:r]]
 
     # --- device-time estimation ----------------------------------------------
 

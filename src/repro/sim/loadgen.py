@@ -1,18 +1,28 @@
-"""``ab``-style load generator.
+"""``ab``-style load generators.
 
 The paper uses Apache's ``ab`` benchmark tool to average the response
 time of 1000 requests (Figure 8) and to sweep the number of concurrent
 requests (Figure 9).  :class:`LoadGenerator` reproduces both modes on
 top of the :mod:`repro.sim.queueing` model, given any *server model*
 that exposes a per-request service time.
+
+:class:`ClusterLoadGenerator` is the measured twin: instead of feeding
+a queueing model with service-time samples, it drives *real* requests
+through a live :class:`~repro.core.system.HyRecSystem` and reads the
+wall clock -- the Figure 8/9 concurrency sweep as an actual multi-shard
+scenario rather than a simulation of one.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.sim.queueing import QueueingServer, RequestStats
+
+if TYPE_CHECKING:
+    from repro.core.system import HyRecSystem
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,77 @@ class LoadGenerator:
         self, concurrencies: list[int], requests_per_point: int = 200
     ) -> list[LoadResult]:
         """Run one load test per concurrency level (Figure 9 sweep)."""
+        return [
+            self.run(requests=requests_per_point, concurrency=level)
+            for level in concurrencies
+        ]
+
+
+class ClusterLoadGenerator:
+    """Measured closed-loop load against a live :class:`HyRecSystem`.
+
+    ``ab -c C`` keeps a window of C requests in flight; this generator
+    models that window as *waves* of C requests admitted together via
+    :meth:`~repro.core.system.HyRecSystem.request_batch` -- which on
+    the sharded engine is exactly what the
+    :class:`~repro.cluster.BatchScheduler` coalesces into one batched
+    kernel invocation per shard.  Response times and throughput come
+    from the wall clock, not a service-time model, so shard counts,
+    executors and batch windows show their real cost.
+
+    Every request in a wave observes the wave's completion time (the
+    batch resolves together), which is the conservative closed-loop
+    reading of per-request latency.
+    """
+
+    def __init__(self, system: "HyRecSystem", user_ids: Sequence[int]) -> None:
+        if not user_ids:
+            raise ValueError("need at least one user to draw requests from")
+        self._system = system
+        self._users = list(user_ids)
+        self._cursor = 0
+
+    def _next_wave(self, size: int) -> list[int]:
+        users = self._users
+        wave = []
+        for _ in range(size):
+            wave.append(users[self._cursor % len(users)])
+            self._cursor += 1
+        return wave
+
+    def run(self, requests: int = 200, concurrency: int = 8) -> LoadResult:
+        """Serve ``requests`` real requests in waves of ``concurrency``."""
+        if requests < 1:
+            raise ValueError("need at least one request")
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least one")
+        wave_times: list[tuple[float, int]] = []  # (seconds, wave size)
+        served = 0
+        total = 0.0
+        while served < requests:
+            wave = self._next_wave(min(concurrency, requests - served))
+            start = time.perf_counter()
+            self._system.request_batch(wave)
+            elapsed = time.perf_counter() - start
+            wave_times.append((elapsed, len(wave)))
+            total += elapsed
+            served += len(wave)
+        per_request = sorted(
+            elapsed for elapsed, size in wave_times for _ in range(size)
+        )
+        p95 = per_request[min(len(per_request) - 1, int(0.95 * len(per_request)))]
+        return LoadResult(
+            concurrency=concurrency,
+            requests=served,
+            mean_response_s=sum(e * s for e, s in wave_times) / served,
+            p95_response_s=p95,
+            throughput_rps=served / total if total > 0 else 0.0,
+        )
+
+    def sweep_concurrency(
+        self, concurrencies: list[int], requests_per_point: int = 200
+    ) -> list[LoadResult]:
+        """One measured load run per concurrency level."""
         return [
             self.run(requests=requests_per_point, concurrency=level)
             for level in concurrencies

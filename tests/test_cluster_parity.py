@@ -1,0 +1,258 @@
+"""Sharded-engine parity: bit-for-bit equal to python and vectorized.
+
+The contract of ``HyRecConfig(engine="sharded")`` extends the PR-1
+engine contract: for *any* shard count and either executor, the
+sharded engine must produce the same neighbors (same order, same
+tie-breaks), bitwise-identical float64 scores, the same
+recommendations, and byte-identical wire metering as both the
+``"python"`` and ``"vectorized"`` engines.  Checked here at the widget
+level (randomized engine jobs against a shared profile table) and at
+the replay level (full systems on a random trace).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, ThreadPoolExecutor
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Rating, Trace
+from repro.engine import EngineJob, LikedMatrix, VectorizedWidget
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _random_trace(rng: random.Random, users: int, items: int, n: int) -> Trace:
+    ratings = []
+    now = 0.0
+    for _ in range(n):
+        now += rng.random() * 50
+        ratings.append(
+            Rating(
+                timestamp=now,
+                user=rng.randrange(users),
+                item=rng.randrange(items),
+                value=float(rng.random() < 0.75),
+            )
+        )
+    return Trace("cluster-parity", ratings)
+
+
+def _random_table(rng: random.Random, users: int, items: int) -> ProfileTable:
+    table = ProfileTable()
+    for uid in range(users):
+        table.get_or_create(uid)  # empty profiles are a legal edge case
+        for item in rng.sample(range(items), rng.randrange(0, 25)):
+            table.record(uid, item, 1.0 if rng.random() < 0.7 else 0.0)
+        if rng.random() < 0.1:
+            table.record(uid, rng.randrange(items), 1.0)  # re-rate
+    return table
+
+
+def _random_job(rng: random.Random, users: int, metric: str) -> EngineJob:
+    user_id = rng.randrange(users)
+    population = [uid for uid in range(users) if uid != user_id]
+    candidates = rng.sample(population, rng.randrange(0, len(population)))
+    # Duplicate-profile ties happen naturally (profiles are random and
+    # small); token order is the deterministic engine order.
+    pairs = sorted((f"u0_{uid:04x}", uid) for uid in candidates)
+    return EngineJob(
+        user_id=user_id,
+        user_token=f"u0_{user_id:04x}",
+        candidate_ids=tuple(uid for _, uid in pairs),
+        candidate_tokens=tuple(token for token, _ in pairs),
+        k=rng.choice([1, 3, 10, 100]),  # 100 > |candidates| always
+        r=rng.choice([1, 5, 20]),
+        metric=metric,
+    )
+
+
+class TestWidgetLevelParity:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("metric", ["cosine", "jaccard", "overlap"])
+    def test_randomized_jobs_match_single_matrix(self, metric, num_shards):
+        rng = random.Random((hash(metric) & 0xFFFF) + num_shards)
+        users = 40
+        table = _random_table(rng, users=users, items=150)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        coordinator = ClusterCoordinator(table, num_shards)
+        for trial in range(40):
+            job = _random_job(rng, users, metric)
+            expected = widget.process_engine_job(job, matrix)
+            got = coordinator.process_engine_job(job)
+            assert got == expected, f"trial {trial} diverged"
+            # Scores are not approximately equal -- they are the same
+            # float64 bit patterns.
+            for a, b in zip(expected.neighbor_scores, got.neighbor_scores):
+                assert a == b and str(a) == str(b)
+
+    def test_batched_jobs_match_single_matrix(self):
+        rng = random.Random(91)
+        users = 30
+        table = _random_table(rng, users=users, items=100)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        coordinator = ClusterCoordinator(table, num_shards=4)
+        jobs = [_random_job(rng, users, "cosine") for _ in range(25)]
+        expected = [widget.process_engine_job(job, matrix) for job in jobs]
+        assert coordinator.process_batch(jobs) == expected
+
+    def test_interleaved_writes_stay_in_sync(self):
+        # Incremental writes route through the placement map; results
+        # must track the table exactly, like the single matrix does.
+        rng = random.Random(17)
+        users = 25
+        table = _random_table(rng, users=users, items=80)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        coordinator = ClusterCoordinator(table, num_shards=4)
+        for _ in range(60):
+            uid = rng.randrange(users)
+            table.record(uid, rng.randrange(80), float(rng.random() < 0.6))
+            job = _random_job(rng, users, "cosine")
+            assert coordinator.process_engine_job(job) == widget.process_engine_job(
+                job, matrix
+            )
+
+
+class TestReplayLevelParity:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_replay_identical_across_engines(self, num_shards):
+        trace = _random_trace(random.Random(29), users=30, items=90, n=350)
+        reference: dict | None = None
+        for engine in ("python", "vectorized", "sharded"):
+            system = HyRecSystem(
+                HyRecConfig(
+                    k=5, r=6, engine=engine, num_shards=num_shards
+                ),
+                seed=23,
+            )
+            outcomes: list = []
+            system.replay(trace, on_request=outcomes.append)
+            digest = {
+                "results": [
+                    (
+                        o.result.neighbor_tokens,
+                        o.result.neighbor_scores,
+                        o.result.recommended_items,
+                        o.recommendations,
+                    )
+                    for o in outcomes
+                ],
+                "knn": system.server.knn_table.as_dict(),
+                "wire": {
+                    channel: system.server.meter.reading(channel)
+                    for channel in ("server->client", "client->server")
+                },
+            }
+            if reference is None:
+                reference = digest
+            else:
+                assert digest == reference, f"{engine} @ {num_shards} diverged"
+
+    def test_thread_executor_replay_matches_serial(self):
+        trace = _random_trace(random.Random(31), users=25, items=70, n=250)
+        digests = []
+        for executor in ("serial", "thread"):
+            system = HyRecSystem(
+                HyRecConfig(
+                    k=4, r=5, engine="sharded", num_shards=8, executor=executor
+                ),
+                seed=5,
+            )
+            outcomes: list = []
+            system.replay(trace, on_request=outcomes.append)
+            digests.append(
+                (
+                    [(o.result, tuple(o.recommendations)) for o in outcomes],
+                    system.server.knn_table.as_dict(),
+                )
+            )
+            system.close()
+        assert digests[0] == digests[1]
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_request_batch_identical_across_engines(self, num_shards, toy_trace):
+        reference = None
+        for engine in ("python", "vectorized", "sharded"):
+            system = HyRecSystem(
+                HyRecConfig(
+                    k=2,
+                    r=3,
+                    engine=engine,
+                    num_shards=num_shards,
+                    batch_window=3,
+                ),
+                seed=11,
+            )
+            for rating in toy_trace:
+                system.record_rating(
+                    rating.user, rating.item, rating.value, rating.timestamp
+                )
+            waves = [
+                system.request_batch([0, 1, 2, 3], now=float(wave))
+                for wave in range(3)
+            ]
+            digest = [
+                (o.result, tuple(o.recommendations))
+                for wave in waves
+                for o in wave
+            ]
+            if reference is None:
+                reference = digest
+            else:
+                assert digest == reference, f"{engine} diverged"
+
+    def test_sharded_replay_reports_shard_stats(self, toy_trace):
+        system = HyRecSystem(
+            HyRecConfig(k=2, engine="sharded", num_shards=4), seed=1
+        )
+        system.replay(toy_trace)
+        stats = system.server.stats
+        assert len(stats.shards) == 4
+        assert sum(stat.writes for stat in stats.shards) == len(toy_trace)
+        assert sum(stat.users for stat in stats.shards) > 0
+
+    def test_item_anonymization_falls_back_to_wire_path(self, toy_trace):
+        from repro.core.jobs import PersonalizationJob
+
+        system = HyRecSystem(
+            HyRecConfig(
+                k=2, r=3, anonymize_items=True, engine="sharded", num_shards=2
+            ),
+            seed=1,
+        )
+        outcomes: list = []
+        system.replay(toy_trace, on_request=outcomes.append)
+        assert outcomes
+        assert all(isinstance(o.job, PersonalizationJob) for o in outcomes)
+
+
+class TestShardedConfig:
+    def test_sharded_engine_builds_cluster(self):
+        system = HyRecSystem(
+            HyRecConfig(engine="sharded", num_shards=3), seed=0
+        )
+        assert system.server.cluster is not None
+        assert system.server.cluster.num_shards == 3
+        assert system.scheduler is not None
+        assert system.server.liked_matrix is None
+
+    def test_other_engines_have_no_cluster(self):
+        for engine in ("python", "vectorized"):
+            system = HyRecSystem(HyRecConfig(engine=engine), seed=0)
+            assert system.server.cluster is None
+            assert system.scheduler is None
+
+    def test_thread_executor_is_wired(self):
+        system = HyRecSystem(
+            HyRecConfig(engine="sharded", executor="thread"), seed=0
+        )
+        assert system.server.cluster is not None
+        assert isinstance(system.server.cluster.executor, ThreadPoolExecutor)
+        system.close()

@@ -33,6 +33,35 @@ class TestHyRecConfig:
         with pytest.raises(KeyError):
             HyRecConfig(metric="pearson")
 
+    def test_default_engine_is_vectorized(self):
+        assert HyRecConfig().engine == "vectorized"
+
+    def test_unknown_engine_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            HyRecConfig(engine="gpu")
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            HyRecConfig(engine="sharded", num_shards=0)
+        with pytest.raises(ValueError, match="num_shards"):
+            HyRecConfig(num_shards=-3)  # validated on every engine
+
+    def test_unknown_executor_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            HyRecConfig(engine="sharded", executor="process")
+
+    def test_invalid_batch_window(self):
+        with pytest.raises(ValueError, match="batch_window"):
+            HyRecConfig(engine="sharded", batch_window=0)
+
+    def test_valid_sharded_knobs(self):
+        config = HyRecConfig(
+            engine="sharded", num_shards=8, executor="thread", batch_window=32
+        )
+        assert config.num_shards == 8
+        assert config.executor == "thread"
+        assert config.batch_window == 32
+
     def test_frozen(self):
         config = HyRecConfig()
         with pytest.raises(AttributeError):

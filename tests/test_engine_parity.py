@@ -133,7 +133,7 @@ class TestReplayParity:
     def test_replay_identical_to_python_engine(self, metric):
         trace = _random_trace(random.Random(13), users=30, items=90, n=400)
         python_system = HyRecSystem(
-            HyRecConfig(k=5, r=6, metric=metric), seed=17
+            HyRecConfig(k=5, r=6, metric=metric, engine="python"), seed=17
         )
         vector_system = HyRecSystem(
             HyRecConfig(k=5, r=6, metric=metric, engine="vectorized"), seed=17
@@ -156,7 +156,9 @@ class TestReplayParity:
 
     @pytest.mark.parametrize("compress", [True, False])
     def test_wire_metering_is_byte_identical(self, compress, toy_trace):
-        python_system = HyRecSystem(HyRecConfig(k=2, r=3, compress=compress), seed=1)
+        python_system = HyRecSystem(
+            HyRecConfig(k=2, r=3, compress=compress, engine="python"), seed=1
+        )
         vector_system = HyRecSystem(
             HyRecConfig(k=2, r=3, compress=compress, engine="vectorized"), seed=1
         )
@@ -189,7 +191,16 @@ class TestEngineConfig:
             HyRecConfig(engine="gpu")
 
     def test_python_engine_has_no_matrix(self):
-        assert HyRecSystem(HyRecConfig(), seed=0).server.liked_matrix is None
+        system = HyRecSystem(HyRecConfig(engine="python"), seed=0)
+        assert system.server.liked_matrix is None
+
+    def test_default_engine_is_vectorized(self):
+        # Flipped from "python" after the parity suite soaked: the
+        # engines are bit-for-bit identical, so the faster one serves.
+        assert HyRecConfig().engine == "vectorized"
+        system = HyRecSystem(HyRecConfig(), seed=0)
+        assert system.server.liked_matrix is not None
+        assert isinstance(system.widget, VectorizedWidget)
 
     def test_vectorized_engine_builds_matrix(self):
         system = HyRecSystem(HyRecConfig(engine="vectorized"), seed=0)
