@@ -55,7 +55,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="smaller sweep")
     parser.add_argument(
-        "--executor", default="thread", choices=("serial", "thread")
+        "--executor",
+        default="thread",
+        choices=("serial", "thread", "process"),
+        help="process = one worker process per shard over the "
+        "serialized shard transport (real multi-core parallelism)",
     )
     args = parser.parse_args()
 

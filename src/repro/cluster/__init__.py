@@ -6,14 +6,16 @@ by placement-routed writes, a :class:`ClusterCoordinator` that fans a
 request's :class:`~repro.engine.jobs.EngineJob` out to shards and
 merges exact partial top-Ks, and a :class:`BatchScheduler` that
 coalesces concurrent requests into one batched kernel invocation per
-shard.  Selected per deployment with ``HyRecConfig(engine="sharded")``;
-results are bit-for-bit identical to the ``"python"`` and
-``"vectorized"`` engines for any shard count and executor.
+shard.  Shards run in-process (``executor="serial"``/``"thread"``) or
+in long-lived worker processes (``executor="process"``) fed by the
+serialized shard protocol in :mod:`repro.cluster.transport`.  Selected
+per deployment with ``HyRecConfig(engine="sharded")``; results are
+bit-for-bit identical to the ``"python"`` and ``"vectorized"`` engines
+for any shard count and executor.
 """
 
 from repro.cluster.coordinator import (
     ClusterCoordinator,
-    ShardPartial,
     merge_popularity,
     merge_topk,
 )
@@ -25,7 +27,15 @@ from repro.cluster.executors import (
     make_executor,
 )
 from repro.cluster.placement import ShardPlacement
+from repro.cluster.process_executor import ProcessExecutor
 from repro.cluster.scheduler import BatchScheduler, BatchTicket
+from repro.cluster.scoring import (
+    ShardPartial,
+    ShardSlice,
+    WirePartial,
+    merge_popularity_sparse,
+    score_slices,
+)
 from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
 
 __all__ = [
@@ -33,14 +43,19 @@ __all__ = [
     "BatchTicket",
     "ClusterCoordinator",
     "EXECUTOR_NAMES",
+    "ProcessExecutor",
     "SerialExecutor",
     "ShardExecutor",
     "ShardPartial",
     "ShardPlacement",
+    "ShardSlice",
     "ShardStats",
     "ShardedLikedMatrix",
     "ThreadPoolExecutor",
+    "WirePartial",
     "make_executor",
     "merge_popularity",
+    "merge_popularity_sparse",
     "merge_topk",
+    "score_slices",
 ]

@@ -1,44 +1,52 @@
 """Scatter/gather orchestration over the sharded liked matrix.
 
 :class:`ClusterCoordinator` executes :class:`~repro.engine.jobs.EngineJob`
-requests across the shards of a :class:`~repro.cluster.ShardedLikedMatrix`:
+requests across N shards:
 
 1. **Scatter** -- each job's (token-sorted) candidate list is split by
    hash placement; every candidate keeps its *position* in the job's
    global order, so tokens never travel to the shards.  The
    requester's liked/rated sets map to columns *once* per job: the
-   shards share one item vocabulary, so the same column array is valid
-   everywhere.
-2. **Shard-local scoring** -- per shard, *one* CSR gather covers all
-   jobs of the batch, one :func:`~repro.engine.kernels.segment_sums`
-   pass turns the per-job membership flags into intersection counts,
-   and (for the config-uniform metric of a real deployment) one
-   :func:`~repro.engine.kernels.similarity_scores` call scores every
-   candidate row of every job in the window.  The shard's partial
-   result per job is a pair of zero-copy views: scores and global
-   positions.
+   shards share one item vocabulary (the process executor replicates
+   it via append-only deltas), so the same column array is valid
+   everywhere.  The scatter output is per-shard
+   :class:`~repro.cluster.scoring.ShardSlice` lists -- pure data, so
+   the same slices can run on an in-process shard or ship to a worker
+   process unchanged.
+2. **Shard-local scoring** -- per shard,
+   :func:`~repro.cluster.scoring.score_slices` covers all jobs of the
+   batch with *one* CSR gather, one
+   :func:`~repro.engine.kernels.segment_sums` pass, and (for the
+   config-uniform metric of a real deployment) one
+   :func:`~repro.engine.kernels.similarity_scores` call.  In-process
+   executors return zero-copy
+   :class:`~repro.cluster.scoring.ShardPartial` views; worker
+   processes return :class:`~repro.cluster.scoring.WirePartial`\\ s --
+   scores truncated to the shard-local top-K (an exactness-preserving
+   cut: every global top-K member is inside its own shard's top-K)
+   and popularity pre-histogrammed into sparse column counts.
 3. **Merge** -- per job, one ``lexsort`` over the concatenated
    partials ranks by ``(-score, position)``; positions follow the
    job's ascending-token order, so this *is* the Python engine's
-   ``(-score, token)`` total order.  Popularity counts merge as one
-   ``bincount`` over the concatenated liked-column segments, after
-   which the recommendation step is literally the single-matrix one
-   (zero the rated columns, ``(-count, str(item))`` selection).
+   ``(-score, token)`` total order.  Popularity merges as one
+   ``bincount`` over concatenated liked-column segments (in-process)
+   or as an integer sum of sparse histograms (wire partials) -- the
+   two are the same exact integers, after which the recommendation
+   step is literally the single-matrix one (zero the rated columns,
+   ``(-count, str(item))`` selection).
 
 Because the shards partition the candidate set, the merged outputs are
 *bit-for-bit* the single-matrix engine's outputs: intersection counts
 are exact integers, similarity scores are elementwise float64 (no
 cross-candidate reductions, hence no float reassociation), and both
-tie-breaks use the same total orders.  A cross-process transport would
-truncate each shard's partial to its local top-K before shipping --
-an exactness-preserving cut, since every global top-K member is inside
-its own shard's top-K.  ``tests/test_cluster_parity.py`` enforces
-parity for 1/2/4/8 shards under both executors.
+tie-breaks use the same total orders.  ``tests/test_cluster_parity.py``
+enforces parity for 1/2/4/8 shards under all three executors.
 
 Shard tasks touch only their own shard's state (the shared vocabulary
-is read-mostly, with locked interning), so the coordinator can run
-them on any :mod:`~repro.cluster.executors` back-end without changing
-a single output bit.
+is read-mostly, with locked interning; process workers own their state
+outright), so the coordinator can run them on any
+:mod:`~repro.cluster.executors` back-end without changing a single
+output bit.
 """
 
 from __future__ import annotations
@@ -50,27 +58,28 @@ import numpy as np
 
 from repro.cluster.executors import ShardExecutor, SerialExecutor
 from repro.cluster.placement import ShardPlacement
+from repro.cluster.scoring import (
+    ShardPartial,
+    ShardSlice,
+    merge_popularity_sparse,
+    score_slices,
+)
 from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
 from repro.core.jobs import JobResult
 from repro.core.tables import ProfileTable
 from repro.engine.jobs import EngineJob
-from repro.engine.kernels import (
-    segment_sums,
-    select_top_items,
-    similarity_scores,
-)
+from repro.engine.kernels import select_top_items
+
+__all__ = [
+    "ClusterCoordinator",
+    "ShardPartial",
+    "merge_popularity",
+    "merge_popularity_sparse",
+    "merge_topk",
+]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 _EMPTY_F = np.zeros(0, dtype=np.float64)
-
-
-@dataclass(frozen=True)
-class ShardPartial:
-    """One shard's contribution to one job (zero-copy views)."""
-
-    positions: np.ndarray  # candidate positions in the job's token order
-    scores: np.ndarray  # matching similarity scores (float64)
-    liked_cols: np.ndarray  # gathered liked-item columns (shared vocab)
 
 
 @dataclass(frozen=True)
@@ -118,7 +127,10 @@ def merge_popularity(parts: Sequence[np.ndarray]) -> np.ndarray:
     on one shard (columns are shared cluster-wide).  Candidates are
     disjoint across shards, so one ``bincount`` over the concatenation
     is exactly the single-matrix popularity pass -- integer-exact, and
-    cheaper than summing per-shard histograms.
+    cheaper than summing per-shard histograms.  (Wire partials arrive
+    pre-histogrammed instead; those merge through
+    :func:`~repro.cluster.scoring.merge_popularity_sparse`, which
+    produces the same integers.)
     """
     parts = [part for part in parts if part.size]
     if not parts:
@@ -138,69 +150,146 @@ class ClusterCoordinator:
         placement: ShardPlacement | None = None,
     ) -> None:
         self._table = table
-        self.matrix = ShardedLikedMatrix(table, num_shards, placement)
         self.executor = executor if executor is not None else SerialExecutor()
+        #: In-process shard matrices; ``None`` when the executor hosts
+        #: shard state in worker processes (``hosts_shards = True``).
+        self.matrix: ShardedLikedMatrix | None
+        if getattr(self.executor, "hosts_shards", False):
+            self.matrix = None
+            # attach() spawns the workers, warm-start-replays the
+            # table's pre-existing profiles, and subscribes to the
+            # write stream; the executor then exposes the same
+            # vocab/partition/stats surface the in-process matrix does.
+            self._shards = self.executor.attach(table, num_shards, placement)
+        else:
+            self.matrix = ShardedLikedMatrix(table, num_shards, placement)
+            self._shards = self.matrix
         self.batches_processed = 0
         self.jobs_processed = 0
 
     @property
     def num_shards(self) -> int:
-        return self.matrix.num_shards
+        return self._shards.num_shards
 
     def shard_stats(self) -> tuple[ShardStats, ...]:
-        """Per-shard load/churn counters (surfaced via ``ServerStats``)."""
-        return self.matrix.stats()
+        """Per-shard load/churn counters (surfaced via ``ServerStats``).
+
+        Always ordered by shard index.  On the process executor this
+        is a stats round trip to every worker (buffered writes flush
+        first, so the counters never lag the table), and each entry
+        carries the hosting worker's ``pid``.
+        """
+        return self._shards.stats()
 
     def close(self) -> None:
-        """Release the executor's workers (if any)."""
+        """Release executor resources (threads or worker processes).
+
+        Idempotent.  On the process executor this performs the clean
+        worker shutdown (a ``Shutdown`` frame per worker, then join);
+        forgetting it cannot leak processes -- workers are daemonic --
+        but sweeps constructing many coordinators should call it (or
+        ``HyRecSystem.close``) promptly.
+        """
         self.executor.close()
 
     # --- execution ----------------------------------------------------------
 
     def process_engine_job(self, job: EngineJob) -> JobResult:
-        """Execute one job (a batch of one)."""
+        """Execute one job (a batch of one).
+
+        Invariant: identical to ``process_batch([job])[0]`` -- batch
+        composition never changes a job's result (per-job outputs are
+        independent and scored against the same table state), so
+        callers may batch freely for throughput.
+        """
         return self.process_batch([job])[0]
 
     def process_batch(self, jobs: Sequence[EngineJob]) -> list[JobResult]:
-        """Execute a batch of jobs: one kernel invocation per shard."""
+        """Execute a batch of jobs: one kernel invocation per shard.
+
+        Invariants (the merge contract, enforced by
+        ``tests/test_cluster_parity.py``):
+
+        * **Exactness** -- each returned
+          :class:`~repro.core.jobs.JobResult` is bit-for-bit what the
+          single-matrix vectorized engine (and the Python engine)
+          produces for the same job and table state: same neighbors
+          under the ``(-score, token)`` total order, bitwise-equal
+          float64 scores, same recommendations under
+          ``(-count, str(item))``.
+        * **Ordering** -- results are returned in job-submission
+          order, regardless of shard count, executor timing, or
+          which shards a job's candidates landed on.
+        * **Independence** -- job ``i``'s result does not depend on
+          the other jobs in the batch (batching only amortizes fixed
+          costs; it shares no state between jobs beyond the read-only
+          table snapshot).
+        """
         if not jobs:
             return []
         queries = [self._query_of(job.user_id) for job in jobs]
 
-        # Scatter: shard -> [(job index, candidate ids, positions), ...].
-        shard_work: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
+        # Scatter: per shard, this batch's transportable job slices.
+        shard_slices: list[list[ShardSlice]] = [
             [] for _ in range(self.num_shards)
         ]
         for index, job in enumerate(jobs):
+            query = queries[index]
             for shard, (ids, positions) in enumerate(
-                self.matrix.partition(job.candidate_ids)
+                self._shards.partition(job.candidate_ids)
             ):
                 if ids.size:
-                    shard_work[shard].append((index, ids, positions))
+                    shard_slices[shard].append(
+                        ShardSlice(
+                            job_index=index,
+                            candidate_ids=ids,
+                            positions=positions,
+                            query_cols=query.cols,
+                            liked_count=query.liked_count,
+                            metric=job.metric,
+                            k=job.k,
+                        )
+                    )
 
-        tasks = [
-            (lambda s=shard: self._run_shard(s, shard_work[s], queries, jobs))
-            for shard in range(self.num_shards)
-        ]
-        partials_by_shard = self.executor.run(tasks)
+        if self.matrix is None:
+            # Out-of-process: serialized slices out, wire partials back.
+            partials_by_shard = self.executor.run_slices(shard_slices)
+        else:
+            matrix = self.matrix
+            tasks = [
+                (
+                    lambda s=shard: score_slices(
+                        matrix.shards[s], shard_slices[s]
+                    )
+                )
+                for shard in range(self.num_shards)
+            ]
+            partials_by_shard = self.executor.run(tasks)
 
         # Merge: per job, combine whatever each shard contributed.
         results: list[JobResult] = []
-        item_array = self.matrix.vocab.item_array()
+        item_array = self._shards.vocab.item_array()
         for index, job in enumerate(jobs):
             score_parts: list[np.ndarray] = []
             position_parts: list[np.ndarray] = []
             col_parts: list[np.ndarray] = []
+            sparse_parts: list[tuple[np.ndarray, np.ndarray]] = []
             for shard_out in partials_by_shard:
                 partial = shard_out.get(index)
                 if partial is None:
                     continue
                 score_parts.append(partial.scores)
                 position_parts.append(partial.positions)
-                col_parts.append(partial.liked_cols)
+                if isinstance(partial, ShardPartial):
+                    col_parts.append(partial.liked_cols)
+                else:  # WirePartial: popularity arrives pre-histogrammed
+                    sparse_parts.append((partial.pop_cols, partial.pop_counts))
             positions, scores = merge_topk(score_parts, position_parts, job.k)
             tokens = job.candidate_tokens
-            popularity = merge_popularity(col_parts)
+            if sparse_parts:
+                popularity = merge_popularity_sparse(sparse_parts)
+            else:
+                popularity = merge_popularity(col_parts)
             rated = queries[index].rated_cols
             if popularity.size and rated.size:
                 popularity[rated[rated < popularity.size]] = 0
@@ -224,88 +313,15 @@ class ClusterCoordinator:
     def _query_of(self, user_id: int) -> _Query:
         profile = self._table.get(user_id)
         liked = profile.liked_items()
-        vocab = self.matrix.vocab
+        vocab = self._shards.vocab
         # Interning (not skipping) matters on pre-populated tables:
         # a query item must share the column a candidate row interns
         # for it later in this very batch.  It runs on the calling
         # thread, preserving the vocabulary's read-mostly discipline
-        # for the shard tasks.
+        # for the shard tasks (on the process executor the new columns
+        # replicate to every worker before its slices dispatch).
         return _Query(
             cols=vocab.intern_columns(list(liked)),
             liked_count=len(liked),
             rated_cols=vocab.intern_columns(list(profile.rated_items())),
         )
-
-    # --- shard-local scoring -------------------------------------------------
-
-    def _run_shard(
-        self,
-        shard: int,
-        entries: list[tuple[int, np.ndarray, np.ndarray]],
-        queries: list[_Query],
-        jobs: Sequence[EngineJob],
-    ) -> dict[int, ShardPartial]:
-        """Score every job's slice of this shard in one batched pass.
-
-        This is the "one batched kernel invocation per shard" shape:
-        one CSR gather, one membership flag per liked entry (queries
-        are marked per job, but flag gathering writes into one shared
-        array), one :func:`segment_sums`, and -- when the batch shares
-        a metric, which a config-driven deployment always does -- one
-        :func:`similarity_scores` call for every candidate row of
-        every job in the window.
-        """
-        if not entries:
-            return {}
-        matrix = self.matrix.shards[shard]
-        all_ids = (
-            np.concatenate([ids for _, ids, _ in entries])
-            if len(entries) > 1
-            else entries[0][1]
-        )
-        indices, indptr, sizes = matrix.gather_liked(all_ids.tolist())
-
-        # Flag every gathered index's query membership, job by job
-        # (each job has its own query set), into one shared array.
-        hits = np.empty(indices.size, dtype=np.int64)
-        spans: list[tuple[int, int, int, int, int, np.ndarray]] = []
-        row = 0
-        for index, ids, positions in entries:
-            count = ids.size
-            lo = int(indptr[row])
-            hi = int(indptr[row + count])
-            matrix.mark_hits(queries[index].cols, indices[lo:hi], hits[lo:hi])
-            spans.append((index, row, row + count, lo, hi, positions))
-            row += count
-
-        inter = segment_sums(hits, indptr)
-        liked_counts = np.repeat(
-            np.asarray(
-                [queries[index].liked_count for index, *_ in spans],
-                dtype=np.float64,
-            ),
-            np.asarray([r1 - r0 for _, r0, r1, *_ in spans], dtype=np.int64),
-        )
-        metrics = {jobs[index].metric for index, *_ in spans}
-        if len(metrics) == 1:
-            scores_all = similarity_scores(
-                next(iter(metrics)), inter, liked_counts, sizes
-            )
-        else:  # mixed-metric batch: score per job (same kernels, same bits)
-            scores_all = np.empty(inter.size, dtype=np.float64)
-            for index, r0, r1, _, _, _ in spans:
-                scores_all[r0:r1] = similarity_scores(
-                    jobs[index].metric,
-                    inter[r0:r1],
-                    liked_counts[r0:r1],
-                    sizes[r0:r1],
-                )
-
-        return {
-            index: ShardPartial(
-                positions=positions,
-                scores=scores_all[r0:r1],
-                liked_cols=indices[lo:hi],
-            )
-            for index, r0, r1, lo, hi, positions in spans
-        }

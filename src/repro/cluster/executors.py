@@ -10,10 +10,18 @@ mutable state).  The executor decides how those tasks run:
 * :class:`ThreadPoolExecutor` -- a persistent worker pool.  The numpy
   kernels release the GIL for the heavy gathers/bincounts, so shard
   tasks genuinely overlap on multi-core hosts.
+* :class:`~repro.cluster.process_executor.ProcessExecutor` -- one
+  long-lived worker *process* per shard, each hosting its shard's
+  matrix arena, fed by the serialized shard protocol
+  (:mod:`repro.cluster.transport`).  Whole interpreters run in
+  parallel, so shard scoring scales with cores instead of with
+  GIL-released kernel time.  It hosts shard state itself
+  (``hosts_shards = True``), so the coordinator hands it serialized
+  job slices rather than closures.
 
-Both return results in task-submission order, so the coordinator's
-merges -- and therefore the engine's outputs -- are identical under
-either executor.
+All three return results in shard order, so the coordinator's merges
+-- and therefore the engine's outputs -- are identical under every
+executor.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ T = TypeVar("T")
 
 #: Executor names accepted by :func:`make_executor` /
 #: ``HyRecConfig.executor``.
-EXECUTOR_NAMES = ("serial", "thread")
+EXECUTOR_NAMES = ("serial", "thread", "process")
 
 
 class ShardExecutor(Protocol):
@@ -66,12 +74,33 @@ class ThreadPoolExecutor:
         self._pool.shutdown(wait=True)
 
 
-def make_executor(name: str, workers: int | None = None) -> ShardExecutor:
-    """Build the executor selected by ``HyRecConfig.executor``."""
+def make_executor(
+    name: str,
+    workers: int | None = None,
+    *,
+    ipc_write_batch: int = 1024,
+    truncate_partials: bool = True,
+) -> ShardExecutor:
+    """Build the executor selected by ``HyRecConfig.executor``.
+
+    The keyword knobs configure the process executor's IPC behavior
+    (write-buffer flush threshold, shard-local top-K truncation of
+    shipped partials) and are ignored by the in-process executors.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadPoolExecutor(workers)
+    if name == "process":
+        # Imported lazily: the process executor pulls in transport +
+        # worker machinery that serial/thread deployments never need.
+        from repro.cluster.process_executor import ProcessExecutor
+
+        return ProcessExecutor(
+            workers,
+            ipc_write_batch=ipc_write_batch,
+            truncate_partials=truncate_partials,
+        )
     raise ValueError(
         f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
     )

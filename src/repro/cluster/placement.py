@@ -14,6 +14,8 @@ candidate array with five numpy ops.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 _MULT1 = 0xBF58476D1CE4E5B9
@@ -53,3 +55,28 @@ class ShardPlacement:
         value *= np.uint64(_MULT2)
         value ^= value >> np.uint64(31)
         return (value % np.uint64(self.num_shards)).astype(np.int64)
+
+    def partition(
+        self, user_ids: "Sequence[int] | np.ndarray"
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Split a candidate list by owning shard.
+
+        Returns one ``(ids, positions)`` pair per shard, where
+        ``positions`` are the candidates' indices in the *input*
+        sequence, ascending.  Positions carry the deterministic global
+        order (jobs sort candidates by token), so cross-shard merges
+        can reproduce the single-matrix tie-breaks exactly without
+        shipping tokens to the shards.  Shared by the in-process
+        :class:`~repro.cluster.sharded_matrix.ShardedLikedMatrix` and
+        the parent side of the process executor.
+        """
+        ids = np.asarray(user_ids, dtype=np.int64)
+        if ids.size == 0:
+            empty: np.ndarray = ids
+            return [(empty, empty) for _ in range(self.num_shards)]
+        shard_of_id = self.shards_of(ids)
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        for shard in range(self.num_shards):
+            positions = np.nonzero(shard_of_id == shard)[0]
+            parts.append((ids[positions], positions))
+        return parts

@@ -1,0 +1,370 @@
+"""Long-lived worker processes behind the executor interface.
+
+:class:`ProcessExecutor` is the cross-process back-end of the sharded
+engine: it owns one forked worker process per shard (each hosting its
+shard's :class:`~repro.engine.liked_matrix.LikedMatrix` arena, see
+:mod:`repro.cluster.worker`) and speaks the serialized shard protocol
+(:mod:`repro.cluster.transport`) over a private socket pair per
+worker.  Where the thread-pool executor overlaps shard tasks only
+while the numpy kernels release the GIL, worker processes run whole
+Python interpreters in parallel -- real multi-core scaling for the
+scatter/score phase.
+
+Parent-side responsibilities:
+
+* **Master vocabulary** -- the parent keeps the authoritative
+  :class:`~repro.engine.liked_matrix.ItemVocabulary` (queries are
+  projected to columns here, and merged popularity columns resolve to
+  item ids here) and replicates it to every worker via append-only
+  :class:`~repro.cluster.transport.VocabDelta` frames, flushed before
+  any frame that could reference the new columns.
+* **Write routing** -- a :class:`~repro.core.tables.ProfileTable`
+  listener buffers each write for its owning shard (placement hash)
+  and flushes buffers as :class:`~repro.cluster.transport.WriteBatch`
+  frames lazily: before job dispatch, before stats reads, at
+  ``ipc_write_batch`` buffered writes, and at shutdown.  Reads only
+  ever happen through job frames, so deferred delivery is invisible.
+* **Lifecycle** -- ``attach`` forks the workers and replays the
+  table's pre-existing profiles as ordinary write frames (the
+  *warm start*: a worker's state is always exactly "every write of my
+  users, in order", no matter when it was born); ``close`` sends
+  :class:`~repro.cluster.transport.Shutdown`, joins, and falls back to
+  terminate for a wedged worker.  Workers are daemonic, so an
+  abandoned parent cannot leak them.
+
+The executor deliberately does *not* implement the in-process
+``run(tasks)`` call: shard state lives in the workers, so the
+coordinator hands it serialized job slices (:meth:`run_slices`)
+instead of closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.placement import ShardPlacement
+from repro.cluster.scoring import ShardSlice, WirePartial
+from repro.cluster.sharded_matrix import ShardStats
+from repro.cluster.transport import (
+    Channel,
+    Hello,
+    JobSlices,
+    Partials,
+    Ready,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+    TransportError,
+    VocabDelta,
+    WriteBatch,
+)
+from repro.cluster.worker import worker_main
+from repro.core.tables import ProfileTable
+from repro.engine.liked_matrix import ItemVocabulary
+
+
+class ProcessExecutor:
+    """N worker processes, one per shard, fed by the shard protocol."""
+
+    #: Tells the coordinator this executor *hosts* shard state (fed by
+    #: serialized frames) instead of running closures over in-process
+    #: shards; see :class:`repro.cluster.coordinator.ClusterCoordinator`.
+    hosts_shards = True
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        ipc_write_batch: int = 1024,
+        truncate_partials: bool = True,
+    ) -> None:
+        """
+        Args:
+            workers: Accepted for :func:`make_executor` signature
+                compatibility; the process executor always runs one
+                worker per shard (shard state is not divisible), so
+                this is ignored.
+            ipc_write_batch: Buffered writes per worker that trigger an
+                eager flush; smaller values trade syscalls for lower
+                write-visibility latency (results never change --
+                reads always flush first).
+            truncate_partials: Ship only each shard's local top-``k``
+                scored candidates (exactness-preserving; see
+                :func:`repro.cluster.scoring.truncate_topk`).  ``False``
+                ships full partials -- useful for measuring what the
+                truncation saves.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "executor='process' needs the fork start method "
+                "(POSIX); use 'thread' on this platform"
+            )
+        del workers  # one process per shard, always
+        if ipc_write_batch < 1:
+            raise ValueError(
+                f"ipc_write_batch must be at least 1, got {ipc_write_batch}"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self.ipc_write_batch = ipc_write_batch
+        self.truncate_partials = truncate_partials
+        self.vocab = ItemVocabulary()
+        self.placement: ShardPlacement | None = None
+        self._table: ProfileTable | None = None
+        self._channels: list[Channel] = []
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._write_buffers: list[tuple[list[int], list[int], list[float]]] = []
+        self._vocab_synced: list[int] = []
+        self._next_batch_id = 0
+        self._closed = False
+
+    # --- lifecycle ----------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        if self.placement is None:
+            raise RuntimeError("executor not attached to a cluster yet")
+        return self.placement.num_shards
+
+    def attach(
+        self,
+        table: ProfileTable,
+        num_shards: int,
+        placement: ShardPlacement | None = None,
+    ) -> "ProcessExecutor":
+        """Spawn the workers and subscribe to the table's write stream.
+
+        Called once by the coordinator.  Profiles already in ``table``
+        are warm-started: replayed to their owning workers as ordinary
+        write frames (current value per rated item -- bit-equivalent
+        to the write history for every liked/rated-set read), so a
+        cluster attached to a populated table answers exactly like one
+        that saw every write live.
+        """
+        if self.placement is not None:
+            raise RuntimeError("ProcessExecutor is already attached")
+        if self._closed:
+            raise RuntimeError("ProcessExecutor is closed")
+        if placement is not None and placement.num_shards != num_shards:
+            # Validated before any state mutates: a failed attach must
+            # leave the executor attachable/closable, not half-built.
+            raise ValueError("placement and num_shards disagree")
+        self.placement = (
+            placement if placement is not None else ShardPlacement(num_shards)
+        )
+        self._table = table
+        self._write_buffers = [([], [], []) for _ in range(num_shards)]
+        self._vocab_synced = [0] * num_shards
+
+        try:
+            parent_socks: list[socket.socket] = []
+            for shard in range(num_shards):
+                parent_sock, child_sock = socket.socketpair()
+                # The child must close every parent-side fd it inherits
+                # across the fork (earlier shards' and its own):
+                # otherwise it holds both ends of the pairs and the
+                # workers' clean-EOF exit (parent gone without a
+                # Shutdown frame) could never fire.
+                proc = self._ctx.Process(
+                    target=worker_main,
+                    args=(child_sock, shard, tuple(parent_socks + [parent_sock])),
+                    name=f"hyrec-shard-{shard}",
+                    daemon=True,
+                )
+                proc.start()
+                child_sock.close()  # the worker holds the only live end now
+                parent_socks.append(parent_sock)
+                self._procs.append(proc)
+                self._channels.append(Channel(parent_sock))
+            for shard, channel in enumerate(self._channels):
+                channel.send(Hello(shard=shard, num_shards=num_shards))
+                ready = channel.recv()
+                if not isinstance(ready, Ready) or ready.shard != shard:
+                    raise TransportError(
+                        f"worker {shard} answered the handshake with {ready!r}"
+                    )
+
+            # Warm start: the pre-attach table state, as write frames.
+            for user_id in table:
+                profile = table.get(user_id)
+                for item in profile.rated_items():
+                    value = profile.value_of(item)
+                    assert value is not None  # rated_items() lists opinions
+                    self._buffer_write(user_id, item, value)
+        except BaseException:
+            self.close()  # reap any workers already spawned
+            raise
+        table.add_listener(self._route_write)
+        return self
+
+    def close(self) -> None:
+        """Shut the workers down cleanly (idempotent).
+
+        Buffered writes are NOT flushed -- nothing will read them --
+        but every worker gets a :class:`Shutdown` frame and a join;
+        one that fails to exit is terminated.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._table is not None:
+            # Detach the write router: writes recorded after close()
+            # must not buffer into (or index) the torn-down channels.
+            self._table.remove_listener(self._route_write)
+            self._table = None
+        for channel in self._channels:
+            try:
+                channel.send(Shutdown())
+            except OSError:
+                pass  # worker already gone; join below cleans up
+            channel.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self._channels = []
+        self._procs = []
+
+    # --- write routing ------------------------------------------------------
+
+    def _route_write(
+        self, user_id: int, item: int, value: float, previous: float | None
+    ) -> None:
+        """ProfileTable hook: buffer the write for the owning worker."""
+        del previous  # workers reconstruct it from their local replica
+        self._buffer_write(user_id, item, value)
+
+    def _buffer_write(self, user_id: int, item: int, value: float) -> None:
+        assert self.placement is not None
+        self.vocab.intern(item)  # master assigns the column in write order
+        shard = self.placement.shard_of(user_id)
+        users, items, values = self._write_buffers[shard]
+        users.append(user_id)
+        items.append(item)
+        values.append(value)
+        if len(users) >= self.ipc_write_batch:
+            self._flush(shard)
+
+    def _sync_vocab(self, shard: int) -> None:
+        """Send the columns this worker has not seen yet (if any)."""
+        total = len(self.vocab)
+        synced = self._vocab_synced[shard]
+        if total > synced:
+            self._channels[shard].send(
+                VocabDelta(base=synced, items=self.vocab.item_array()[synced:])
+            )
+            self._vocab_synced[shard] = total
+
+    def _flush(self, shard: int) -> None:
+        """Deliver the shard's buffered writes (vocab delta first)."""
+        self._sync_vocab(shard)
+        users, items, values = self._write_buffers[shard]
+        if not users:
+            return
+        self._channels[shard].send(
+            WriteBatch(
+                user_ids=np.asarray(users, dtype=np.int64),
+                items=np.asarray(items, dtype=np.int64),
+                values=np.asarray(values, dtype=np.float64),
+            )
+        )
+        self._write_buffers[shard] = ([], [], [])
+
+    # --- coordinator surface ------------------------------------------------
+
+    def partition(
+        self, user_ids: Sequence[int]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Split a candidate list by owning shard (see ``ShardPlacement``)."""
+        assert self.placement is not None
+        return self.placement.partition(user_ids)
+
+    def run_slices(
+        self, shard_slices: Sequence[Sequence[ShardSlice]]
+    ) -> list[dict[int, WirePartial]]:
+        """Execute one batch: slices out to every worker, partials back.
+
+        All job frames are written before any reply is read, so the
+        workers score their slices concurrently -- this is where the
+        multi-core parallelism lives.  Pending vocabulary deltas and
+        write buffers flush first (to *every* worker: query columns
+        interned this batch must exist on all replicas before their
+        slices arrive).  Results preserve shard order, and partials
+        within a shard are keyed by job index, so the merge is
+        deterministic regardless of worker timing.
+        """
+        if self._closed or self.placement is None:
+            raise RuntimeError("ProcessExecutor is not running")
+        if len(shard_slices) != self.num_shards:
+            raise ValueError("one slice list per shard required")
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        for shard in range(self.num_shards):
+            self._flush(shard)
+        for shard, slices in enumerate(shard_slices):
+            if slices:
+                self._channels[shard].send(
+                    JobSlices(
+                        batch_id=batch_id,
+                        truncate=self.truncate_partials,
+                        slices=tuple(slices),
+                    )
+                )
+        results: list[dict[int, WirePartial]] = []
+        for shard, slices in enumerate(shard_slices):
+            if not slices:
+                results.append({})
+                continue
+            reply = self._channels[shard].recv()
+            if not isinstance(reply, Partials) or reply.batch_id != batch_id:
+                raise TransportError(
+                    f"worker {shard} answered batch {batch_id} with {reply!r}"
+                )
+            results.append(
+                {partial.job_index: partial for partial in reply.partials}
+            )
+        return results
+
+    def stats(self) -> tuple[ShardStats, ...]:
+        """Per-worker load/churn counters, via a stats round trip."""
+        if self._closed or self.placement is None:
+            raise RuntimeError("ProcessExecutor is not running")
+        for shard in range(self.num_shards):
+            self._flush(shard)  # counters must include buffered writes
+            self._channels[shard].send(StatsRequest())
+        replies: list[ShardStats] = []
+        for shard, channel in enumerate(self._channels):
+            reply = channel.recv()
+            if not isinstance(reply, StatsReply):
+                raise TransportError(
+                    f"worker {shard} answered stats with {reply!r}"
+                )
+            replies.append(
+                ShardStats(
+                    shard=shard,
+                    users=reply.users,
+                    arena_live=reply.arena_live,
+                    arena_garbage=reply.arena_garbage,
+                    writes=reply.writes,
+                    compactions=reply.compactions,
+                    pid=reply.pid,
+                )
+            )
+        return tuple(replies)
+
+    # --- ShardExecutor protocol compatibility -------------------------------
+
+    def run(self, tasks):  # pragma: no cover - guard rail
+        """Unsupported: shard state lives out of process.
+
+        The coordinator detects :attr:`hosts_shards` and dispatches
+        serialized slices via :meth:`run_slices` instead of closures.
+        """
+        raise TypeError(
+            "ProcessExecutor hosts shard state in worker processes; "
+            "it executes serialized job slices (run_slices), not closures"
+        )

@@ -40,10 +40,18 @@ class BatchTicket:
 
     @property
     def done(self) -> bool:
+        """Whether the job's window has been dispatched and resolved."""
         return self._done
 
     def result(self) -> JobResult:
-        """The job's result, flushing the open window if still pending."""
+        """The job's result, flushing the open window if still pending.
+
+        Invariant: the returned result is the one the job would have
+        received from ``ClusterCoordinator.process_engine_job`` against
+        the table state at dispatch time -- window membership never
+        changes a result, only *when* the shared kernel invocation
+        happens.
+        """
         if not self._done:
             self._scheduler.flush()
         assert self._result is not None
@@ -69,11 +77,19 @@ class BatchScheduler:
 
     @property
     def pending(self) -> int:
-        """Jobs waiting in the open window."""
+        """Jobs waiting in the open window (not yet dispatched)."""
         return len(self._pending)
 
     def submit(self, job: EngineJob) -> BatchTicket:
-        """Queue one job; dispatches when the window fills."""
+        """Queue one job; dispatches when the window fills.
+
+        Ordering invariants: jobs dispatch in submission order within
+        their window, and windows dispatch in submission order, so the
+        coordinator sees the exact request arrival sequence.  A job is
+        scored against the table state at *dispatch*, so writes that
+        land while it waits in an open window are visible to it --
+        identical to the request having arrived at dispatch time.
+        """
         ticket = BatchTicket(self)
         self._pending.append((job, ticket))
         if len(self._pending) >= self.batch_window:
@@ -81,7 +97,15 @@ class BatchScheduler:
         return ticket
 
     def flush(self) -> None:
-        """Dispatch the open window (no-op when empty)."""
+        """Dispatch the open window (no-op when empty).
+
+        Exactness invariant: dispatching a partial window is never an
+        approximation -- each job's result equals its solo
+        ``process_engine_job`` result for the same table state; the
+        window only decides how many jobs share one batched kernel
+        invocation per shard.  Every submitted ticket in the window is
+        resolved before this returns.
+        """
         if not self._pending:
             return
         window, self._pending = self._pending, []
@@ -96,7 +120,9 @@ class BatchScheduler:
         """Submit ``jobs`` through the window machinery; return results.
 
         Jobs beyond a full window dispatch mid-stream exactly as a
-        closed-loop client population would force them to.
+        closed-loop client population would force them to.  Results
+        are returned in ``jobs`` order (tickets preserve submission
+        order even when the jobs spanned several windows).
         """
         tickets = [self.submit(job) for job in jobs]
         self.flush()

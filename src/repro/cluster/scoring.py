@@ -1,0 +1,233 @@
+"""Shard-local scoring shared by every executor back-end.
+
+The coordinator's scatter step reduces a batch of
+:class:`~repro.engine.jobs.EngineJob`\\ s to per-shard
+:class:`ShardSlice`\\ s -- pure data (candidate ids, global positions,
+query columns, metric, ``k``), no closures and no references to
+coordinator state.  That is what makes the slices *transportable*: the
+in-process executors score them directly against their shard's
+:class:`~repro.engine.liked_matrix.LikedMatrix`, and the process
+executor serializes the very same objects onto the wire
+(:mod:`repro.cluster.transport`) for a worker process to score against
+its own arena.  Both paths call :func:`score_slices`, so the scored
+bits cannot diverge between deployments.
+
+Two partial shapes come back:
+
+* :class:`ShardPartial` -- the in-process result: zero-copy views of
+  scores, positions, and the gathered liked columns (the popularity
+  merge bincounts the raw columns).
+* :func:`to_wire_partial` converts a :class:`ShardPartial` into the
+  compact cross-process form: scores/positions truncated to the
+  shard-local top-``k`` (exactness-preserving -- every global top-k
+  member is inside its own shard's top-k) and the liked columns
+  pre-histogrammed into sparse ``(column, count)`` pairs.  Integer
+  counts sum associatively, so :func:`merge_popularity_sparse` is
+  bit-for-bit the single ``bincount`` over the concatenated columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.kernels import segment_sums, similarity_scores
+from repro.engine.liked_matrix import LikedMatrix
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One job's slice of one shard, as plain transportable data.
+
+    ``candidate_ids`` are the candidates this shard owns;
+    ``positions`` are their indices in the job's global
+    ascending-token candidate order (what cross-shard merges rank by).
+    ``query_cols`` are the requester's liked items mapped to shared
+    vocabulary columns, and ``liked_count`` is ``|L_u|`` (the
+    similarity denominators).  ``k`` bounds how far a wire partial may
+    be truncated.
+    """
+
+    job_index: int
+    candidate_ids: np.ndarray
+    positions: np.ndarray
+    query_cols: np.ndarray
+    liked_count: int
+    metric: str
+    k: int
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """One shard's contribution to one job (zero-copy views)."""
+
+    positions: np.ndarray  # candidate positions in the job's token order
+    scores: np.ndarray  # matching similarity scores (float64)
+    liked_cols: np.ndarray  # gathered liked-item columns (shared vocab)
+
+
+@dataclass(frozen=True)
+class WirePartial:
+    """A shard partial in its serialized, shippable form.
+
+    ``positions``/``scores`` may be truncated to the shard-local
+    top-``k`` under the engine's ``(-score, position)`` total order;
+    ``pop_cols``/``pop_counts`` are the sparse per-column histogram of
+    the slice's gathered liked columns (columns are unique within one
+    partial, counts are exact integers).
+    """
+
+    job_index: int
+    positions: np.ndarray  # int64, possibly top-k truncated
+    scores: np.ndarray  # float64, matching order
+    pop_cols: np.ndarray  # int64, unique, ascending
+    pop_counts: np.ndarray  # int64, positive
+
+
+def score_slices(
+    matrix: LikedMatrix, slices: Sequence[ShardSlice]
+) -> dict[int, ShardPartial]:
+    """Score every slice of one shard in one batched kernel pass.
+
+    This is the "one batched kernel invocation per shard" shape: one
+    CSR gather over all slices' candidates, one membership flag per
+    gathered entry (each slice marks its own query set, but flags land
+    in one shared array), one
+    :func:`~repro.engine.kernels.segment_sums`, and -- when the batch
+    shares a metric, which a config-driven deployment always does --
+    one :func:`~repro.engine.kernels.similarity_scores` call for every
+    candidate row of every slice.
+
+    The arithmetic (float64 elementwise, no cross-candidate
+    reductions) is bit-for-bit the single-matrix engine's; every
+    executor back-end funnels through this function, so shard-local
+    scores cannot depend on the deployment.
+    """
+    if not slices:
+        return {}
+    all_ids = (
+        np.concatenate([s.candidate_ids for s in slices])
+        if len(slices) > 1
+        else slices[0].candidate_ids
+    )
+    indices, indptr, sizes = matrix.gather_liked(all_ids.tolist())
+
+    hits = np.empty(indices.size, dtype=np.int64)
+    spans: list[tuple[ShardSlice, int, int, int, int]] = []
+    row = 0
+    for piece in slices:
+        count = piece.candidate_ids.size
+        lo = int(indptr[row])
+        hi = int(indptr[row + count])
+        matrix.mark_hits(piece.query_cols, indices[lo:hi], hits[lo:hi])
+        spans.append((piece, row, row + count, lo, hi))
+        row += count
+
+    inter = segment_sums(hits, indptr)
+    liked_counts = np.repeat(
+        np.asarray(
+            [piece.liked_count for piece, *_ in spans], dtype=np.float64
+        ),
+        np.asarray([r1 - r0 for _, r0, r1, *_ in spans], dtype=np.int64),
+    )
+    metrics = {piece.metric for piece, *_ in spans}
+    if len(metrics) == 1:
+        scores_all = similarity_scores(
+            next(iter(metrics)), inter, liked_counts, sizes
+        )
+    else:  # mixed-metric batch: score per slice (same kernels, same bits)
+        scores_all = np.empty(inter.size, dtype=np.float64)
+        for piece, r0, r1, _, _ in spans:
+            scores_all[r0:r1] = similarity_scores(
+                piece.metric,
+                inter[r0:r1],
+                liked_counts[r0:r1],
+                sizes[r0:r1],
+            )
+
+    return {
+        piece.job_index: ShardPartial(
+            positions=piece.positions,
+            scores=scores_all[r0:r1],
+            liked_cols=indices[lo:hi],
+        )
+        for piece, r0, r1, lo, hi in spans
+    }
+
+
+def truncate_topk(
+    positions: np.ndarray, scores: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shard-local top-``k`` under the engine's total order.
+
+    Ranks by ``(-score, position)`` -- exactly the order
+    :func:`~repro.cluster.coordinator.merge_topk` applies to the
+    cross-shard union.  Shards hold disjoint candidates, so any member
+    of the *global* top-``k`` is necessarily inside its own shard's
+    top-``k``: dropping everything below the local cut can never
+    evict a global winner, which is what makes wire truncation an
+    exactness-preserving bandwidth optimization rather than an
+    approximation.
+    """
+    if positions.size <= k:
+        return positions, scores
+    top = np.lexsort((positions, -scores))[:k]
+    return positions[top], scores[top]
+
+
+def to_wire_partial(
+    job_index: int, partial: ShardPartial, k: int, truncate: bool
+) -> WirePartial:
+    """Serialize-ready form of a shard partial.
+
+    The liked columns collapse into their sparse histogram (exact --
+    the popularity merge only ever bincounts them), and the scored
+    candidates optionally truncate to the shard-local top-``k`` via
+    :func:`truncate_topk`.
+    """
+    positions, scores = partial.positions, partial.scores
+    if truncate:
+        positions, scores = truncate_topk(positions, scores, k)
+    if partial.liked_cols.size:
+        histogram = np.bincount(partial.liked_cols)
+        pop_cols = np.nonzero(histogram)[0]
+        pop_counts = histogram[pop_cols]
+    else:
+        pop_cols = _EMPTY
+        pop_counts = _EMPTY
+    return WirePartial(
+        job_index=job_index,
+        positions=positions,
+        scores=scores,
+        pop_cols=pop_cols,
+        pop_counts=pop_counts,
+    )
+
+
+def merge_popularity_sparse(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Dense per-column like counts from sparse per-shard histograms.
+
+    Bit-for-bit the
+    :func:`~repro.cluster.coordinator.merge_popularity` result on the
+    same shards' raw column segments: every column appearing on a
+    shard carries a positive count, so the dense length (max column +
+    1) matches the concatenated ``bincount``'s, and integer addition
+    is associative, so summing per-shard histograms equals counting
+    the concatenation.  Columns are unique within one part (they come
+    from a ``bincount``'s nonzero set), so the fancy-indexed ``+=`` is
+    a plain scatter-add with no lost updates.
+    """
+    parts = [(cols, counts) for cols, counts in parts if cols.size]
+    if not parts:
+        return _EMPTY
+    length = max(int(cols.max()) for cols, _ in parts) + 1
+    merged = np.zeros(length, dtype=np.int64)
+    for cols, counts in parts:
+        merged[cols] += counts
+    return merged

@@ -37,7 +37,14 @@ from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Load/churn counters for one shard."""
+    """Load/churn counters for one shard.
+
+    For the process executor these are read over the wire from the
+    worker that hosts the shard; ``pid`` then identifies that worker
+    process (it stays 0 for in-process shards).  Together with
+    ``users``/``writes`` this is the per-worker load signal a future
+    rebalancing placement map would consume.
+    """
 
     shard: int
     users: int  # rows materialized in this shard's arena
@@ -45,6 +52,7 @@ class ShardStats:
     arena_garbage: int  # superseded entries awaiting compaction
     writes: int  # profile writes routed to this shard
     compactions: int  # arena compactions performed
+    pid: int = 0  # hosting worker process (0: in-process shard)
 
 
 class ShardedLikedMatrix:
@@ -106,23 +114,11 @@ class ShardedLikedMatrix:
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Split a candidate list by owning shard.
 
-        Returns one ``(ids, positions)`` pair per shard, where
-        ``positions`` are the candidates' indices in the *input*
-        sequence, ascending.  Positions carry the deterministic global
-        order (jobs sort candidates by token), so cross-shard merges
-        can reproduce the single-matrix tie-breaks exactly without
-        shipping tokens to the shards.
+        Delegates to :meth:`ShardPlacement.partition`; see there for
+        the ``(ids, positions)`` contract the cross-shard merges rely
+        on.
         """
-        ids = np.asarray(user_ids, dtype=np.int64)
-        if ids.size == 0:
-            empty: np.ndarray = ids
-            return [(empty, empty) for _ in range(self.num_shards)]
-        shard_of_id = self.placement.shards_of(ids)
-        parts: list[tuple[np.ndarray, np.ndarray]] = []
-        for shard in range(self.num_shards):
-            positions = np.nonzero(shard_of_id == shard)[0]
-            parts.append((ids[positions], positions))
-        return parts
+        return self.placement.partition(user_ids)
 
     # --- stats --------------------------------------------------------------
 

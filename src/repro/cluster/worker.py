@@ -1,0 +1,201 @@
+"""The out-of-process shard host.
+
+Each worker process owns one shard's state end to end: a local
+:class:`~repro.core.tables.ProfileTable` holding only the users the
+placement map routed here, the shard's
+:class:`~repro.engine.liked_matrix.LikedMatrix` arena mirroring it
+incrementally, and a replica
+:class:`~repro.engine.liked_matrix.ItemVocabulary` rebuilt from the
+parent's append-only :class:`~repro.cluster.transport.VocabDelta`
+frames -- so a column index means the same item here as in the parent
+and on every sibling shard, without any shared memory.
+
+Nothing enters or leaves except :mod:`repro.cluster.transport` frames:
+writes arrive as :class:`~repro.cluster.transport.WriteBatch`\\ es (the
+local table replays them, which drives the matrix's incremental
+like/un-like transitions exactly as the parent-side matrix would see
+them), jobs arrive as :class:`~repro.cluster.transport.JobSlices`, and
+results leave as shard-local-top-K
+:class:`~repro.cluster.transport.Partials`.  The scoring itself is
+:func:`repro.cluster.scoring.score_slices` -- the same function the
+in-process executors run -- so a worker's partials are bit-for-bit
+what the serial executor computes for the same shard.
+
+:class:`ShardHost` is deliberately transport-agnostic (message in,
+optional reply out) so protocol handling is unit-testable without
+spawning processes; :func:`worker_main` is the thin process entry
+point that pumps frames between a socket and the host.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+from repro.cluster.scoring import score_slices, to_wire_partial
+from repro.cluster.transport import (
+    Channel,
+    ConnectionClosedError,
+    Hello,
+    JobSlices,
+    Message,
+    Partials,
+    Ready,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+    TransportError,
+    VocabDelta,
+    WriteBatch,
+)
+from repro.core.tables import ProfileTable
+from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
+
+
+class ShardHost:
+    """One shard's state plus the frame dispatch that mutates it."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.table = ProfileTable()
+        self.vocab = ItemVocabulary()
+        self.matrix = LikedMatrix(self.table, vocab=self.vocab)
+        self.batches_scored = 0
+
+    # --- frame handlers -----------------------------------------------------
+
+    def handle(self, msg: Message) -> Message | None:
+        """Apply one message; return the reply frame if the type has one.
+
+        Frames must be applied in arrival order: vocabulary deltas are
+        cumulative, and write replay depends on every prior write of a
+        user having been applied (that is how the like/un-like
+        transition is reconstructed without shipping ``previous``).
+        """
+        if isinstance(msg, VocabDelta):
+            self._apply_vocab_delta(msg)
+            return None
+        if isinstance(msg, WriteBatch):
+            self._apply_writes(msg)
+            return None
+        if isinstance(msg, JobSlices):
+            return self._score(msg)
+        if isinstance(msg, StatsRequest):
+            return self._stats()
+        if isinstance(msg, Hello):
+            if msg.shard != self.shard:
+                raise TransportError(
+                    f"hello for shard {msg.shard} reached shard {self.shard}"
+                )
+            return Ready(shard=self.shard, pid=os.getpid())
+        if isinstance(msg, Shutdown):
+            return None
+        raise TransportError(
+            f"unexpected frame {type(msg).__name__} on a worker"
+        )
+
+    def _apply_vocab_delta(self, delta: VocabDelta) -> None:
+        """Append the delta's items, reproducing the parent's columns."""
+        if delta.base != len(self.vocab):
+            raise TransportError(
+                f"vocab delta base {delta.base} does not extend a replica "
+                f"of {len(self.vocab)} columns"
+            )
+        for offset, item in enumerate(delta.items.tolist()):
+            col = self.vocab.intern(int(item))
+            if col != delta.base + offset:
+                raise TransportError(
+                    f"item {item} already interned at column {col}"
+                )
+
+    def _apply_writes(self, batch: WriteBatch) -> None:
+        """Replay routed writes through the local table.
+
+        ``record`` recomputes the ``previous`` value from the local
+        profile -- identical to the parent's, since every earlier
+        write of the user was routed here first -- and the matrix's
+        write hook applies the same incremental transition the
+        in-process shard would.
+        """
+        record = self.table.record
+        for user_id, item, value in zip(
+            batch.user_ids.tolist(),
+            batch.items.tolist(),
+            batch.values.tolist(),
+        ):
+            record(user_id, item, value)
+
+    def _score(self, msg: JobSlices) -> Partials:
+        """Score the batch's slices; reply with wire partials.
+
+        Users the placement routed no writes for are legal candidates
+        (registered-but-silent profiles); they materialize here as
+        empty rows, exactly as the shared-table matrix would build
+        them.
+        """
+        get_or_create = self.table.get_or_create
+        for piece in msg.slices:
+            for user_id in piece.candidate_ids.tolist():
+                get_or_create(user_id)
+        partials = score_slices(self.matrix, msg.slices)
+        self.batches_scored += 1
+        return Partials(
+            batch_id=msg.batch_id,
+            partials=tuple(
+                to_wire_partial(
+                    piece.job_index,
+                    partials[piece.job_index],
+                    k=piece.k,
+                    truncate=msg.truncate,
+                )
+                for piece in msg.slices
+            ),
+        )
+
+    def _stats(self) -> StatsReply:
+        matrix = self.matrix
+        return StatsReply(
+            users=matrix.num_rows,
+            arena_live=matrix.arena_live,
+            arena_garbage=matrix.arena_garbage,
+            writes=matrix.writes_applied,
+            compactions=matrix.compactions,
+            pid=os.getpid(),
+        )
+
+
+def worker_main(
+    sock: socket.socket,
+    shard: int,
+    inherited: "tuple[socket.socket, ...]" = (),
+) -> None:
+    """Process entry point: pump frames between ``sock`` and the host.
+
+    ``inherited`` are the parent-side socket ends this process
+    received across the fork (its own pair's and earlier workers');
+    they are closed first thing, so a parent that disappears without a
+    Shutdown frame produces a real EOF here instead of a socket held
+    open by its own peer.
+
+    Exits on a :class:`~repro.cluster.transport.Shutdown` frame or a
+    clean EOF from the parent.  Protocol violations terminate the
+    worker (the parent surfaces the broken pipe on its next exchange)
+    rather than guessing at recovery.
+    """
+    for parent_end in inherited:
+        parent_end.close()
+    channel = Channel(sock)
+    host = ShardHost(shard)
+    try:
+        while True:
+            try:
+                msg = channel.recv()
+            except ConnectionClosedError:
+                break
+            reply = host.handle(msg)
+            if reply is not None:
+                channel.send(reply)
+            if isinstance(msg, Shutdown):
+                break
+    finally:
+        channel.close()

@@ -42,13 +42,28 @@ class HyRecConfig:
         num_shards: Shard count of the ``"sharded"`` engine (ignored
             by the other engines).
         executor: How the sharded engine runs its per-shard tasks:
-            ``"serial"`` (deterministic, on the calling thread) or
+            ``"serial"`` (deterministic, on the calling thread),
             ``"thread"`` (a persistent pool; shard tasks overlap where
-            the kernels release the GIL).  Results are identical
-            either way.
+            the kernels release the GIL), or ``"process"`` (one
+            long-lived worker process per shard hosting that shard's
+            matrix, fed by the serialized shard protocol of
+            :mod:`repro.cluster.transport`; whole interpreters run in
+            parallel, so scoring scales with cores).  Results are
+            identical under all three.
         batch_window: Requests the sharded engine's scheduler coalesces
             into one batched kernel invocation per shard
             (:class:`repro.cluster.BatchScheduler`).
+        truncate_partials: Process executor only: ship each shard's
+            local top-``k`` scored candidates instead of the full
+            partial.  Exactness-preserving (every global top-k member
+            is inside its own shard's top-k), so this is purely an
+            IPC-bandwidth knob; ``False`` ships full partials for
+            comparison runs.
+        ipc_write_batch: Process executor only: buffered
+            placement-routed writes per worker that force an eager
+            flush.  Writes always flush before any read, so this
+            trades syscall count against write-delivery latency
+            without ever changing results.
     """
 
     k: int = 10
@@ -63,6 +78,8 @@ class HyRecConfig:
     num_shards: int = 4
     executor: str = "serial"
     batch_window: int = 16
+    truncate_partials: bool = True
+    ipc_write_batch: int = 1024
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -83,13 +100,17 @@ class HyRecConfig:
         # Mirrors repro.cluster.executors.EXECUTOR_NAMES; kept literal
         # here so constructing a config never imports the cluster
         # package (which imports core modules back).
-        if self.executor not in ("serial", "thread"):
+        if self.executor not in ("serial", "thread", "process"):
             raise ValueError(
                 f"unknown executor {self.executor!r}; "
-                "expected 'serial' or 'thread'"
+                "expected 'serial', 'thread' or 'process'"
             )
         if self.batch_window < 1:
             raise ValueError(
                 f"batch_window must be at least 1, got {self.batch_window}"
+            )
+        if self.ipc_write_batch < 1:
+            raise ValueError(
+                f"ipc_write_batch must be at least 1, got {self.ipc_write_batch}"
             )
         get_metric(self.metric)  # fail fast on unknown metrics

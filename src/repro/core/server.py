@@ -46,6 +46,10 @@ class ServerStats:
     knn_updates: int
     reshuffles: int
     #: Per-shard load/churn counters; empty unless ``engine="sharded"``.
+    #: With ``executor="process"`` each entry is read over the wire
+    #: from the worker process hosting the shard and carries its
+    #: ``pid`` -- the per-worker load signal a rebalancing placement
+    #: map would consume.
     shards: tuple["ShardStats", ...] = field(default=())
 
 
@@ -84,10 +88,19 @@ class HyRecServer:
             # half-initialized.
             from repro.cluster import ClusterCoordinator, make_executor
 
+            # Worker lifecycle note: with executor="process" this
+            # constructor is the spawn point -- the coordinator forks
+            # one worker per shard, warm-start-replays any profiles
+            # already in the table, and subscribes the write stream.
+            # close() is the matching clean shutdown.
             self.cluster = ClusterCoordinator(
                 self.profiles,
                 num_shards=self.config.num_shards,
-                executor=make_executor(self.config.executor),
+                executor=make_executor(
+                    self.config.executor,
+                    truncate_partials=self.config.truncate_partials,
+                    ipc_write_batch=self.config.ipc_write_batch,
+                ),
             )
         self.meter = MessageMeter()
         self._bootstrap_rng = derive_rng(seed, "server:bootstrap")
@@ -98,9 +111,12 @@ class HyRecServer:
     def close(self) -> None:
         """Release engine resources (the cluster's executor workers).
 
-        Idempotent and a no-op on the python/vectorized engines.
-        Sweeps constructing many sharded deployments should call this
-        (or :meth:`HyRecSystem.close`) instead of reaching into
+        Idempotent and a no-op on the python/vectorized engines.  On
+        ``executor="thread"`` this drains the pool; on
+        ``executor="process"`` it performs the clean worker shutdown
+        (a ``Shutdown`` frame per worker process, then join).  Sweeps
+        constructing many sharded deployments should call this (or
+        :meth:`HyRecSystem.close`) instead of reaching into
         ``server.cluster``.
         """
         if self.cluster is not None:

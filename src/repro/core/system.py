@@ -100,7 +100,13 @@ class HyRecSystem:
         return self.widget.process_engine_job(job, self.server.liked_matrix)
 
     def close(self) -> None:
-        """Release engine resources; no-op except on the sharded engine."""
+        """Release engine resources; no-op except on the sharded engine.
+
+        On ``executor="process"`` this is the clean end of the worker
+        lifecycle that construction began (spawn + warm-start replay):
+        every worker process receives a shutdown frame and is joined.
+        Use the system as a context manager to make it automatic.
+        """
         self.server.close()
 
     def __enter__(self) -> "HyRecSystem":

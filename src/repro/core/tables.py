@@ -33,6 +33,18 @@ class ProfileTable:
         """
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: WriteListener) -> None:
+        """Unsubscribe a write listener (no-op if it is not subscribed).
+
+        Structures with an explicit shutdown (the process executor's
+        write router) must detach here, or writes recorded after their
+        teardown would still be delivered to them.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def __len__(self) -> int:
         return len(self._profiles)
 

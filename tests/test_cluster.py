@@ -260,12 +260,31 @@ class TestBatchScheduler:
 
 class TestExecutors:
     def test_make_executor_names(self):
+        from repro.cluster import ProcessExecutor
+
         assert isinstance(make_executor("serial"), SerialExecutor)
         thread = make_executor("thread")
         assert isinstance(thread, ThreadPoolExecutor)
         thread.close()
+        process = make_executor("process", ipc_write_batch=7)
+        assert isinstance(process, ProcessExecutor)
+        assert process.ipc_write_batch == 7
+        process.close()  # spawns nothing until a coordinator attaches it
         with pytest.raises(ValueError):
             make_executor("gpu")
+
+    def test_process_executor_matches_serial(self):
+        from repro.cluster import ProcessExecutor
+
+        jobs = [_job(uid, [u for u in range(12) if u != uid]) for uid in range(12)]
+        _, serial_coord = _toy_coordinator(executor=SerialExecutor())
+        _, process_coord = _toy_coordinator(executor=ProcessExecutor())
+        try:
+            assert serial_coord.process_batch(jobs) == process_coord.process_batch(
+                jobs
+            )
+        finally:
+            process_coord.close()
 
     def test_thread_pool_matches_serial(self):
         jobs = [_job(uid, [u for u in range(12) if u != uid]) for uid in range(12)]

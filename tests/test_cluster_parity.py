@@ -1,9 +1,10 @@
 """Sharded-engine parity: bit-for-bit equal to python and vectorized.
 
 The contract of ``HyRecConfig(engine="sharded")`` extends the PR-1
-engine contract: for *any* shard count and either executor, the
-sharded engine must produce the same neighbors (same order, same
-tie-breaks), bitwise-identical float64 scores, the same
+engine contract: for *any* shard count and *any* executor -- serial,
+thread pool, or worker processes fed by the serialized shard protocol
+-- the sharded engine must produce the same neighbors (same order,
+same tie-breaks), bitwise-identical float64 scores, the same
 recommendations, and byte-identical wire metering as both the
 ``"python"`` and ``"vectorized"`` engines.  Checked here at the widget
 level (randomized engine jobs against a shared profile table) and at
@@ -16,7 +17,11 @@ import random
 
 import pytest
 
-from repro.cluster import ClusterCoordinator, ThreadPoolExecutor
+from repro.cluster import (
+    ClusterCoordinator,
+    ProcessExecutor,
+    ThreadPoolExecutor,
+)
 from repro.core.config import HyRecConfig
 from repro.core.system import HyRecSystem
 from repro.core.tables import ProfileTable
@@ -102,6 +107,32 @@ class TestWidgetLevelParity:
         expected = [widget.process_engine_job(job, matrix) for job in jobs]
         assert coordinator.process_batch(jobs) == expected
 
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_process_executor_jobs_match_single_matrix(self, num_shards):
+        # Same contract as above, with the shards living in worker
+        # processes behind the serialized transport: scores must still
+        # be the same float64 bit patterns.
+        rng = random.Random(1000 + num_shards)
+        users = 35
+        table = _random_table(rng, users=users, items=120)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        coordinator = ClusterCoordinator(
+            table, num_shards, executor=ProcessExecutor()
+        )
+        try:
+            for trial in range(15):
+                job = _random_job(
+                    rng, users, rng.choice(["cosine", "jaccard", "overlap"])
+                )
+                expected = widget.process_engine_job(job, matrix)
+                got = coordinator.process_engine_job(job)
+                assert got == expected, f"trial {trial} diverged"
+                for a, b in zip(expected.neighbor_scores, got.neighbor_scores):
+                    assert a == b and str(a) == str(b)
+        finally:
+            coordinator.close()
+
     def test_interleaved_writes_stay_in_sync(self):
         # Incremental writes route through the placement map; results
         # must track the table exactly, like the single matrix does.
@@ -176,16 +207,57 @@ class TestReplayLevelParity:
             system.close()
         assert digests[0] == digests[1]
 
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_process_executor_replay_matches_serial(self, num_shards):
+        # The acceptance bar for the cross-process transport: full
+        # replays (results, KNN table, *and* wire metering) identical
+        # to the serial executor at every shard count.
+        trace = _random_trace(random.Random(37), users=25, items=70, n=250)
+        digests = []
+        for executor in ("serial", "process"):
+            system = HyRecSystem(
+                HyRecConfig(
+                    k=4,
+                    r=5,
+                    engine="sharded",
+                    num_shards=num_shards,
+                    executor=executor,
+                ),
+                seed=5,
+            )
+            outcomes: list = []
+            system.replay(trace, on_request=outcomes.append)
+            digests.append(
+                (
+                    [(o.result, tuple(o.recommendations)) for o in outcomes],
+                    system.server.knn_table.as_dict(),
+                    {
+                        channel: system.server.meter.reading(channel)
+                        for channel in ("server->client", "client->server")
+                    },
+                )
+            )
+            system.close()
+        assert digests[0] == digests[1], f"process @ {num_shards} diverged"
+
     @pytest.mark.parametrize("num_shards", [1, 4])
     def test_request_batch_identical_across_engines(self, num_shards, toy_trace):
         reference = None
-        for engine in ("python", "vectorized", "sharded"):
+        for engine, executor in (
+            ("python", "serial"),
+            ("vectorized", "serial"),
+            ("sharded", "serial"),
+            # Multi-job windows over the wire: whole batches travel as
+            # one JobSlices frame per shard under the process executor.
+            ("sharded", "process"),
+        ):
             system = HyRecSystem(
                 HyRecConfig(
                     k=2,
                     r=3,
                     engine=engine,
                     num_shards=num_shards,
+                    executor=executor,
                     batch_window=3,
                 ),
                 seed=11,
@@ -203,10 +275,11 @@ class TestReplayLevelParity:
                 for wave in waves
                 for o in wave
             ]
+            system.close()
             if reference is None:
                 reference = digest
             else:
-                assert digest == reference, f"{engine} diverged"
+                assert digest == reference, f"{engine}/{executor} diverged"
 
     def test_sharded_replay_reports_shard_stats(self, toy_trace):
         system = HyRecSystem(
@@ -255,4 +328,40 @@ class TestShardedConfig:
         )
         assert system.server.cluster is not None
         assert isinstance(system.server.cluster.executor, ThreadPoolExecutor)
+        system.close()
+
+    def test_process_executor_is_wired(self):
+        system = HyRecSystem(
+            HyRecConfig(
+                engine="sharded",
+                num_shards=2,
+                executor="process",
+                truncate_partials=False,
+                ipc_write_batch=64,
+            ),
+            seed=0,
+        )
+        cluster = system.server.cluster
+        assert cluster is not None
+        assert isinstance(cluster.executor, ProcessExecutor)
+        assert cluster.matrix is None  # shard state lives in the workers
+        assert cluster.executor.truncate_partials is False
+        assert cluster.executor.ipc_write_batch == 64
+        system.close()
+
+    def test_process_shard_stats_report_worker_pids(self, toy_trace):
+        import os
+
+        system = HyRecSystem(
+            HyRecConfig(
+                k=2, engine="sharded", num_shards=4, executor="process"
+            ),
+            seed=1,
+        )
+        system.replay(toy_trace)
+        stats = system.server.stats
+        assert len(stats.shards) == 4
+        assert sum(stat.writes for stat in stats.shards) == len(toy_trace)
+        pids = {stat.pid for stat in stats.shards}
+        assert len(pids) == 4 and os.getpid() not in pids
         system.close()

@@ -48,11 +48,15 @@ class TestHyRecConfig:
 
     def test_unknown_executor_fails_at_construction(self):
         with pytest.raises(ValueError, match="unknown executor"):
-            HyRecConfig(engine="sharded", executor="process")
+            HyRecConfig(engine="sharded", executor="gpu")
 
     def test_invalid_batch_window(self):
         with pytest.raises(ValueError, match="batch_window"):
             HyRecConfig(engine="sharded", batch_window=0)
+
+    def test_invalid_ipc_write_batch(self):
+        with pytest.raises(ValueError, match="ipc_write_batch"):
+            HyRecConfig(engine="sharded", ipc_write_batch=0)
 
     def test_valid_sharded_knobs(self):
         config = HyRecConfig(
@@ -61,6 +65,17 @@ class TestHyRecConfig:
         assert config.num_shards == 8
         assert config.executor == "thread"
         assert config.batch_window == 32
+
+    def test_valid_process_executor_knobs(self):
+        config = HyRecConfig(
+            engine="sharded",
+            executor="process",
+            truncate_partials=False,
+            ipc_write_batch=256,
+        )
+        assert config.executor == "process"
+        assert config.truncate_partials is False
+        assert config.ipc_write_batch == 256
 
     def test_frozen(self):
         config = HyRecConfig()
