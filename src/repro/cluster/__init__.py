@@ -8,10 +8,15 @@ merges exact partial top-Ks, and a :class:`BatchScheduler` that
 coalesces concurrent requests into one batched kernel invocation per
 shard.  Shards run in-process (``executor="serial"``/``"thread"``) or
 in long-lived worker processes (``executor="process"``) fed by the
-serialized shard protocol in :mod:`repro.cluster.transport`.  Selected
-per deployment with ``HyRecConfig(engine="sharded")``; results are
-bit-for-bit identical to the ``"python"`` and ``"vectorized"`` engines
-for any shard count and executor.
+serialized shard protocol in :mod:`repro.cluster.transport`.  Placement
+is a movable :class:`PlacementMap` (rendezvous-hashed virtual-node
+buckets behind a versioned owner table), so a
+:class:`ShardRebalancer` can migrate whole buckets off a hot or
+churning shard through the live handoff path without changing a
+single output bit.  Selected per deployment with
+``HyRecConfig(engine="sharded")``; results are bit-for-bit identical
+to the ``"python"`` and ``"vectorized"`` engines for any shard count,
+executor, and migration history.
 """
 
 from repro.cluster.coordinator import (
@@ -26,8 +31,9 @@ from repro.cluster.executors import (
     ThreadPoolExecutor,
     make_executor,
 )
-from repro.cluster.placement import ShardPlacement
+from repro.cluster.placement import PlacementMap, ShardPlacement
 from repro.cluster.process_executor import ProcessExecutor
+from repro.cluster.rebalance import BucketMove, ShardRebalancer
 from repro.cluster.scheduler import BatchScheduler, BatchTicket
 from repro.cluster.scoring import (
     ShardPartial,
@@ -41,9 +47,12 @@ from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
 __all__ = [
     "BatchScheduler",
     "BatchTicket",
+    "BucketMove",
     "ClusterCoordinator",
     "EXECUTOR_NAMES",
+    "PlacementMap",
     "ProcessExecutor",
+    "ShardRebalancer",
     "SerialExecutor",
     "ShardExecutor",
     "ShardPartial",

@@ -166,10 +166,46 @@ class ClusterCoordinator:
             self._shards = self.matrix
         self.batches_processed = 0
         self.jobs_processed = 0
+        self.migrations = 0
 
     @property
     def num_shards(self) -> int:
         return self._shards.num_shards
+
+    @property
+    def table(self) -> ProfileTable:
+        """The shared profile table this cluster serves."""
+        return self._table
+
+    @property
+    def placement(self):
+        """The movable :class:`~repro.cluster.placement.PlacementMap`.
+
+        Live routing state -- shared with whichever component hosts
+        the shards (in-process matrix or process executor), so its
+        ``version`` is the cluster's current routing epoch.
+        """
+        return self._shards.placement
+
+    def migrate_bucket(self, bucket: int, new_owner: int) -> int:
+        """Hand one placement bucket to ``new_owner``; returns the version.
+
+        The coordinator is synchronous, so by construction no batch is
+        in flight when this runs (callers holding jobs in a
+        ``BatchScheduler`` window must flush it first -- the
+        :class:`~repro.cluster.rebalance.ShardRebalancer` does).  The
+        heavy lifting is delegated: the in-process matrix just moves
+        ownership over the shared table; the process executor runs the
+        drain / extract / replay / map-bump / broadcast handoff over
+        the shard protocol.  Either way the engine's outputs are
+        bit-for-bit unchanged across the move.
+        """
+        if self.matrix is not None:
+            version = self.matrix.migrate_bucket(bucket, new_owner)
+        else:
+            version = self.executor.migrate_bucket(bucket, new_owner)
+        self.migrations += 1
+        return version
 
     def shard_stats(self) -> tuple[ShardStats, ...]:
         """Per-shard load/churn counters (surfaced via ``ServerStats``).

@@ -1,15 +1,33 @@
-"""Hash-based user placement across shards.
+"""Movable user placement: rendezvous-hashed virtual-node buckets.
 
-Users are assigned to shards by a fixed avalanche hash of their id --
-the stateless equivalent of a placement map.  A mixing hash (rather
-than ``uid % num_shards``) keeps the assignment balanced even when
-user ids arrive with arithmetic structure (dense ranges, strided
-samples), which is exactly what replayed traces produce.
+Users hash to one of ``num_buckets`` *buckets* (virtual nodes) by a
+fixed avalanche hash of their id; buckets map to shards through an
+explicit, movable ``bucket -> owner`` array.  The indirection is what
+makes placement *elastic*: a hot or churning shard sheds load by
+handing whole buckets to another shard (see
+:meth:`PlacementMap.move_bucket` and the handoff machinery in
+:mod:`repro.cluster.rebalance` / :mod:`repro.cluster.transport`),
+while the user-to-bucket hash never changes -- so a migration moves
+exactly one bucket's users and nobody else.
 
-The hash is the finalizer of SplitMix64: every input bit affects every
-output bit, it is exact in int64/uint64 arithmetic, and it is trivially
-vectorizable -- :meth:`ShardPlacement.shards_of` places a whole
-candidate array with five numpy ops.
+The initial ``bucket -> owner`` assignment is rendezvous (highest
+random weight) hashing: every bucket picks the shard with the maximal
+``mix(bucket_key ^ shard_key)`` weight.  Rendezvous gives the map its
+elasticity-friendly baseline: adding shard ``N`` moves only the
+buckets shard ``N`` wins, and removing the last shard moves only the
+buckets it owned -- no global reshuffle (enforced by the hypothesis
+suite in ``tests/test_rebalance.py``).
+
+Every mutation bumps :attr:`PlacementMap.version` -- the *routing
+epoch*.  The epoch is the coherence token of the cluster: the process
+executor stamps job frames with it and workers reject stale stamps,
+so a frame routed under an outdated map can never read or write a
+moved bucket silently (see ``docs/architecture.md``).
+
+The user hash is the finalizer of SplitMix64: every input bit affects
+every output bit, it is exact in int64/uint64 arithmetic, and it is
+trivially vectorizable -- :meth:`PlacementMap.shards_of` places a
+whole candidate array with five numpy ops plus one owner-table gather.
 """
 
 from __future__ import annotations
@@ -21,6 +39,16 @@ import numpy as np
 _MULT1 = 0xBF58476D1CE4E5B9
 _MULT2 = 0x94D049BB133111EB
 _MASK = 0xFFFFFFFFFFFFFFFF
+
+#: Golden-ratio increments keying buckets and shards into the mixer's
+#: domain; distinct constants keep the two key families uncorrelated.
+_BUCKET_KEY = 0x9E3779B97F4A7C15
+_SHARD_KEY = 0xD1B54A32D192ED03
+
+#: Default virtual-node density.  More buckets = finer-grained
+#: migrations and a smoother rendezvous assignment, at the cost of one
+#: int64 per bucket in the owner table -- negligible at this density.
+BUCKETS_PER_SHARD = 64
 
 
 def _mix(value: int) -> int:
@@ -34,27 +62,142 @@ def _mix(value: int) -> int:
     return value
 
 
-class ShardPlacement:
-    """Deterministic ``user id -> shard`` assignment."""
+def bucket_of_id(user_id: int, num_buckets: int) -> int:
+    """Bucket of ``user_id`` in a map with ``num_buckets`` buckets.
 
-    def __init__(self, num_shards: int) -> None:
+    A pure function of ``(user_id, num_buckets)`` -- shard workers use
+    it to select a handed-off bucket's users from their local tables
+    without ever holding the (parent-owned) owner map.
+    """
+    return _mix(user_id) % num_buckets
+
+
+def rendezvous_owner(bucket: int, num_shards: int) -> int:
+    """Rendezvous winner of ``bucket`` among ``num_shards`` shards.
+
+    The highest-random-weight rule: the owning shard is the one whose
+    ``mix(bucket_key ^ shard_key)`` weight is maximal.  Weights are
+    independent per (bucket, shard) pair, so changing the shard count
+    by one only reassigns buckets the added shard wins (or the removed
+    shard owned) -- every other bucket keeps its owner.
+    """
+    bucket_key = _mix((bucket * _BUCKET_KEY) & _MASK)
+    best_shard = 0
+    best_weight = -1
+    for shard in range(num_shards):
+        weight = _mix(bucket_key ^ _mix((shard + 1) * _SHARD_KEY & _MASK))
+        if weight > best_weight:
+            best_weight = weight
+            best_shard = shard
+    return best_shard
+
+
+class PlacementMap:
+    """Versioned, movable ``user id -> bucket -> shard`` assignment."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        num_buckets: int | None = None,
+    ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard, got {num_shards}")
+        if num_buckets is None:
+            num_buckets = BUCKETS_PER_SHARD * num_shards
+        if num_buckets < num_shards:
+            raise ValueError(
+                f"need at least one bucket per shard, got {num_buckets} "
+                f"buckets for {num_shards} shards"
+            )
         self.num_shards = num_shards
+        self.num_buckets = num_buckets
+        #: Routing epoch: bumped by every :meth:`move_bucket`.  All
+        #: routing peers (coordinator, scheduler, workers) must agree
+        #: on it before exchanging placement-routed frames.
+        self.version = 0
+        self._owner = np.fromiter(
+            (rendezvous_owner(bucket, num_shards) for bucket in range(num_buckets)),
+            dtype=np.int64,
+            count=num_buckets,
+        )
 
-    def shard_of(self, user_id: int) -> int:
-        """Owning shard of ``user_id``."""
-        return _mix(user_id) % self.num_shards
+    # --- lookup -------------------------------------------------------------
 
-    def shards_of(self, user_ids: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`shard_of` over an int array."""
+    def bucket_of(self, user_id: int) -> int:
+        """Bucket of ``user_id`` (never changes for a given map size)."""
+        return _mix(user_id) % self.num_buckets
+
+    def buckets_of(self, user_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bucket_of` over an int array."""
         value = np.asarray(user_ids).astype(np.uint64, copy=True)
         value ^= value >> np.uint64(30)
         value *= np.uint64(_MULT1)
         value ^= value >> np.uint64(27)
         value *= np.uint64(_MULT2)
         value ^= value >> np.uint64(31)
-        return (value % np.uint64(self.num_shards)).astype(np.int64)
+        return (value % np.uint64(self.num_buckets)).astype(np.int64)
+
+    def owner_of(self, bucket: int) -> int:
+        """Shard currently owning ``bucket``."""
+        if not 0 <= bucket < self.num_buckets:
+            raise ValueError(
+                f"bucket {bucket} out of range [0, {self.num_buckets})"
+            )
+        return int(self._owner[bucket])
+
+    def owners(self) -> np.ndarray:
+        """Copy of the full ``bucket -> shard`` owner table."""
+        return self._owner.copy()
+
+    def buckets_owned_by(self, shard: int) -> np.ndarray:
+        """Buckets currently owned by ``shard``, ascending."""
+        return np.nonzero(self._owner == shard)[0].astype(np.int64)
+
+    def shard_of(self, user_id: int) -> int:
+        """Owning shard of ``user_id`` under the current map."""
+        return int(self._owner[_mix(user_id) % self.num_buckets])
+
+    def shards_of(self, user_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of` over an int array."""
+        return self._owner[self.buckets_of(user_ids)]
+
+    # --- mutation -----------------------------------------------------------
+
+    def validate_move(self, bucket: int, new_owner: int) -> int:
+        """Raise unless moving ``bucket`` to ``new_owner`` is legal.
+
+        The single home of the migration preconditions -- callers that
+        perform side effects *before* the map bump (the handoff paths)
+        run this up front so an illegal move fails before anything
+        mutates.  Returns the bucket's current owner.
+        """
+        old_owner = self.owner_of(bucket)
+        if not 0 <= new_owner < self.num_shards:
+            raise ValueError(
+                f"shard {new_owner} out of range [0, {self.num_shards})"
+            )
+        if new_owner == old_owner:
+            raise ValueError(
+                f"bucket {bucket} already lives on shard {new_owner}"
+            )
+        return old_owner
+
+    def move_bucket(self, bucket: int, new_owner: int) -> int:
+        """Reassign ``bucket`` to ``new_owner``; returns the new version.
+
+        This is the *map bump* of a shard handoff -- callers must move
+        the bucket's rows first and apply the bump only once the data
+        is safely at the destination, so a failed handoff leaves
+        routing untouched.  The version advances by exactly one per
+        move; routing peers validate that discipline (a skipped epoch
+        means a lost frame).
+        """
+        self.validate_move(bucket, new_owner)
+        self._owner[bucket] = new_owner
+        self.version += 1
+        return self.version
+
+    # --- partitioning -------------------------------------------------------
 
     def partition(
         self, user_ids: "Sequence[int] | np.ndarray"
@@ -69,6 +212,11 @@ class ShardPlacement:
         shipping tokens to the shards.  Shared by the in-process
         :class:`~repro.cluster.sharded_matrix.ShardedLikedMatrix` and
         the parent side of the process executor.
+
+        The output is always a true partition of the input: every
+        candidate lands in exactly one part (each id has exactly one
+        bucket and each bucket exactly one owner), which is what makes
+        the cross-shard merge exact under *any* owner table.
         """
         ids = np.asarray(user_ids, dtype=np.int64)
         if ids.size == 0:
@@ -80,3 +228,10 @@ class ShardPlacement:
             positions = np.nonzero(shard_of_id == shard)[0]
             parts.append((ids[positions], positions))
         return parts
+
+
+#: Backward-compatible name: earlier revisions pinned users to shards
+#: with a fixed ``mix(uid) % num_shards`` hash under this class name;
+#: the movable map subsumes it (same mixing hash, same partition
+#: contract, plus buckets/versioning).
+ShardPlacement = PlacementMap

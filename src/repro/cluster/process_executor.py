@@ -51,8 +51,11 @@ from repro.cluster.scoring import ShardSlice, WirePartial
 from repro.cluster.sharded_matrix import ShardStats
 from repro.cluster.transport import (
     Channel,
+    HandoffData,
+    HandoffRequest,
     Hello,
     JobSlices,
+    MapUpdate,
     Partials,
     Ready,
     Shutdown,
@@ -180,7 +183,14 @@ class ProcessExecutor:
                 self._procs.append(proc)
                 self._channels.append(Channel(parent_sock))
             for shard, channel in enumerate(self._channels):
-                channel.send(Hello(shard=shard, num_shards=num_shards))
+                channel.send(
+                    Hello(
+                        shard=shard,
+                        num_shards=num_shards,
+                        num_buckets=self.placement.num_buckets,
+                        map_version=self.placement.version,
+                    )
+                )
                 ready = channel.recv()
                 if not isinstance(ready, Ready) or ready.shard != shard:
                     raise TransportError(
@@ -312,6 +322,7 @@ class ProcessExecutor:
                         batch_id=batch_id,
                         truncate=self.truncate_partials,
                         slices=tuple(slices),
+                        map_version=self.placement.version,
                     )
                 )
         results: list[dict[int, WirePartial]] = []
@@ -328,6 +339,59 @@ class ProcessExecutor:
                 {partial.job_index: partial for partial in reply.partials}
             )
         return results
+
+    def migrate_bucket(self, bucket: int, new_owner: int) -> int:
+        """Hand one placement bucket from its owner to ``new_owner``.
+
+        The live-handoff sequence (see ``docs/architecture.md``):
+
+        1. **Drain** -- every worker's write buffer flushes, so all
+           writes routed under the old map reach the old owner before
+           extraction (they travel with the handoff).
+        2. **Extract** -- a :class:`HandoffRequest` for the next epoch
+           goes to the old owner, which replays the bucket's users out
+           (warm-start form), evicts them locally, and bumps its epoch.
+        3. **Replay** -- the :class:`HandoffData` reply is forwarded
+           verbatim to the new owner (after a vocab sync, so every
+           replayed item already has its column), which absorbs the
+           rows and bumps its epoch.
+        4. **Map bump** -- only now does the parent's placement map
+           move the bucket (atomically, on the routing thread), so a
+           handoff that fails at any earlier step leaves routing
+           untouched and the error surfaces loudly.
+        5. **Epoch broadcast** -- a :class:`MapUpdate` goes to every
+           worker; the participants already hold the new epoch (the
+           broadcast is idempotent for them), the bystanders advance.
+
+        Returns the new map version.
+        """
+        if self._closed or self.placement is None:
+            raise RuntimeError("ProcessExecutor is not running")
+        placement = self.placement
+        old_owner = placement.validate_move(bucket, new_owner)
+        for shard in range(self.num_shards):
+            self._flush(shard)
+        new_version = placement.version + 1
+        self._channels[old_owner].send(
+            HandoffRequest(bucket=bucket, version=new_version)
+        )
+        reply = self._channels[old_owner].recv()
+        if (
+            not isinstance(reply, HandoffData)
+            or reply.bucket != bucket
+            or reply.version != new_version
+        ):
+            raise TransportError(
+                f"worker {old_owner} answered the handoff of bucket "
+                f"{bucket} with {reply!r}"
+            )
+        self._sync_vocab(new_owner)
+        self._channels[new_owner].send(reply)
+        placement.move_bucket(bucket, new_owner)
+        assert placement.version == new_version
+        for channel in self._channels:
+            channel.send(MapUpdate(version=new_version))
+        return new_version
 
     def stats(self) -> tuple[ShardStats, ...]:
         """Per-worker load/churn counters, via a stats round trip."""

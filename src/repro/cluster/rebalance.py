@@ -1,0 +1,230 @@
+"""Churn-driven shard rebalancing over the movable placement map.
+
+:class:`ShardRebalancer` closes the elasticity loop the cluster layer
+was missing: placement used to be a pure hash, so a hot or churning
+shard could never shed load.  The rebalancer watches the same write
+stream the per-shard ``ServerStats.shards`` counters aggregate --
+it subscribes to the shared :class:`~repro.core.tables.ProfileTable`
+and histograms routed writes *per placement bucket* -- and, when the
+per-shard spread exceeds a configurable threshold, migrates whole
+buckets from the hottest shard to the coldest through
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.migrate_bucket`
+(the live handoff path: drain, extract, replay, atomic map bump,
+epoch broadcast).
+
+Why buckets, not shards, as the unit of accounting: the per-shard
+load is just the owner-table grouping of the per-bucket histogram
+(`np.bincount(owners, weights=bucket_writes)`), but only the bucket
+resolution says *which* slice of a hot shard to move -- and the
+histogram follows the bucket across migrations, so repeated
+rebalances see consistent history (worker-side ``writes`` counters,
+by contrast, double-count handoff replays).
+
+Exactness: migrations never change results -- parity before, during,
+and after any move is enforced by ``tests/test_rebalance.py`` for
+every shard count and executor.  The rebalancer therefore only ever
+trades *where* work happens, never *what* is computed.
+
+Runs in two modes, both driven by ``HyRecConfig.rebalance_*`` knobs:
+manually (call :meth:`rebalance` from an operator loop) or on a
+write-count cadence (``rebalance_interval`` writes between checks,
+evaluated inside the write listener -- the in-process stand-in for a
+periodic control loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.coordinator import ClusterCoordinator
+
+if TYPE_CHECKING:
+    from repro.cluster.scheduler import BatchScheduler
+
+__all__ = ["BucketMove", "ShardRebalancer"]
+
+
+@dataclass(frozen=True)
+class BucketMove:
+    """One applied (or proposed) bucket migration."""
+
+    bucket: int
+    source: int  # shard the bucket left
+    target: int  # shard the bucket joined
+    writes: int  # routed writes accounted to the bucket so far
+    version: int  # map version the move created (0 for proposals)
+
+
+class ShardRebalancer:
+    """Threshold-driven bucket migration off the hottest shard."""
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        *,
+        threshold: float = 2.0,
+        max_moves: int = 4,
+        interval: int = 0,
+        scheduler: "BatchScheduler | None" = None,
+    ) -> None:
+        """
+        Args:
+            coordinator: The cluster to balance; the rebalancer reads
+                its placement map and shared table and applies moves
+                through its ``migrate_bucket``.
+            threshold: Max/min per-shard write-load ratio above which
+                a rebalance proposes moves (must exceed 1.0; the
+                coldest shard's load is floored at one write so a
+                zero-load shard triggers, not divides by zero).
+            max_moves: Migration budget per :meth:`rebalance` call --
+                a control-loop safety valve, not a correctness knob.
+            interval: Routed writes between automatic rebalance
+                checks; ``0`` disables the cadence (manual only).
+            scheduler: Optional request-coalescing window to drain
+                before migrating, so no admitted-but-undispatched job
+                spans a map change.
+        """
+        if threshold <= 1.0:
+            raise ValueError(
+                f"threshold must exceed 1.0, got {threshold}"
+            )
+        if max_moves < 1:
+            raise ValueError(
+                f"max_moves must be at least 1, got {max_moves}"
+            )
+        if interval < 0:
+            raise ValueError(f"interval cannot be negative, got {interval}")
+        self.coordinator = coordinator
+        self.threshold = threshold
+        self.max_moves = max_moves
+        self.interval = interval
+        #: Drained (flushed) before any migration; assignable after
+        #: construction because the scheduler is typically built on
+        #: top of the coordinator later.
+        self.scheduler = scheduler
+        self._bucket_writes = np.zeros(
+            coordinator.placement.num_buckets, dtype=np.int64
+        )
+        self.writes_seen = 0
+        self._next_check = interval
+        self.moves_applied: list[BucketMove] = []
+        self._rebalancing = False
+        coordinator.table.add_listener(self._on_write)
+
+    def close(self) -> None:
+        """Detach the write listener (idempotent)."""
+        self.coordinator.table.remove_listener(self._on_write)
+
+    # --- the load signal ----------------------------------------------------
+
+    def _on_write(
+        self, user_id: int, item: int, value: float, previous: float | None
+    ) -> None:
+        """ProfileTable hook: account the write to its bucket.
+
+        Registered after the engine's own write router (the server
+        constructs the cluster first), so by the time a cadence check
+        migrates anything, the triggering write has already been
+        routed/buffered under the old map and the drain delivers it.
+        """
+        del item, value, previous
+        placement = self.coordinator.placement
+        self._bucket_writes[placement.bucket_of(user_id)] += 1
+        self.writes_seen += 1
+        if (
+            self.interval > 0
+            and self.writes_seen >= self._next_check
+            and not self._rebalancing
+        ):
+            self._next_check = self.writes_seen + self.interval
+            self.rebalance()
+
+    def shard_loads(self) -> np.ndarray:
+        """Routed writes per shard under the *current* owner table."""
+        placement = self.coordinator.placement
+        return np.bincount(
+            placement.owners(),
+            weights=self._bucket_writes,
+            minlength=placement.num_shards,
+        ).astype(np.int64)
+
+    def imbalance(self) -> float:
+        """Max/min per-shard write-load ratio (min floored at 1)."""
+        loads = self.shard_loads()
+        return float(loads.max()) / float(max(int(loads.min()), 1))
+
+    # --- proposing and applying moves ---------------------------------------
+
+    def propose(self) -> BucketMove | None:
+        """The next bucket move, or ``None`` when balanced enough.
+
+        Donor is the hottest shard, receiver the coldest.  Among the
+        donor's loaded buckets, pick the one minimizing the resulting
+        donor/receiver gap ``|gap - 2w|`` subject to ``w < gap`` --
+        moving it strictly shrinks the pairwise spread, so a sequence
+        of proposals always terminates.
+        """
+        placement = self.coordinator.placement
+        if placement.num_shards < 2:
+            return None
+        loads = self.shard_loads()
+        donor = int(loads.argmax())
+        receiver = int(loads.argmin())
+        if loads[donor] <= self.threshold * max(int(loads[receiver]), 1):
+            return None
+        gap = int(loads[donor]) - int(loads[receiver])
+        buckets = placement.buckets_owned_by(donor)
+        weights = self._bucket_writes[buckets]
+        movable = weights > 0
+        candidates = buckets[movable]
+        candidate_weights = weights[movable]
+        improving = candidate_weights < gap
+        if not improving.any():
+            return None
+        candidates = candidates[improving]
+        candidate_weights = candidate_weights[improving]
+        best = int(np.argmin(np.abs(gap - 2 * candidate_weights)))
+        return BucketMove(
+            bucket=int(candidates[best]),
+            source=donor,
+            target=receiver,
+            writes=int(candidate_weights[best]),
+            version=0,
+        )
+
+    def rebalance(self) -> list[BucketMove]:
+        """Propose-and-apply moves until balanced or out of budget.
+
+        Before the first move the scheduler window (if any) is
+        drained, so every admitted job dispatches under the epoch it
+        was scattered for.  The per-worker counters surfaced by
+        ``ServerStats.shards`` remain the operator's live view; this
+        method's return value records what actually moved.
+        """
+        applied: list[BucketMove] = []
+        self._rebalancing = True
+        try:
+            while len(applied) < self.max_moves:
+                move = self.propose()
+                if move is None:
+                    break
+                if self.scheduler is not None:
+                    self.scheduler.flush()
+                version = self.coordinator.migrate_bucket(
+                    move.bucket, move.target
+                )
+                move = BucketMove(
+                    bucket=move.bucket,
+                    source=move.source,
+                    target=move.target,
+                    writes=move.writes,
+                    version=version,
+                )
+                applied.append(move)
+                self.moves_applied.append(move)
+        finally:
+            self._rebalancing = False
+        return applied

@@ -13,6 +13,15 @@ Batch composition never changes results: every job is scored against
 the matrix state at dispatch, and per-job outputs are independent, so
 a window of 1 and a window of 64 produce identical
 :class:`~repro.core.jobs.JobResult`\\ s for the same table state.
+
+Routing epochs: a job is *scattered* (split by the placement map) at
+dispatch, not at submission, so the open window is the only place a
+request could straddle a bucket migration.  The
+:class:`~repro.cluster.rebalance.ShardRebalancer` therefore drains
+this window (one :meth:`BatchScheduler.flush`) before any migration --
+after which dispatch and map are in agreement again, and the scattered
+frames carry the new epoch.  Because batch composition never changes
+results, the forced early dispatch is invisible in every output.
 """
 
 from __future__ import annotations

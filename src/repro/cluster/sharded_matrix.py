@@ -103,6 +103,36 @@ class ShardedLikedMatrix:
             user_id, item, value, previous
         )
 
+    # --- rebalancing --------------------------------------------------------
+
+    def migrate_bucket(self, bucket: int, new_owner: int) -> int:
+        """Hand one placement bucket to ``new_owner``; returns the version.
+
+        The in-process handoff is the degenerate form of the
+        cross-process one: both shards read the *shared* table, so no
+        rows travel -- the map bump moves ownership, the old shard's
+        rows for the moved users are invalidated (their arena segments
+        become garbage, postings rebuild without them), and the new
+        shard materializes them lazily from the table on first read,
+        exactly as it builds any pre-existing row.  Results are
+        therefore bit-for-bit unchanged across the move; only *which*
+        shard answers for the bucket changes.
+        """
+        old_owner = self.placement.validate_move(bucket, new_owner)
+        user_ids = np.fromiter(self._table, dtype=np.int64, count=len(self._table))
+        moved = user_ids[
+            self.placement.buckets_of(user_ids) == bucket
+        ].tolist()
+        version = self.placement.move_bucket(bucket, new_owner)
+        for user_id in moved:
+            # Old shard: drop the row and dirty the postings (they
+            # contain the moved users).  New shard: nothing was
+            # materialized, but its postings must also rebuild to
+            # include the arrivals under the live owner filter.
+            self.shards[old_owner].refresh(user_id)
+            self.shards[new_owner].refresh(user_id)
+        return version
+
     # --- partitioning -------------------------------------------------------
 
     def shard_of(self, user_id: int) -> int:

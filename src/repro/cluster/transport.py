@@ -34,6 +34,17 @@ Message flow (parent ``->`` worker unless noted):
   per-job :class:`~repro.cluster.scoring.WirePartial` results back.
 * :class:`StatsRequest` / :class:`StatsReply` (worker ``->`` parent)
   -- the per-worker load/churn counters ``ServerStats`` surfaces.
+* :class:`MapUpdate` -- routing-epoch broadcast: the placement map's
+  version after a migration.  Workers track the epoch and reject
+  job frames stamped with a stale one, so a frame routed under an
+  outdated map can never touch a moved bucket silently.
+* :class:`HandoffRequest` / :class:`HandoffData` -- the shard-handoff
+  path of a bucket migration: the parent asks a bucket's old owner to
+  extract-and-evict it; the owner answers with the bucket's write
+  replay (current value per rated item, the warm-start form), which
+  the parent forwards verbatim to the new owner.  Both frames carry
+  the epoch the move creates; workers insist it advances their local
+  epoch by exactly one (a skipped epoch means a lost frame).
 * :class:`Shutdown` -- clean worker exit.
 
 Framing errors are typed: short reads raise
@@ -55,7 +66,10 @@ import numpy as np
 from repro.cluster.scoring import ShardSlice, WirePartial
 
 PROTOCOL_MAGIC = b"HY"
-PROTOCOL_VERSION = 1
+#: v2 added the movable-placement fields: Hello's bucket count and
+#: routing epoch, JobSlices' epoch stamp, and the MapUpdate/Handoff
+#: frame family.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's payload (a sanity valve against corrupt
 #: length fields, not a protocol feature): 1 GiB.
@@ -92,6 +106,9 @@ class FrameType(enum.IntEnum):
     STATS_REQUEST = 7
     STATS_REPLY = 8
     SHUTDOWN = 9
+    MAP_UPDATE = 10
+    HANDOFF_REQUEST = 11
+    HANDOFF_DATA = 12
 
 
 # --- payload primitives -----------------------------------------------------
@@ -167,19 +184,42 @@ def _unpack_str(buf: bytes, offset: int) -> tuple[str, int]:
 
 @dataclass(frozen=True)
 class Hello:
-    """Parent -> worker: pin the shard index and cluster shape."""
+    """Parent -> worker: pin the shard index and cluster shape.
+
+    ``num_buckets`` and ``map_version`` seed the worker's view of the
+    movable placement map: the bucket count lets it select a handed-off
+    bucket's users locally, and the version is the routing epoch all
+    subsequent stamped frames are validated against.
+    """
 
     shard: int
     num_shards: int
+    num_buckets: int = 0
+    map_version: int = 0
 
     def _pack(self) -> bytes:
-        return _pack_scalar(self.shard) + _pack_scalar(self.num_shards)
+        return (
+            _pack_scalar(self.shard)
+            + _pack_scalar(self.num_shards)
+            + _pack_scalar(self.num_buckets)
+            + _pack_scalar(self.map_version)
+        )
 
     @classmethod
     def _unpack(cls, buf: bytes) -> tuple["Hello", int]:
         shard, offset = _unpack_scalar(buf, 0)
         num_shards, offset = _unpack_scalar(buf, offset)
-        return cls(shard=shard, num_shards=num_shards), offset
+        num_buckets, offset = _unpack_scalar(buf, offset)
+        map_version, offset = _unpack_scalar(buf, offset)
+        return (
+            cls(
+                shard=shard,
+                num_shards=num_shards,
+                num_buckets=num_buckets,
+                map_version=map_version,
+            ),
+            offset,
+        )
 
 
 @dataclass(frozen=True)
@@ -243,16 +283,24 @@ class WriteBatch:
 
 @dataclass(frozen=True)
 class JobSlices:
-    """One batch's job slices for one shard."""
+    """One batch's job slices for one shard.
+
+    ``map_version`` stamps the routing epoch the batch was scattered
+    under; a worker whose epoch disagrees rejects the frame loudly (a
+    stale stamp means the frame crossed a migration it should not
+    have).
+    """
 
     batch_id: int
     truncate: bool  # ship shard-local top-k only
     slices: tuple[ShardSlice, ...]
+    map_version: int = 0
 
     def _pack(self) -> bytes:
         parts = [
             _pack_scalar(self.batch_id),
             _pack_scalar(1 if self.truncate else 0),
+            _pack_scalar(self.map_version),
             _pack_scalar(len(self.slices)),
         ]
         for piece in self.slices:
@@ -269,6 +317,7 @@ class JobSlices:
     def _unpack(cls, buf: bytes) -> tuple["JobSlices", int]:
         batch_id, offset = _unpack_scalar(buf, 0)
         truncate, offset = _unpack_scalar(buf, offset)
+        map_version, offset = _unpack_scalar(buf, offset)
         count, offset = _unpack_scalar(buf, offset)
         if count < 0 or truncate not in (0, 1):
             raise TransportError("malformed job-slice header")
@@ -295,7 +344,12 @@ class JobSlices:
                 )
             )
         return (
-            cls(batch_id=batch_id, truncate=bool(truncate), slices=tuple(slices)),
+            cls(
+                batch_id=batch_id,
+                truncate=bool(truncate),
+                slices=tuple(slices),
+                map_version=map_version,
+            ),
             offset,
         )
 
@@ -393,6 +447,97 @@ class StatsReply:
 
 
 @dataclass(frozen=True)
+class MapUpdate:
+    """Parent -> worker: the placement map's routing epoch moved.
+
+    Broadcast to every worker after a migration commits.  Epochs are
+    monotone: a worker accepts any ``version >= `` its own (handoff
+    participants already bumped while applying the move, so the
+    broadcast is idempotent for them) and rejects a regression.
+    """
+
+    version: int
+
+    def _pack(self) -> bytes:
+        return _pack_scalar(self.version)
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["MapUpdate", int]:
+        version, offset = _unpack_scalar(buf, 0)
+        return cls(version=version), offset
+
+
+@dataclass(frozen=True)
+class HandoffRequest:
+    """Parent -> old owner: extract-and-evict one placement bucket.
+
+    ``version`` is the routing epoch the migration creates; the worker
+    validates it advances its local epoch by exactly one, extracts the
+    bucket's users (write replay + local eviction), bumps its epoch,
+    and answers with the matching :class:`HandoffData`.
+    """
+
+    bucket: int
+    version: int
+
+    def _pack(self) -> bytes:
+        return _pack_scalar(self.bucket) + _pack_scalar(self.version)
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["HandoffRequest", int]:
+        bucket, offset = _unpack_scalar(buf, 0)
+        version, offset = _unpack_scalar(buf, offset)
+        return cls(bucket=bucket, version=version), offset
+
+
+@dataclass(frozen=True)
+class HandoffData:
+    """One bucket's write replay (old owner -> parent -> new owner).
+
+    The rows are the bucket's users' current value per rated item, in
+    the old owner's table order -- the warm-start form, which is
+    bit-equivalent to the users' full write history for every
+    liked/rated-set read.  The new owner validates the epoch advance,
+    replays the rows through its local table, and bumps its epoch.
+    """
+
+    bucket: int
+    version: int
+    user_ids: np.ndarray  # int64
+    items: np.ndarray  # int64
+    values: np.ndarray  # float64
+
+    def _pack(self) -> bytes:
+        return (
+            _pack_scalar(self.bucket)
+            + _pack_scalar(self.version)
+            + _pack_array(self.user_ids)
+            + _pack_array(self.items)
+            + _pack_array(self.values)
+        )
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["HandoffData", int]:
+        bucket, offset = _unpack_scalar(buf, 0)
+        version, offset = _unpack_scalar(buf, offset)
+        user_ids, offset = _unpack_array(buf, offset)
+        items, offset = _unpack_array(buf, offset)
+        values, offset = _unpack_array(buf, offset)
+        if not (user_ids.size == items.size == values.size):
+            raise TransportError("handoff arrays disagree on length")
+        return (
+            cls(
+                bucket=bucket,
+                version=version,
+                user_ids=user_ids,
+                items=items,
+                values=values,
+            ),
+            offset,
+        )
+
+
+@dataclass(frozen=True)
 class Shutdown:
     """Parent -> worker: drain and exit cleanly."""
 
@@ -414,6 +559,9 @@ Message = (
     | StatsRequest
     | StatsReply
     | Shutdown
+    | MapUpdate
+    | HandoffRequest
+    | HandoffData
 )
 
 _MESSAGE_TYPES: dict[FrameType, type] = {
@@ -426,6 +574,9 @@ _MESSAGE_TYPES: dict[FrameType, type] = {
     FrameType.STATS_REQUEST: StatsRequest,
     FrameType.STATS_REPLY: StatsReply,
     FrameType.SHUTDOWN: Shutdown,
+    FrameType.MAP_UPDATE: MapUpdate,
+    FrameType.HANDOFF_REQUEST: HandoffRequest,
+    FrameType.HANDOFF_DATA: HandoffData,
 }
 _FRAME_OF_TYPE = {cls: frame for frame, cls in _MESSAGE_TYPES.items()}
 

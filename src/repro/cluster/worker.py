@@ -32,12 +32,18 @@ from __future__ import annotations
 import os
 import socket
 
+import numpy as np
+
+from repro.cluster.placement import bucket_of_id
 from repro.cluster.scoring import score_slices, to_wire_partial
 from repro.cluster.transport import (
     Channel,
     ConnectionClosedError,
+    HandoffData,
+    HandoffRequest,
     Hello,
     JobSlices,
+    MapUpdate,
     Message,
     Partials,
     Ready,
@@ -61,6 +67,14 @@ class ShardHost:
         self.vocab = ItemVocabulary()
         self.matrix = LikedMatrix(self.table, vocab=self.vocab)
         self.batches_scored = 0
+        #: Placement-map view seeded by the Hello handshake: the bucket
+        #: count (for selecting a handed-off bucket's users locally)
+        #: and the routing epoch stamped frames are validated against.
+        self.num_buckets = 0
+        self.map_version = 0
+        self.handoffs_out = 0
+        self.handoffs_in = 0
+        self._handshaken = False
 
     # --- frame handlers -----------------------------------------------------
 
@@ -82,11 +96,29 @@ class ShardHost:
             return self._score(msg)
         if isinstance(msg, StatsRequest):
             return self._stats()
+        if isinstance(msg, MapUpdate):
+            self._apply_map_update(msg)
+            return None
+        if isinstance(msg, HandoffRequest):
+            return self._extract_bucket(msg)
+        if isinstance(msg, HandoffData):
+            self._absorb_bucket(msg)
+            return None
         if isinstance(msg, Hello):
             if msg.shard != self.shard:
                 raise TransportError(
                     f"hello for shard {msg.shard} reached shard {self.shard}"
                 )
+            if self._handshaken:
+                # Routing state may only advance through the validated
+                # frames (MapUpdate / handoffs); a mid-session Hello
+                # would silently reset the epoch.
+                raise TransportError(
+                    f"duplicate hello on shard {self.shard}"
+                )
+            self._handshaken = True
+            self.num_buckets = msg.num_buckets
+            self.map_version = msg.map_version
             return Ready(shard=self.shard, pid=os.getpid())
         if isinstance(msg, Shutdown):
             return None
@@ -125,6 +157,106 @@ class ShardHost:
         ):
             record(user_id, item, value)
 
+    # --- placement epochs and shard handoff ---------------------------------
+
+    def _apply_map_update(self, msg: MapUpdate) -> None:
+        """Advance the routing epoch (monotone; regressions are fatal)."""
+        if msg.version < self.map_version:
+            raise TransportError(
+                f"map update regresses the routing epoch "
+                f"({msg.version} < {self.map_version})"
+            )
+        self.map_version = msg.version
+
+    def _require_epoch_advance(self, version: int, what: str) -> None:
+        """A handoff frame must advance the local epoch by exactly one.
+
+        Anything else means a lost or reordered frame: an equal or
+        older version is a replayed migration, a jump means this
+        worker missed a map bump its routing depends on.  Either way
+        the shard's view of the map is unreliable -- fail loudly.
+        """
+        if version != self.map_version + 1:
+            raise TransportError(
+                f"{what} for epoch {version} does not advance this "
+                f"worker's epoch {self.map_version} by one"
+            )
+
+    def _extract_bucket(self, msg: HandoffRequest) -> HandoffData:
+        """Old-owner side of a migration: replay out, then evict.
+
+        The reply carries the bucket's users' current value per rated
+        item (the warm-start form -- bit-equivalent to their write
+        history for every liked/rated read), in this table's insertion
+        order.  The users then leave this shard entirely: profiles are
+        removed and their matrix rows invalidated, so post-migration
+        stats and scoring behave as if the users were never routed
+        here.
+        """
+        if self.num_buckets < 1:
+            raise TransportError("handoff before the Hello handshake")
+        if not 0 <= msg.bucket < self.num_buckets:
+            raise TransportError(
+                f"handoff bucket {msg.bucket} out of range "
+                f"[0, {self.num_buckets})"
+            )
+        self._require_epoch_advance(msg.version, "handoff request")
+        moved = [
+            user_id
+            for user_id in self.table
+            if bucket_of_id(user_id, self.num_buckets) == msg.bucket
+        ]
+        user_ids: list[int] = []
+        items: list[int] = []
+        values: list[float] = []
+        for user_id in moved:
+            profile = self.table.get(user_id)
+            for item in profile.rated_items():
+                value = profile.value_of(item)
+                assert value is not None  # rated_items() lists opinions
+                user_ids.append(user_id)
+                items.append(item)
+                values.append(value)
+        for user_id in moved:
+            self.table.remove(user_id)
+            self.matrix.refresh(user_id)  # drop the row; dirty postings
+        self.map_version = msg.version
+        self.handoffs_out += 1
+        return HandoffData(
+            bucket=msg.bucket,
+            version=msg.version,
+            user_ids=np.asarray(user_ids, dtype=np.int64),
+            items=np.asarray(items, dtype=np.int64),
+            values=np.asarray(values, dtype=np.float64),
+        )
+
+    def _absorb_bucket(self, msg: HandoffData) -> None:
+        """New-owner side of a migration: replay the bucket's rows in.
+
+        Every row must actually belong to the advertised bucket (a
+        mismatch means the parent forwarded a corrupt or misrouted
+        frame), and every item must already be interned by the vocab
+        replica (the parent flushes deltas before forwarding), so the
+        local replay assigns exactly the parent's columns.
+        """
+        if self.num_buckets < 1:
+            raise TransportError("handoff before the Hello handshake")
+        self._require_epoch_advance(msg.version, "handoff data")
+        for user_id in np.unique(msg.user_ids).tolist():
+            if bucket_of_id(user_id, self.num_buckets) != msg.bucket:
+                raise TransportError(
+                    f"handoff for bucket {msg.bucket} carries user "
+                    f"{user_id} of bucket "
+                    f"{bucket_of_id(user_id, self.num_buckets)}"
+                )
+        record = self.table.record
+        for user_id, item, value in zip(
+            msg.user_ids.tolist(), msg.items.tolist(), msg.values.tolist()
+        ):
+            record(user_id, item, value)
+        self.map_version = msg.version
+        self.handoffs_in += 1
+
     def _score(self, msg: JobSlices) -> Partials:
         """Score the batch's slices; reply with wire partials.
 
@@ -132,7 +264,18 @@ class ShardHost:
         (registered-but-silent profiles); they materialize here as
         empty rows, exactly as the shared-table matrix would build
         them.
+
+        The batch's epoch stamp must match this worker's: a stale
+        stamp means the batch was scattered under a map that has since
+        moved a bucket, and scoring it here could silently fabricate
+        empty rows for users this shard no longer owns.
         """
+        if msg.map_version != self.map_version:
+            raise TransportError(
+                f"job batch {msg.batch_id} stamped with stale map "
+                f"version {msg.map_version} (worker epoch "
+                f"{self.map_version})"
+            )
         get_or_create = self.table.get_or_create
         for piece in msg.slices:
             for user_id in piece.candidate_ids.tolist():

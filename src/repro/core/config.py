@@ -64,6 +64,17 @@ class HyRecConfig:
             flush.  Writes always flush before any read, so this
             trades syscall count against write-delivery latency
             without ever changing results.
+        rebalance_threshold: Sharded engine only: max/min per-shard
+            write-load ratio above which the
+            :class:`~repro.cluster.rebalance.ShardRebalancer` migrates
+            placement buckets off the hottest shard (must exceed
+            ``1.0``).  Rebalancing moves load, never results -- parity
+            holds before, during, and after any migration.
+        rebalance_interval: Sharded engine only: routed writes between
+            automatic rebalance checks; ``0`` (the default) disables
+            the cadence, leaving the rebalancer manual-only.
+        rebalance_max_moves: Sharded engine only: bucket-migration
+            budget per rebalance pass (a control-loop safety valve).
     """
 
     k: int = 10
@@ -80,6 +91,9 @@ class HyRecConfig:
     batch_window: int = 16
     truncate_partials: bool = True
     ipc_write_batch: int = 1024
+    rebalance_threshold: float = 2.0
+    rebalance_interval: int = 0
+    rebalance_max_moves: int = 4
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -112,5 +126,20 @@ class HyRecConfig:
         if self.ipc_write_batch < 1:
             raise ValueError(
                 f"ipc_write_batch must be at least 1, got {self.ipc_write_batch}"
+            )
+        if self.rebalance_threshold <= 1.0:
+            raise ValueError(
+                "rebalance_threshold must exceed 1.0, got "
+                f"{self.rebalance_threshold}"
+            )
+        if self.rebalance_interval < 0:
+            raise ValueError(
+                "rebalance_interval cannot be negative, got "
+                f"{self.rebalance_interval}"
+            )
+        if self.rebalance_max_moves < 1:
+            raise ValueError(
+                "rebalance_max_moves must be at least 1, got "
+                f"{self.rebalance_max_moves}"
             )
         get_metric(self.metric)  # fail fast on unknown metrics

@@ -36,6 +36,7 @@ from repro.sim.randomness import derive_rng
 
 if TYPE_CHECKING:  # imported lazily at runtime (cluster imports core back)
     from repro.cluster import ClusterCoordinator, ShardStats
+    from repro.cluster.rebalance import ShardRebalancer
 
 
 @dataclass(frozen=True)
@@ -48,9 +49,16 @@ class ServerStats:
     #: Per-shard load/churn counters; empty unless ``engine="sharded"``.
     #: With ``executor="process"`` each entry is read over the wire
     #: from the worker process hosting the shard and carries its
-    #: ``pid`` -- the per-worker load signal a rebalancing placement
-    #: map would consume.
+    #: ``pid``.  This is the operator-facing load view; the
+    #: :class:`~repro.cluster.rebalance.ShardRebalancer` keeps its own
+    #: per-bucket write histogram from the same write stream (worker
+    #: ``writes`` counters double-count handoff replays).
     shards: tuple["ShardStats", ...] = field(default=())
+    #: Routing epoch of the movable placement map (bumped by every
+    #: bucket migration); ``0`` unless ``engine="sharded"``.
+    placement_version: int = 0
+    #: Bucket migrations applied so far; ``0`` unless ``engine="sharded"``.
+    migrations: int = 0
 
 
 class HyRecServer:
@@ -81,12 +89,18 @@ class HyRecServer:
         #: behind a scatter/gather coordinator.  Only materialized for
         #: ``engine="sharded"``.
         self.cluster: "ClusterCoordinator | None" = None
+        #: Churn-driven bucket migrator over the cluster's movable
+        #: placement map; only materialized for ``engine="sharded"``.
+        #: Runs manually (``rebalancer.rebalance()``) and, when
+        #: ``rebalance_interval > 0``, on a write-count cadence.
+        self.rebalancer: "ShardRebalancer | None" = None
         if self.config.engine == "sharded":
             # Imported here, not at module top: the cluster package
             # imports core modules back, and a top-level circular
             # import would leave whichever package loads second
             # half-initialized.
             from repro.cluster import ClusterCoordinator, make_executor
+            from repro.cluster.rebalance import ShardRebalancer
 
             # Worker lifecycle note: with executor="process" this
             # constructor is the spawn point -- the coordinator forks
@@ -101,6 +115,16 @@ class HyRecServer:
                     truncate_partials=self.config.truncate_partials,
                     ipc_write_batch=self.config.ipc_write_batch,
                 ),
+            )
+            # Constructed after the coordinator so its write listener
+            # fires after the engine's own router: by the time a
+            # cadence check migrates, the triggering write has been
+            # routed under the old map and the drain delivers it.
+            self.rebalancer = ShardRebalancer(
+                self.cluster,
+                threshold=self.config.rebalance_threshold,
+                max_moves=self.config.rebalance_max_moves,
+                interval=self.config.rebalance_interval,
             )
         self.meter = MessageMeter()
         self._bootstrap_rng = derive_rng(seed, "server:bootstrap")
@@ -119,6 +143,8 @@ class HyRecServer:
         :meth:`HyRecSystem.close`) instead of reaching into
         ``server.cluster``.
         """
+        if self.rebalancer is not None:
+            self.rebalancer.close()
         if self.cluster is not None:
             self.cluster.close()
 
@@ -405,6 +431,14 @@ class HyRecServer:
             reshuffles=self._reshuffles,
             shards=(
                 self.cluster.shard_stats() if self.cluster is not None else ()
+            ),
+            placement_version=(
+                self.cluster.placement.version
+                if self.cluster is not None
+                else 0
+            ),
+            migrations=(
+                self.cluster.migrations if self.cluster is not None else 0
             ),
         )
 

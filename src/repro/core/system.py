@@ -71,6 +71,11 @@ class HyRecSystem:
             self.scheduler = BatchScheduler(
                 self.server.cluster, batch_window=self.config.batch_window
             )
+            if self.server.rebalancer is not None:
+                # The rebalancer drains this window before migrating a
+                # bucket, so no admitted-but-undispatched job ever
+                # spans a routing-epoch change.
+                self.server.rebalancer.scheduler = self.scheduler
         self.requests_served = 0
 
     def _use_fast_path(self) -> bool:

@@ -70,6 +70,18 @@ class ProfileTable:
             self._profiles[user_id] = profile
         return profile
 
+    def remove(self, user_id: int) -> None:
+        """Forget ``user_id`` entirely (no-op for unknown users).
+
+        This is *not* a write: listeners are not notified.  It exists
+        for shard-local tables handing a placement bucket's users off
+        to another shard -- the profiles leave with the handoff replay,
+        so keeping them here would double-count the users.  Derived
+        read structures over this table must be invalidated by the
+        caller (e.g. ``LikedMatrix.refresh``).
+        """
+        self._profiles.pop(user_id, None)
+
     def record(
         self, user_id: int, item: int, value: float, timestamp: float = 0.0
     ) -> Profile:

@@ -30,7 +30,11 @@ from repro.cluster.scoring import (
     ShardPartial,
 )
 from repro.cluster.transport import (
+    HandoffData,
+    HandoffRequest,
     Hello,
+    JobSlices,
+    MapUpdate,
     Ready,
     Shutdown,
     StatsRequest,
@@ -225,6 +229,19 @@ class TestShardHostProtocol:
         with pytest.raises(TransportError, match="reached shard"):
             host.handle(Hello(shard=0, num_shards=4))
 
+    def test_duplicate_hello_cannot_reset_the_epoch(self):
+        # Routing state advances only through validated frames: a
+        # replayed Hello would silently regress the epoch MapUpdate
+        # guards with a loud error.
+        host = ShardHost(1)
+        host.handle(Hello(shard=1, num_shards=2, num_buckets=8, map_version=0))
+        host.handle(MapUpdate(version=4))
+        with pytest.raises(TransportError, match="duplicate hello"):
+            host.handle(
+                Hello(shard=1, num_shards=2, num_buckets=8, map_version=0)
+            )
+        assert host.map_version == 4
+
     def test_vocab_deltas_must_be_contiguous(self):
         host = ShardHost(0)
         host.handle(VocabDelta(base=0, items=np.asarray([5, 9], dtype=np.int64)))
@@ -264,6 +281,214 @@ class TestShardHostProtocol:
 
     def test_shutdown_has_no_reply(self):
         assert ShardHost(0).handle(Shutdown()) is None
+
+
+class TestHandoffFaultInjection:
+    """Epoch discipline and handoff state transitions, frame by frame."""
+
+    def _host(self, shard: int = 0, num_buckets: int = 8) -> ShardHost:
+        host = ShardHost(shard)
+        host.handle(
+            Hello(
+                shard=shard, num_shards=2, num_buckets=num_buckets,
+                map_version=0,
+            )
+        )
+        return host
+
+    def _bucket_user(self, host: ShardHost, bucket: int) -> int:
+        from repro.cluster.placement import bucket_of_id
+
+        return next(
+            uid
+            for uid in range(10_000)
+            if bucket_of_id(uid, host.num_buckets) == bucket
+        )
+
+    def test_stale_job_version_rejected(self):
+        host = self._host()
+        host.handle(MapUpdate(version=3))
+        stale = JobSlices(batch_id=0, truncate=True, slices=(), map_version=2)
+        with pytest.raises(TransportError, match="stale map version"):
+            host.handle(stale)
+        # The current epoch's frames still flow: the host is left in a
+        # consistent, routable state.
+        reply = host.handle(
+            JobSlices(batch_id=1, truncate=True, slices=(), map_version=3)
+        )
+        assert reply.batch_id == 1
+
+    def test_map_update_regression_rejected(self):
+        host = self._host()
+        host.handle(MapUpdate(version=5))
+        host.handle(MapUpdate(version=5))  # idempotent re-broadcast is fine
+        with pytest.raises(TransportError, match="regresses"):
+            host.handle(MapUpdate(version=4))
+        assert host.map_version == 5
+
+    def test_handoff_must_advance_epoch_by_one(self):
+        host = self._host()
+        with pytest.raises(TransportError, match="advance"):
+            host.handle(HandoffRequest(bucket=1, version=3))  # skipped epochs
+        with pytest.raises(TransportError, match="advance"):
+            host.handle(HandoffRequest(bucket=1, version=0))  # replayed epoch
+        assert host.map_version == 0  # rejected handoffs change nothing
+        empty = np.zeros(0, dtype=np.int64)
+        with pytest.raises(TransportError, match="advance"):
+            host.handle(
+                HandoffData(
+                    bucket=1,
+                    version=2,
+                    user_ids=empty,
+                    items=empty,
+                    values=empty.astype(np.float64),
+                )
+            )
+
+    def test_handoff_before_handshake_rejected(self):
+        host = ShardHost(0)  # no Hello: num_buckets unknown
+        with pytest.raises(TransportError, match="before the Hello"):
+            host.handle(HandoffRequest(bucket=0, version=1))
+
+    def test_handoff_bucket_out_of_range_rejected(self):
+        host = self._host(num_buckets=8)
+        with pytest.raises(TransportError, match="out of range"):
+            host.handle(HandoffRequest(bucket=8, version=1))
+
+    def test_extract_replays_and_evicts_the_bucket(self):
+        host = self._host()
+        moving = self._bucket_user(host, bucket=2)
+        staying = self._bucket_user(host, bucket=3)
+        host.handle(VocabDelta(base=0, items=np.asarray([7, 9], dtype=np.int64)))
+        host.handle(
+            WriteBatch(
+                user_ids=np.asarray([moving, moving, staying], dtype=np.int64),
+                items=np.asarray([7, 9, 7], dtype=np.int64),
+                values=np.asarray([1.0, 0.0, 1.0], dtype=np.float64),
+            )
+        )
+        reply = host.handle(HandoffRequest(bucket=2, version=1))
+        assert isinstance(reply, HandoffData)
+        assert reply.bucket == 2 and reply.version == 1
+        assert set(reply.user_ids.tolist()) == {moving}
+        assert sorted(
+            zip(reply.items.tolist(), reply.values.tolist())
+        ) == [(7, 1.0), (9, 0.0)]  # current value per rated item
+        assert host.map_version == 1
+        assert moving not in host.table  # evicted outright
+        assert staying in host.table
+        assert host.matrix.liked_row(staying).tolist() == [0]
+
+    def test_absorb_applies_the_replay(self):
+        source = self._host(shard=0)
+        dest = self._host(shard=1)
+        moving = self._bucket_user(source, bucket=2)
+        vocab = VocabDelta(base=0, items=np.asarray([7, 9], dtype=np.int64))
+        source.handle(vocab)
+        dest.handle(vocab)
+        source.handle(
+            WriteBatch(
+                user_ids=np.asarray([moving, moving], dtype=np.int64),
+                items=np.asarray([7, 9], dtype=np.int64),
+                values=np.asarray([1.0, 1.0], dtype=np.float64),
+            )
+        )
+        data = source.handle(HandoffRequest(bucket=2, version=1))
+        dest.handle(data)
+        assert dest.map_version == 1
+        assert sorted(dest.matrix.liked_row(moving).tolist()) == [0, 1]
+
+    def test_absorb_rejects_foreign_users(self):
+        host = self._host()
+        foreign = self._bucket_user(host, bucket=5)
+        with pytest.raises(TransportError, match="carries user"):
+            host.handle(
+                HandoffData(
+                    bucket=2,
+                    version=1,
+                    user_ids=np.asarray([foreign], dtype=np.int64),
+                    items=np.asarray([7], dtype=np.int64),
+                    values=np.asarray([1.0], dtype=np.float64),
+                )
+            )
+        assert host.map_version == 0  # nothing applied
+
+
+class TestLiveMigrationFaults:
+    """Fault injection against real worker processes."""
+
+    def test_worker_death_mid_handoff_fails_loudly_and_keeps_routing(self):
+        table = ProfileTable()
+        executor = ProcessExecutor()
+        ClusterCoordinator(table, num_shards=3, executor=executor)
+        for uid in range(12):
+            table.record(uid, uid % 5, 1.0)
+        placement = executor.placement
+        bucket = placement.bucket_of(0)
+        old_owner = placement.owner_of(bucket)
+        version_before = placement.version
+        try:
+            # Kill the bucket's owner, then attempt the migration: the
+            # handoff must surface a typed transport error...
+            victim = executor._procs[old_owner]
+            victim.terminate()
+            victim.join(timeout=5)
+            with pytest.raises((TransportError, OSError)):
+                executor.migrate_bucket(bucket, (old_owner + 1) % 3)
+            # ...and leave routing untouched: same owner, same epoch.
+            assert placement.version == version_before
+            assert placement.owner_of(bucket) == old_owner
+        finally:
+            executor.close()  # tolerates the already-dead worker
+
+    def test_migrate_validation_errors(self):
+        table = ProfileTable()
+        executor = ProcessExecutor()
+        coordinator = ClusterCoordinator(table, num_shards=2, executor=executor)
+        placement = executor.placement
+        bucket = 0
+        owner = placement.owner_of(bucket)
+        try:
+            with pytest.raises(ValueError, match="already lives"):
+                coordinator.migrate_bucket(bucket, owner)
+            with pytest.raises(ValueError, match="out of range"):
+                coordinator.migrate_bucket(bucket, 2)
+            assert placement.version == 0
+        finally:
+            coordinator.close()
+        with pytest.raises(RuntimeError, match="not running"):
+            executor.migrate_bucket(bucket, (owner + 1) % 2)
+
+    def test_migration_survives_round_trips_and_new_writes(self):
+        # A full migrate -> write -> score -> stats cycle on live
+        # workers: the moved users answer from their new owner with
+        # the same bits the single matrix produces.
+        rng = random.Random(77)
+        table = ProfileTable()
+        _populate(rng, table, users=24, items=60)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        coordinator = ClusterCoordinator(
+            table, num_shards=3, executor=ProcessExecutor(ipc_write_batch=4)
+        )
+        placement = coordinator.placement
+        try:
+            for round_index in range(4):
+                bucket = placement.bucket_of(round_index)
+                owner = placement.owner_of(bucket)
+                coordinator.migrate_bucket(bucket, (owner + 1) % 3)
+                table.record(
+                    rng.randrange(24), rng.randrange(60), float(rng.random() < 0.5)
+                )
+                job = _job(rng, 24)
+                assert coordinator.process_engine_job(
+                    job
+                ) == widget.process_engine_job(job, matrix)
+            assert placement.version == 4
+            stats = coordinator.shard_stats()
+            assert len(stats) == 3  # every worker still answers
+        finally:
+            coordinator.close()
 
 
 class TestTruncationExactness:

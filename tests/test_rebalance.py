@@ -1,0 +1,505 @@
+"""Churn-driven rebalancing: movable placement + live shard handoff.
+
+The acceptance bar of the rebalancing layer: *migrations move load,
+never results*.  The churn suite replays the random ML-style trace of
+``tests/test_cluster_parity.py`` while forcibly migrating placement
+buckets mid-stream (every N writes) and asserts the full digest --
+per-request results, the KNN table, and byte-exact wire metering --
+equals the unsharded vectorized engine's, for 1/2/4/8 shards under
+all three executors.  On top sit hypothesis property tests for the
+rendezvous placement map (stability under shard add/remove, partition
+totality, epoch round trips) and unit tests for the
+:class:`~repro.cluster.rebalance.ShardRebalancer` control loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterCoordinator,
+    PlacementMap,
+    ProcessExecutor,
+    ShardRebalancer,
+)
+from repro.cluster.placement import bucket_of_id, rendezvous_owner
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Rating, Trace
+
+SHARD_COUNTS = (1, 2, 4, 8)
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _random_trace(rng: random.Random, users: int, items: int, n: int) -> Trace:
+    ratings = []
+    now = 0.0
+    for _ in range(n):
+        now += rng.random() * 50
+        ratings.append(
+            Rating(
+                timestamp=now,
+                user=rng.randrange(users),
+                item=rng.randrange(items),
+                value=float(rng.random() < 0.75),
+            )
+        )
+    return Trace("rebalance-churn", ratings)
+
+
+def _replay_digest(system: HyRecSystem, trace: Trace) -> dict:
+    outcomes: list = []
+    system.replay(trace, on_request=outcomes.append)
+    return {
+        "results": [
+            (
+                o.result.neighbor_tokens,
+                o.result.neighbor_scores,
+                o.result.recommended_items,
+                o.recommendations,
+            )
+            for o in outcomes
+        ],
+        "knn": system.server.knn_table.as_dict(),
+        "wire": {
+            channel: system.server.meter.reading(channel)
+            for channel in ("server->client", "client->server")
+        },
+    }
+
+
+class ChurnDriver:
+    """Forces a bucket migration every ``every`` table writes.
+
+    Registered as a table listener *after* the system is built, so the
+    engine's own write routing always precedes the forced churn --
+    exactly the ordering a cadence-driven rebalancer sees.  Buckets
+    are chosen deterministically (a fixed stride over the bucket
+    space) and each moves to the next shard round-robin, so every
+    replay of the same trace migrates identically.
+    """
+
+    def __init__(self, system: HyRecSystem, every: int) -> None:
+        cluster = system.server.cluster
+        assert cluster is not None
+        self.cluster = cluster
+        self.every = every
+        self.writes = 0
+        self.moves = 0
+        system.server.profiles.add_listener(self._on_write)
+
+    def _on_write(self, user_id, item, value, previous) -> None:
+        del user_id, item, value, previous
+        self.writes += 1
+        placement = self.cluster.placement
+        if placement.num_shards < 2 or self.writes % self.every:
+            return
+        bucket = (self.moves * 17) % placement.num_buckets
+        owner = placement.owner_of(bucket)
+        self.cluster.migrate_bucket(
+            bucket, (owner + 1) % placement.num_shards
+        )
+        self.moves += 1
+
+
+class TestChurnParity:
+    """Forced mid-replay migrations leave every output bit unchanged."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _random_trace(random.Random(41), users=30, items=90, n=300)
+
+    @pytest.fixture(scope="class")
+    def reference(self, trace):
+        return _replay_digest(
+            HyRecSystem(HyRecConfig(k=5, r=6, engine="vectorized"), seed=23),
+            trace,
+        )
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_migrations_mid_replay_keep_parity(
+        self, trace, reference, num_shards, executor
+    ):
+        system = HyRecSystem(
+            HyRecConfig(
+                k=5,
+                r=6,
+                engine="sharded",
+                num_shards=num_shards,
+                executor=executor,
+            ),
+            seed=23,
+        )
+        driver = ChurnDriver(system, every=40)
+        try:
+            digest = _replay_digest(system, trace)
+            stats = system.server.stats
+        finally:
+            system.close()
+        if num_shards > 1:
+            assert driver.moves > 0  # churn actually happened
+            assert stats.placement_version == driver.moves
+            assert stats.migrations == driver.moves
+        assert digest == reference, (
+            f"churn @ {num_shards} shards / {executor} diverged"
+        )
+
+    def test_cadence_rebalancer_keeps_parity(self, trace, reference):
+        # The real control loop (write-count cadence, threshold-driven
+        # proposals, scheduler drain) instead of forced moves.
+        system = HyRecSystem(
+            HyRecConfig(
+                k=5,
+                r=6,
+                engine="sharded",
+                num_shards=4,
+                executor="process",
+                rebalance_interval=50,
+                rebalance_threshold=1.05,
+                rebalance_max_moves=8,
+            ),
+            seed=23,
+        )
+        try:
+            digest = _replay_digest(system, trace)
+            stats = system.server.stats
+        finally:
+            system.close()
+        assert stats.migrations > 0  # the cadence found real imbalance
+        assert stats.placement_version == stats.migrations
+        assert digest == reference
+
+    def test_migration_between_open_windows_keeps_parity(self):
+        # request_batch windows before and after a migration must both
+        # match an identical migration-free deployment.
+        rng = random.Random(7)
+        ratings = [
+            (uid, item)
+            for uid in range(20)
+            for item in rng.sample(range(60), 8)
+        ]
+        config = HyRecConfig(
+            k=3, r=4, engine="sharded", num_shards=4, batch_window=4
+        )
+        systems = [HyRecSystem(config, seed=3) for _ in range(2)]
+        for system in systems:
+            for uid, item in ratings:
+                system.record_rating(uid, item, 1.0)
+        waves = []
+        for index, system in enumerate(systems):
+            outcome_waves = [system.request_batch([0, 1, 2, 3], now=0.0)]
+            if index == 1:  # migrate only in the second system
+                placement = system.server.cluster.placement
+                bucket = placement.bucket_of(1)
+                system.server.cluster.migrate_bucket(
+                    bucket, (placement.owner_of(bucket) + 1) % 4
+                )
+            outcome_waves.append(system.request_batch([0, 1, 2, 3], now=1.0))
+            waves.append(
+                [
+                    (o.result, tuple(o.recommendations))
+                    for wave in outcome_waves
+                    for o in wave
+                ]
+            )
+            system.close()
+        assert waves[0] == waves[1]
+
+
+# --- placement-map properties ------------------------------------------------
+
+shard_counts = st.integers(min_value=1, max_value=12)
+bucket_counts = st.integers(min_value=16, max_value=96)
+ids64 = st.integers(min_value=0, max_value=2**53)
+
+
+class TestPlacementProperties:
+    @given(num_shards=shard_counts, num_buckets=bucket_counts)
+    def test_rendezvous_add_shard_moves_only_winners(
+        self, num_shards, num_buckets
+    ):
+        # Adding shard N reassigns exactly the buckets N wins; every
+        # other bucket keeps its owner.  (Read right-to-left this is
+        # also the removal property: dropping the last shard moves
+        # only the buckets it owned.)
+        before = PlacementMap(num_shards, num_buckets).owners()
+        after = PlacementMap(num_shards + 1, num_buckets).owners()
+        for bucket in range(num_buckets):
+            if after[bucket] != before[bucket]:
+                assert after[bucket] == num_shards
+        # and the winners are exactly the rendezvous winners
+        for bucket in range(num_buckets):
+            assert after[bucket] == rendezvous_owner(bucket, num_shards + 1)
+
+    @given(
+        num_shards=st.integers(min_value=2, max_value=8),
+        num_buckets=bucket_counts,
+        user_ids=st.lists(ids64, max_size=60),
+        moves=st.lists(
+            st.tuples(st.integers(0, 95), st.integers(0, 7)), max_size=10
+        ),
+    )
+    def test_partition_is_a_partition_under_any_owner_table(
+        self, num_shards, num_buckets, user_ids, moves
+    ):
+        # No candidate is ever dropped or duplicated, before or after
+        # arbitrary bucket moves, duplicates in the input included.
+        placement = PlacementMap(num_shards, num_buckets)
+        for bucket, shard in moves:
+            bucket %= num_buckets
+            shard %= num_shards
+            if placement.owner_of(bucket) != shard:
+                placement.move_bucket(bucket, shard)
+        parts = placement.partition(user_ids)
+        assert len(parts) == num_shards
+        reassembled = np.full(len(user_ids), -1, dtype=np.int64)
+        for shard, (ids, positions) in enumerate(parts):
+            assert ids.size == positions.size
+            assert positions.tolist() == sorted(positions.tolist())
+            for uid, position in zip(ids.tolist(), positions.tolist()):
+                assert reassembled[position] == -1  # no duplicates
+                reassembled[position] = uid
+                assert placement.shard_of(uid) == shard
+        assert reassembled.tolist() == [int(u) for u in user_ids]  # none dropped
+
+    @given(num_shards=shard_counts, num_buckets=bucket_counts, ids=st.lists(ids64, max_size=50))
+    def test_vectorized_lookups_match_scalar(self, num_shards, num_buckets, ids):
+        placement = PlacementMap(num_shards, num_buckets)
+        arr = np.asarray(ids, dtype=np.int64)
+        assert placement.buckets_of(arr).tolist() == [
+            placement.bucket_of(int(u)) for u in ids
+        ]
+        assert placement.shards_of(arr).tolist() == [
+            placement.shard_of(int(u)) for u in ids
+        ]
+        for uid in ids[:10]:
+            assert bucket_of_id(uid, num_buckets) == placement.bucket_of(uid)
+
+    @given(num_buckets=bucket_counts)
+    @settings(max_examples=25)
+    def test_move_bucket_bumps_version_by_one(self, num_buckets):
+        placement = PlacementMap(4, num_buckets)
+        assert placement.version == 0
+        bucket = 0
+        owner = placement.owner_of(bucket)
+        assert placement.move_bucket(bucket, (owner + 1) % 4) == 1
+        assert placement.version == 1
+        assert placement.owner_of(bucket) == (owner + 1) % 4
+        with pytest.raises(ValueError, match="already lives"):
+            placement.move_bucket(bucket, (owner + 1) % 4)
+        with pytest.raises(ValueError, match="out of range"):
+            placement.move_bucket(bucket, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            placement.owner_of(num_buckets)
+        assert placement.version == 1  # failed moves never bump
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            PlacementMap(0)
+        with pytest.raises(ValueError, match="bucket per shard"):
+            PlacementMap(8, num_buckets=4)
+
+    @given(
+        version=st.integers(min_value=0, max_value=2**31),
+        bucket=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=30)
+    def test_map_version_round_trips_through_transport(self, version, bucket):
+        from repro.cluster.transport import (
+            HandoffData,
+            HandoffRequest,
+            Hello,
+            JobSlices,
+            MapUpdate,
+            decode_message,
+            encode_message,
+        )
+
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_f = np.zeros(0, dtype=np.float64)
+        frames = [
+            MapUpdate(version=version),
+            HandoffRequest(bucket=bucket, version=version),
+            HandoffData(
+                bucket=bucket,
+                version=version,
+                user_ids=empty_i,
+                items=empty_i,
+                values=empty_f,
+            ),
+            JobSlices(batch_id=1, truncate=True, slices=(), map_version=version),
+            Hello(shard=0, num_shards=2, num_buckets=bucket + 1,
+                  map_version=version),
+        ]
+        for frame in frames:
+            decoded, consumed = decode_message(encode_message(frame))
+            assert consumed == len(encode_message(frame))
+            for field in ("version", "map_version", "bucket", "num_buckets"):
+                if hasattr(frame, field):
+                    assert getattr(decoded, field) == getattr(frame, field)
+
+
+# --- the rebalancer control loop ---------------------------------------------
+
+
+def _users_in_bucket(placement: PlacementMap, bucket: int, count: int):
+    """The first ``count`` user ids hashing into ``bucket``."""
+    users = []
+    for uid in range(200_000):
+        if placement.bucket_of(uid) == bucket:
+            users.append(uid)
+            if len(users) == count:
+                return users
+    raise AssertionError(f"bucket {bucket} too sparse in the scan range")
+
+
+def _load_skew(table: ProfileTable, placement: PlacementMap) -> int:
+    """Put all 60 writes on shard 0: 50 in one bucket, 10 in a sibling.
+
+    Two loaded buckets matter: a single bucket holding *all* of a
+    shard's load can never improve the donor/receiver spread by
+    moving (it would just swap roles), so the rebalancer correctly
+    refuses it.  Returns the hot (50-write) bucket.
+    """
+    buckets = placement.buckets_owned_by(0)
+    assert buckets.size >= 2
+    hot_bucket, warm_bucket = int(buckets[0]), int(buckets[1])
+    for bucket, num_users in ((hot_bucket, 5), (warm_bucket, 1)):
+        for uid in _users_in_bucket(placement, bucket, num_users):
+            for item in range(10):
+                table.record(uid, item, 1.0)
+    return hot_bucket
+
+
+def _skewed_cluster(num_shards: int = 4, executor=None):
+    """A cluster whose entire write load sits on shard 0."""
+    table = ProfileTable()
+    coordinator = ClusterCoordinator(table, num_shards, executor=executor)
+    rebalancer = ShardRebalancer(coordinator, threshold=1.5, max_moves=4)
+    hot_bucket = _load_skew(table, coordinator.placement)
+    return table, coordinator, rebalancer, hot_bucket
+
+
+class TestShardRebalancer:
+    def test_moves_hot_bucket_and_reduces_imbalance(self):
+        _, coordinator, rebalancer, hot_bucket = _skewed_cluster()
+        before = rebalancer.imbalance()
+        moves = rebalancer.rebalance()
+        after = rebalancer.imbalance()
+        assert moves, "a 60:1 skew must trigger at threshold 1.5"
+        assert any(move.bucket == hot_bucket for move in moves)
+        assert after < before
+        assert all(
+            move.version == index + 1 for index, move in enumerate(moves)
+        )
+        assert coordinator.placement.version == len(moves)
+        rebalancer.close()
+
+    def test_balanced_cluster_proposes_nothing(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 2)
+        rebalancer = ShardRebalancer(coordinator, threshold=2.0)
+        # Spread writes evenly across both shards.
+        placement = coordinator.placement
+        per_shard = {0: 0, 1: 0}
+        for uid in range(200):
+            shard = placement.shard_of(uid)
+            if per_shard[shard] >= 20:
+                continue
+            per_shard[shard] += 1
+            table.record(uid, 1, 1.0)
+        assert rebalancer.propose() is None
+        assert rebalancer.rebalance() == []
+        assert coordinator.placement.version == 0
+        rebalancer.close()
+
+    def test_single_shard_never_proposes(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 1)
+        rebalancer = ShardRebalancer(coordinator)
+        table.record(1, 1, 1.0)
+        assert rebalancer.propose() is None
+        rebalancer.close()
+
+    def test_cadence_triggers_inside_the_write_stream(self):
+        # The cadence check runs inside the write listener: with an
+        # interval of 30, the 60-write skew crosses a check boundary
+        # while fully loaded, and the rebalancer migrates mid-stream.
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 4)
+        cadence = ShardRebalancer(
+            coordinator, threshold=1.5, max_moves=4, interval=30
+        )
+        _load_skew(table, coordinator.placement)
+        assert cadence.moves_applied, "cadence check must have fired"
+        assert coordinator.placement.version > 0
+        cadence.close()
+
+    def test_close_detaches_the_listener(self):
+        table, _, rebalancer, _ = _skewed_cluster()
+        seen = rebalancer.writes_seen
+        rebalancer.close()
+        table.record(1, 2, 1.0)
+        assert rebalancer.writes_seen == seen
+        rebalancer.close()  # idempotent
+
+    def test_knob_validation(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 2)
+        with pytest.raises(ValueError, match="threshold"):
+            ShardRebalancer(coordinator, threshold=1.0)
+        with pytest.raises(ValueError, match="max_moves"):
+            ShardRebalancer(coordinator, max_moves=0)
+        with pytest.raises(ValueError, match="interval"):
+            ShardRebalancer(coordinator, interval=-1)
+
+    def test_config_knob_validation(self):
+        with pytest.raises(ValueError, match="rebalance_threshold"):
+            HyRecConfig(rebalance_threshold=1.0)
+        with pytest.raises(ValueError, match="rebalance_interval"):
+            HyRecConfig(rebalance_interval=-1)
+        with pytest.raises(ValueError, match="rebalance_max_moves"):
+            HyRecConfig(rebalance_max_moves=0)
+
+    def test_system_wires_rebalancer_and_scheduler(self):
+        system = HyRecSystem(
+            HyRecConfig(engine="sharded", num_shards=2), seed=0
+        )
+        assert system.server.rebalancer is not None
+        assert system.server.rebalancer.scheduler is system.scheduler
+        system.close()
+        for engine in ("python", "vectorized"):
+            assert (
+                HyRecSystem(HyRecConfig(engine=engine), seed=0)
+                .server.rebalancer
+                is None
+            )
+
+    def test_process_executor_migration_updates_worker_stats(self):
+        table, coordinator, rebalancer, hot_bucket = _skewed_cluster(
+            executor=ProcessExecutor()
+        )
+        try:
+            placement = coordinator.placement
+            old_owner = placement.owner_of(hot_bucket)
+            moves = rebalancer.rebalance()
+            assert any(move.bucket == hot_bucket for move in moves)
+            new_owner = placement.owner_of(hot_bucket)
+            assert new_owner != old_owner
+            stats_after = coordinator.shard_stats()
+            # The handoff replayed the bucket's rows into the new
+            # owner (no item was ever re-rated, so replay rows ==
+            # routed writes), and the old owner's epoch-stamped
+            # scoring path keeps answering for its remaining users.
+            hot_move = next(m for m in moves if m.bucket == hot_bucket)
+            assert stats_after[new_owner].writes == hot_move.writes
+        finally:
+            rebalancer.close()
+            coordinator.close()

@@ -21,8 +21,11 @@ from repro.cluster.transport import (
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
     FrameType,
+    HandoffData,
+    HandoffRequest,
     Hello,
     JobSlices,
+    MapUpdate,
     Partials,
     Ready,
     Shutdown,
@@ -133,10 +136,24 @@ def _roundtrip(msg):
 
 
 class TestRoundTrips:
-    @given(shard=small_int, num_shards=st.integers(1, 4096))
-    def test_hello(self, shard, num_shards):
-        decoded = _roundtrip(Hello(shard=shard, num_shards=num_shards))
+    @given(
+        shard=small_int,
+        num_shards=st.integers(1, 4096),
+        num_buckets=small_int,
+        map_version=small_int,
+    )
+    def test_hello(self, shard, num_shards, num_buckets, map_version):
+        decoded = _roundtrip(
+            Hello(
+                shard=shard,
+                num_shards=num_shards,
+                num_buckets=num_buckets,
+                map_version=map_version,
+            )
+        )
         assert decoded.shard == shard and decoded.num_shards == num_shards
+        assert decoded.num_buckets == num_buckets
+        assert decoded.map_version == map_version
 
     @given(shard=small_int, pid=small_int)
     def test_ready(self, shard, pid):
@@ -163,17 +180,47 @@ class TestRoundTrips:
 
     @settings(max_examples=50)
     @given(batch_id=small_int, truncate=st.booleans(),
-           pieces=st.lists(slices(), max_size=6))
-    def test_job_slices(self, batch_id, truncate, pieces):
+           pieces=st.lists(slices(), max_size=6), map_version=small_int)
+    def test_job_slices(self, batch_id, truncate, pieces, map_version):
         msg = JobSlices(
-            batch_id=batch_id, truncate=truncate, slices=tuple(pieces)
+            batch_id=batch_id,
+            truncate=truncate,
+            slices=tuple(pieces),
+            map_version=map_version,
         )
         decoded = _roundtrip(msg)
         assert decoded.batch_id == batch_id
         assert decoded.truncate == truncate
+        assert decoded.map_version == map_version
         assert len(decoded.slices) == len(pieces)
         for got, sent in zip(decoded.slices, pieces):
             assert _slices_equal(got, sent)
+
+    @given(version=small_int)
+    def test_map_update(self, version):
+        assert _roundtrip(MapUpdate(version=version)).version == version
+
+    @given(bucket=small_int, version=small_int)
+    def test_handoff_request(self, bucket, version):
+        decoded = _roundtrip(HandoffRequest(bucket=bucket, version=version))
+        assert decoded.bucket == bucket and decoded.version == version
+
+    @given(bucket=small_int, version=small_int, n=st.integers(0, 40),
+           users=int_arrays(40), items=int_arrays(40), values=float_arrays(40))
+    def test_handoff_data(self, bucket, version, n, users, items, values):
+        n = min(n, users.size, items.size, values.size)
+        msg = HandoffData(
+            bucket=bucket,
+            version=version,
+            user_ids=users[:n],
+            items=items[:n],
+            values=values[:n],
+        )
+        decoded = _roundtrip(msg)
+        assert decoded.bucket == bucket and decoded.version == version
+        assert _arrays_equal(decoded.user_ids, msg.user_ids)
+        assert _arrays_equal(decoded.items, msg.items)
+        assert _arrays_equal(decoded.values, msg.values)
 
     @settings(max_examples=50)
     @given(batch_id=small_int, parts=st.lists(partials(), max_size=6))
@@ -259,6 +306,33 @@ class TestRejection:
         )
         with pytest.raises(TransportError, match="declared"):
             decode_message(frame)
+
+    def test_truncated_handoff_frame_rejected_everywhere(self):
+        # A handoff frame cut at any byte -- header or payload -- must
+        # raise the typed truncation error, never half-apply a bucket.
+        frame = encode_message(
+            HandoffData(
+                bucket=3,
+                version=2,
+                user_ids=np.arange(4, dtype=np.int64),
+                items=np.arange(4, dtype=np.int64),
+                values=np.ones(4, dtype=np.float64),
+            )
+        )
+        for cut in range(len(frame)):
+            with pytest.raises(TruncatedFrameError):
+                decode_message(frame[:cut])
+
+    def test_mismatched_handoff_arrays_rejected(self):
+        msg = HandoffData(
+            bucket=0,
+            version=1,
+            user_ids=np.arange(3, dtype=np.int64),
+            items=np.arange(2, dtype=np.int64),
+            values=np.zeros(3, dtype=np.float64),
+        )
+        with pytest.raises(TransportError, match="disagree"):
+            decode_message(encode_message(msg))
 
     def test_mismatched_write_batch_arrays(self):
         batch = WriteBatch(
