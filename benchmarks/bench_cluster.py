@@ -40,6 +40,15 @@ Two measurements:
    write spread before and after (``max_min_ratio`` uses a min floor
    of one write).  The headline check: the post-rebalance ratio must
    be below the pre-rebalance one.
+
+4. **Recovery** (the fault-tolerance shape): a worker is SIGKILLed
+   halfway through a process-executor load run; the supervisor must
+   detect, re-fork, and warm-replay the shard inside the request path,
+   and a full rolling restart then cycles every worker under the same
+   load.  Reports detection-to-recovery latency and per-worker restart
+   cost; asserts zero dropped requests and bit-for-bit parity with an
+   unsharded run of the identical request sequence.  ``--recovery-only``
+   re-runs just this scenario and merges it into the existing report.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ import argparse
 import json
 import os
 import pathlib
+import signal
 import sys
 import time
 
@@ -380,6 +390,118 @@ def bench_skew(
     }
 
 
+def bench_recovery(
+    num_users: int,
+    profile_size: int,
+    catalog: int,
+    k: int,
+    requests: int,
+    batch_window: int,
+    num_shards: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Kill a worker mid-run and measure detection-to-recovery cost.
+
+    The fault-tolerance shape: the same population as the sweep served
+    by the process executor, except one worker is SIGKILLed halfway
+    through the load run and the supervisor must notice (socket EOF on
+    the next exchange), re-fork, and warm-replay the shard from the
+    coordinator-side replay log -- all inside the request path.  After
+    the faulted run a full :meth:`rolling_restart` cycles every worker
+    under the same live load.  The headline checks: zero dropped
+    requests through both events, and bit-for-bit parity (KNN table +
+    wire metering) with an unsharded vectorized run of the identical
+    request sequence.
+    """
+    system = build_system(
+        "sharded", num_users, profile_size, catalog, k, batch_window,
+        num_shards=num_shards, executor="process", seed=seed,
+    )
+    reference = build_system(
+        "vectorized", num_users, profile_size, catalog, k, batch_window,
+        seed=seed,
+    )
+    users = list(range(num_users))
+    loadgen = ClusterLoadGenerator(system, users)
+    reference_loadgen = ClusterLoadGenerator(reference, users)
+    executor = system.server.cluster.executor
+    half = max(batch_window, requests // 2)
+
+    before = loadgen.run(requests=half, concurrency=batch_window)
+    victim = num_shards // 2
+    os.kill(executor._procs[victim].pid, signal.SIGKILL)
+    killed_at = time.perf_counter()
+    after = loadgen.run(requests=half, concurrency=batch_window)
+    first_wave_after_kill_s = time.perf_counter() - killed_at
+
+    restart_start = time.perf_counter()
+    cycled = system.server.cluster.rolling_restart()
+    rolling_restart_s = time.perf_counter() - restart_start
+    final = loadgen.run(requests=half, concurrency=batch_window)
+
+    reference_loadgen.run(requests=3 * half, concurrency=batch_window)
+    stats = system.server.stats
+    supervisor = executor.supervisor
+    parity = system.server.knn_table.as_dict() == (
+        reference.server.knn_table.as_dict()
+    ) and all(
+        system.server.meter.reading(channel)
+        == reference.server.meter.reading(channel)
+        for channel in ("server->client", "client->server")
+    )
+    entry = {
+        "population": {
+            "users": num_users,
+            "profile_size": profile_size,
+            "catalog": catalog,
+            "k": k,
+            "requests": 3 * half,
+        },
+        "num_shards": num_shards,
+        "kill": {
+            "victim_shard": victim,
+            "recoveries": supervisor.recoveries,
+            "recovery_ms": [
+                round(seconds * 1e3, 3)
+                for seconds in supervisor.recovery_times
+            ],
+            "first_wave_after_kill_ms": round(
+                first_wave_after_kill_s * 1e3, 3
+            ),
+            "rps_before_kill": round(before.throughput_rps, 1),
+            "rps_after_kill": round(after.throughput_rps, 1),
+        },
+        "rolling_restart": {
+            "workers_cycled": cycled,
+            "total_s": round(rolling_restart_s, 3),
+            "per_worker_ms": round(rolling_restart_s / cycled * 1e3, 3),
+            "rps_after_restart": round(final.throughput_rps, 1),
+            "restarts_per_shard": [s.restarts for s in stats.shards],
+        },
+        "dropped_requests": stats.dropped_requests,
+        "all_workers_alive": all(s.alive for s in stats.shards),
+        "parity_identical": parity,
+    }
+    system.close()
+    reference.close()
+    recovery_ms = entry["kill"]["recovery_ms"]
+    print(
+        f"recovery x{num_shards} (kill shard {victim}): "
+        f"{supervisor.recoveries} recovery in "
+        f"{recovery_ms[0] if recovery_ms else float('nan'):.1f}ms, "
+        f"rolling restart {cycled} workers in "
+        f"{entry['rolling_restart']['total_s']:.2f}s, "
+        f"dropped={stats.dropped_requests}, parity={parity}"
+    )
+    if supervisor.recoveries < 1:
+        raise SystemExit("the killed worker was never recovered")
+    if stats.dropped_requests != 0:
+        raise SystemExit("recovery dropped requests")
+    if not parity:
+        raise SystemExit("recovery broke engine parity")
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -389,12 +511,42 @@ def main(argv: list[str] | None = None) -> int:
         "--scale", type=float, default=0.1, help="ML1 replay scale"
     )
     parser.add_argument(
+        "--recovery-only",
+        action="store_true",
+        help="run only the kill/recovery scenario and merge it into an "
+        "existing report (the CI fault-tolerance smoke)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=REPO_ROOT / "BENCH_cluster.json",
         help="where to write the JSON report",
     )
     args = parser.parse_args(argv)
+
+    if args.quick:
+        recovery = bench_recovery(
+            num_users=200, profile_size=80, catalog=1500, k=10,
+            requests=128, batch_window=16,
+        )
+    else:
+        recovery = bench_recovery(
+            num_users=400, profile_size=150, catalog=2500, k=20,
+            requests=384, batch_window=32,
+        )
+
+    if args.recovery_only:
+        # Merge into the tracked report: the sweep/replay/skew sections
+        # from the last full run stay comparable across PRs.
+        report = (
+            json.loads(args.output.read_text())
+            if args.output.exists()
+            else {}
+        )
+        report["recovery"] = recovery
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"updated recovery section of {args.output}")
+        return 0
 
     if args.quick:
         sweep = bench_sweep(
@@ -411,7 +563,12 @@ def main(argv: list[str] | None = None) -> int:
         replay = bench_replay(scale=args.scale, num_shards=4)
         skew = bench_skew(num_users=400, writes=8000, num_shards=8)
 
-    report = {"sweep": sweep, "replay": [replay], "skew": skew}
+    report = {
+        "sweep": sweep,
+        "replay": [replay],
+        "skew": skew,
+        "recovery": recovery,
+    }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -13,7 +13,12 @@ is a movable :class:`PlacementMap` (rendezvous-hashed virtual-node
 buckets behind a versioned owner table), so a
 :class:`ShardRebalancer` can migrate whole buckets off a hot or
 churning shard through the live handoff path without changing a
-single output bit.  Selected per deployment with
+single output bit.  The process executor is fault tolerant: a
+:class:`WorkerSupervisor` detects worker death through socket
+deadlines and v3 ping probes, re-forks the shard's worker, and
+warm-starts it from the coordinator-side replay log -- recovery is
+exact, and ``ProcessExecutor.rolling_restart`` cycles the whole
+fleet under live traffic.  Selected per deployment with
 ``HyRecConfig(engine="sharded")``; results are bit-for-bit identical
 to the ``"python"`` and ``"vectorized"`` engines for any shard count,
 executor, and migration history.
@@ -43,6 +48,7 @@ from repro.cluster.scoring import (
     score_slices,
 )
 from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
+from repro.cluster.supervisor import ShardUnavailable, WorkerSupervisor
 
 __all__ = [
     "BatchScheduler",
@@ -53,6 +59,7 @@ __all__ = [
     "PlacementMap",
     "ProcessExecutor",
     "ShardRebalancer",
+    "ShardUnavailable",
     "SerialExecutor",
     "ShardExecutor",
     "ShardPartial",
@@ -62,6 +69,7 @@ __all__ = [
     "ShardedLikedMatrix",
     "ThreadPoolExecutor",
     "WirePartial",
+    "WorkerSupervisor",
     "make_executor",
     "merge_popularity",
     "merge_popularity_sparse",

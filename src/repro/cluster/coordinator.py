@@ -65,6 +65,7 @@ from repro.cluster.scoring import (
     score_slices,
 )
 from repro.cluster.sharded_matrix import ShardedLikedMatrix, ShardStats
+from repro.cluster.supervisor import ShardUnavailable
 from repro.core.jobs import JobResult
 from repro.core.tables import ProfileTable
 from repro.engine.jobs import EngineJob
@@ -167,6 +168,30 @@ class ClusterCoordinator:
         self.batches_processed = 0
         self.jobs_processed = 0
         self.migrations = 0
+        #: Jobs not served exactly: degraded results plus jobs lost to
+        #: a fail-fast :class:`ShardUnavailable` (surfaced in
+        #: ``ServerStats.dropped_requests``).
+        self.dropped_requests = 0
+
+    @property
+    def recoveries(self) -> int:
+        """Successful automatic worker recoveries (0 for in-process)."""
+        supervisor = getattr(self.executor, "supervisor", None)
+        return supervisor.recoveries if supervisor is not None else 0
+
+    def rolling_restart(self) -> int:
+        """Cycle every worker under live traffic (process executor only).
+
+        Delegates to ``ProcessExecutor.rolling_restart``; in-process
+        executors have no workers to cycle, so this raises for them.
+        """
+        restart = getattr(self.executor, "rolling_restart", None)
+        if restart is None:
+            raise TypeError(
+                "rolling_restart needs a worker-hosting executor "
+                "(executor='process')"
+            )
+        return restart()
 
     @property
     def num_shards(self) -> int:
@@ -287,9 +312,25 @@ class ClusterCoordinator:
                         )
                     )
 
+        degraded_jobs: set[int] = set()
         if self.matrix is None:
             # Out-of-process: serialized slices out, wire partials back.
-            partials_by_shard = self.executor.run_slices(shard_slices)
+            try:
+                partials_by_shard = self.executor.run_slices(shard_slices)
+            except ShardUnavailable:
+                # Fail-fast mode: the whole batch is lost (no partial
+                # answers leave the coordinator), which is the dropped
+                # requests the stats surface counts.
+                self.dropped_requests += len(jobs)
+                raise
+            # Degraded mode: a down shard served nothing, so any job
+            # with candidates there is flagged (and counted) -- the
+            # survivors' partials still merge exactly as usual.
+            for shard in getattr(self.executor, "last_degraded", ()):
+                degraded_jobs.update(
+                    piece.job_index for piece in shard_slices[shard]
+                )
+            self.dropped_requests += len(degraded_jobs)
         else:
             matrix = self.matrix
             tasks = [
@@ -340,6 +381,7 @@ class ClusterCoordinator:
                         item_array[nonzero], popularity[nonzero], job.r
                     ),
                     neighbor_scores=scores.tolist(),
+                    degraded=index in degraded_jobs,
                 )
             )
         self.batches_processed += 1

@@ -80,12 +80,18 @@ def make_executor(
     *,
     ipc_write_batch: int = 1024,
     truncate_partials: bool = True,
+    worker_timeout: float = 5.0,
+    max_respawns: int = 3,
+    retry_backoff: float = 0.05,
+    degraded_reads: bool = False,
 ) -> ShardExecutor:
     """Build the executor selected by ``HyRecConfig.executor``.
 
     The keyword knobs configure the process executor's IPC behavior
     (write-buffer flush threshold, shard-local top-K truncation of
-    shipped partials) and are ignored by the in-process executors.
+    shipped partials) and its supervision policy (socket deadline,
+    respawn budget/backoff, degraded reads); all of them are ignored
+    by the in-process executors, which have no workers to lose.
     """
     if name == "serial":
         return SerialExecutor()
@@ -100,6 +106,10 @@ def make_executor(
             workers,
             ipc_write_batch=ipc_write_batch,
             truncate_partials=truncate_partials,
+            worker_timeout=worker_timeout,
+            max_respawns=max_respawns,
+            retry_backoff=retry_backoff,
+            degraded_reads=degraded_reads,
         )
     raise ValueError(
         f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"

@@ -28,9 +28,21 @@ Parent-side responsibilities:
   table's pre-existing profiles as ordinary write frames (the
   *warm start*: a worker's state is always exactly "every write of my
   users, in order", no matter when it was born); ``close`` sends
-  :class:`~repro.cluster.transport.Shutdown`, joins, and falls back to
-  terminate for a wedged worker.  Workers are daemonic, so an
-  abandoned parent cannot leak them.
+  :class:`~repro.cluster.transport.Shutdown`, joins, and escalates
+  terminate ``->`` kill for a wedged worker, so shutdown always reaps.
+* **Supervision** -- every parent-side socket carries a
+  ``worker_timeout`` deadline, so a dead or wedged worker surfaces as
+  an error at the next round trip instead of a hang.  The attached
+  :class:`~repro.cluster.supervisor.WorkerSupervisor` then re-forks
+  the shard's worker and warm-starts it from the parent table (the
+  replay log): recovery is exact because a worker's state is by
+  construction "every write of my buckets, replayed".  A shard whose
+  respawn budget is exhausted is *down*: reads fail fast with
+  :class:`~repro.cluster.supervisor.ShardUnavailable`, or -- with
+  ``degraded_reads=True`` -- serve the surviving shards' partials
+  (the coordinator flags those results ``degraded``).  Writes are
+  never dropped while a shard is down: the table keeps them, and the
+  next respawn replays them.
 
 The executor deliberately does *not* implement the in-process
 ``run(tasks)`` call: shard state lives in the workers, so the
@@ -49,6 +61,7 @@ import numpy as np
 from repro.cluster.placement import ShardPlacement
 from repro.cluster.scoring import ShardSlice, WirePartial
 from repro.cluster.sharded_matrix import ShardStats
+from repro.cluster.supervisor import ShardUnavailable, WorkerSupervisor
 from repro.cluster.transport import (
     Channel,
     HandoffData,
@@ -56,6 +69,7 @@ from repro.cluster.transport import (
     Hello,
     JobSlices,
     MapUpdate,
+    Message,
     Partials,
     Ready,
     Shutdown,
@@ -84,6 +98,10 @@ class ProcessExecutor:
         *,
         ipc_write_batch: int = 1024,
         truncate_partials: bool = True,
+        worker_timeout: float = 5.0,
+        max_respawns: int = 3,
+        retry_backoff: float = 0.05,
+        degraded_reads: bool = False,
     ) -> None:
         """
         Args:
@@ -100,6 +118,19 @@ class ProcessExecutor:
                 :func:`repro.cluster.scoring.truncate_topk`).  ``False``
                 ships full partials -- useful for measuring what the
                 truncation saves.
+            worker_timeout: Deadline (seconds) on every parent-side
+                socket operation, and the per-stage join timeout during
+                shutdown escalation.  Must exceed the worst-case time a
+                worker legitimately spends on one frame (scoring one
+                batch), or healthy-but-slow workers get respawned.
+            max_respawns: Re-fork attempts per failure incident before
+                a shard is declared down; ``0`` disables automatic
+                respawn entirely.
+            retry_backoff: Base of the exponential backoff (seconds)
+                between respawn attempts within one incident.
+            degraded_reads: When a shard is down, serve reads from the
+                surviving shards (results are flagged ``degraded``)
+                instead of raising :class:`ShardUnavailable`.
         """
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
@@ -111,16 +142,40 @@ class ProcessExecutor:
             raise ValueError(
                 f"ipc_write_batch must be at least 1, got {ipc_write_batch}"
             )
+        if worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {worker_timeout}"
+            )
+        if max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be non-negative, got {max_respawns}"
+            )
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be non-negative, got {retry_backoff}"
+            )
         self._ctx = multiprocessing.get_context("fork")
         self.ipc_write_batch = ipc_write_batch
         self.truncate_partials = truncate_partials
+        self.worker_timeout = worker_timeout
+        self.max_respawns = max_respawns
+        self.retry_backoff = retry_backoff
+        self.degraded_reads = degraded_reads
         self.vocab = ItemVocabulary()
         self.placement: ShardPlacement | None = None
+        self.supervisor: WorkerSupervisor | None = None
+        #: Shards the last ``run_slices`` could not serve (down while
+        #: ``degraded_reads`` was on); the coordinator reads this to
+        #: flag the affected jobs.
+        self.last_degraded: tuple[int, ...] = ()
         self._table: ProfileTable | None = None
-        self._channels: list[Channel] = []
-        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._channels: list[Channel | None] = []
+        self._procs: list[multiprocessing.process.BaseProcess | None] = []
         self._write_buffers: list[tuple[list[int], list[int], list[float]]] = []
         self._vocab_synced: list[int] = []
+        #: Shards whose channel failed outside a read (a write-path
+        #: flush, a handoff): the next read forces a recovery first.
+        self._suspect: set[int] = set()
         self._next_batch_id = 0
         self._closed = False
 
@@ -146,6 +201,11 @@ class ProcessExecutor:
         to the write history for every liked/rated-set read), so a
         cluster attached to a populated table answers exactly like one
         that saw every write live.
+
+        Attach is loud and atomic: the supervisor only comes online
+        after the warm start completes, so a handshake or replay
+        failure propagates naming the shard that failed, and the
+        ``close()`` below reaps every worker already spawned.
         """
         if self.placement is not None:
             raise RuntimeError("ProcessExecutor is already attached")
@@ -161,43 +221,19 @@ class ProcessExecutor:
         self._table = table
         self._write_buffers = [([], [], []) for _ in range(num_shards)]
         self._vocab_synced = [0] * num_shards
+        self._channels = [None] * num_shards
+        self._procs = [None] * num_shards
 
         try:
-            parent_socks: list[socket.socket] = []
             for shard in range(num_shards):
-                parent_sock, child_sock = socket.socketpair()
-                # The child must close every parent-side fd it inherits
-                # across the fork (earlier shards' and its own):
-                # otherwise it holds both ends of the pairs and the
-                # workers' clean-EOF exit (parent gone without a
-                # Shutdown frame) could never fire.
-                proc = self._ctx.Process(
-                    target=worker_main,
-                    args=(child_sock, shard, tuple(parent_socks + [parent_sock])),
-                    name=f"hyrec-shard-{shard}",
-                    daemon=True,
-                )
-                proc.start()
-                child_sock.close()  # the worker holds the only live end now
-                parent_socks.append(parent_sock)
-                self._procs.append(proc)
-                self._channels.append(Channel(parent_sock))
-            for shard, channel in enumerate(self._channels):
-                channel.send(
-                    Hello(
-                        shard=shard,
-                        num_shards=num_shards,
-                        num_buckets=self.placement.num_buckets,
-                        map_version=self.placement.version,
-                    )
-                )
-                ready = channel.recv()
-                if not isinstance(ready, Ready) or ready.shard != shard:
-                    raise TransportError(
-                        f"worker {shard} answered the handshake with {ready!r}"
-                    )
+                self._spawn_worker(shard)
+            for shard in range(num_shards):
+                self._handshake(shard)
 
             # Warm start: the pre-attach table state, as write frames.
+            # The supervisor is still None here, so a delivery failure
+            # propagates (naming the shard) instead of being absorbed
+            # into the recovery machinery.
             for user_id in table:
                 profile = table.get(user_id)
                 for item in profile.rated_items():
@@ -207,6 +243,12 @@ class ProcessExecutor:
         except BaseException:
             self.close()  # reap any workers already spawned
             raise
+        self.supervisor = WorkerSupervisor(
+            self,
+            worker_timeout=self.worker_timeout,
+            max_respawns=self.max_respawns,
+            retry_backoff=self.retry_backoff,
+        )
         table.add_listener(self._route_write)
         return self
 
@@ -215,7 +257,9 @@ class ProcessExecutor:
 
         Buffered writes are NOT flushed -- nothing will read them --
         but every worker gets a :class:`Shutdown` frame and a join;
-        one that fails to exit is terminated.
+        one that fails to exit is terminated, and one that survives
+        SIGTERM (wedged or stopped) is killed.  Every child is reaped:
+        no zombies outlive a closed executor.
         """
         if self._closed:
             return
@@ -226,18 +270,208 @@ class ProcessExecutor:
             self._table.remove_listener(self._route_write)
             self._table = None
         for channel in self._channels:
+            if channel is None:
+                continue
             try:
                 channel.send(Shutdown())
-            except OSError:
-                pass  # worker already gone; join below cleans up
+            except (TransportError, OSError):
+                pass  # worker already gone; reap below cleans up
             channel.close()
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5)
+            if proc is not None:
+                self._reap(proc)
         self._channels = []
         self._procs = []
+
+    def _reap(self, proc: multiprocessing.process.BaseProcess) -> None:
+        """Join with escalation: wait, then terminate, then kill.
+
+        A wedged worker (stopped, or stuck inside a handler) ignores
+        the Shutdown frame and can leave SIGTERM pending forever;
+        SIGKILL cannot be blocked, so the final stage always reaps.
+        """
+        proc.join(timeout=self.worker_timeout)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=self.worker_timeout)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+    # --- spawn / respawn ----------------------------------------------------
+
+    def _spawn_worker(self, shard: int) -> None:
+        """Fork one shard's worker over a fresh deadline socket pair."""
+        parent_sock, child_sock = socket.socketpair()
+        # The child must close every parent-side fd it inherits across
+        # the fork (the other live shards' and its own): otherwise it
+        # holds both ends of the pairs and the workers' clean-EOF exit
+        # (parent gone without a Shutdown frame) could never fire.
+        inherited = tuple(
+            ch.sock for ch in self._channels if ch is not None
+        ) + (parent_sock,)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_sock, shard, inherited),
+            name=f"hyrec-shard-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        child_sock.close()  # the worker holds the only live end now
+        parent_sock.settimeout(self.worker_timeout)
+        self._procs[shard] = proc
+        self._channels[shard] = Channel(parent_sock)
+
+    def _handshake(self, shard: int) -> None:
+        """Hello/Ready exchange pinning the shard at the current epoch."""
+        assert self.placement is not None
+        channel = self._channels[shard]
+        assert channel is not None
+        try:
+            channel.send(
+                Hello(
+                    shard=shard,
+                    num_shards=self.num_shards,
+                    num_buckets=self.placement.num_buckets,
+                    map_version=self.placement.version,
+                )
+            )
+            ready = channel.recv()
+        except OSError as exc:
+            raise TransportError(
+                f"worker {shard} failed the handshake: {exc}"
+            ) from exc
+        if not isinstance(ready, Ready) or ready.shard != shard:
+            raise TransportError(
+                f"worker {shard} answered the handshake with {ready!r}"
+            )
+
+    def _warm_replay(self, shard: int) -> None:
+        """Rebuild one shard's worker state from the replay log.
+
+        The parent table holds every write of every bucket, so "every
+        write of this shard's users, in table order, current value per
+        rated item" is bit-equivalent to the history the dead worker
+        had applied -- plus anything that was still buffered or
+        recorded while it was down, which is why respawn never loses a
+        write.  Resets the shard's buffer and vocab cursor first: the
+        fresh replica starts from column zero.
+        """
+        assert self._table is not None and self.placement is not None
+        self._write_buffers[shard] = ([], [], [])
+        self._vocab_synced[shard] = 0
+        shard_of = self.placement.shard_of
+        for user_id in self._table:
+            if shard_of(user_id) != shard:
+                continue
+            profile = self._table.get(user_id)
+            users, items, values = self._write_buffers[shard]
+            for item in profile.rated_items():
+                value = profile.value_of(item)
+                assert value is not None  # rated_items() lists opinions
+                users.append(user_id)
+                items.append(item)
+                values.append(value)
+            if len(users) >= self.ipc_write_batch:
+                self._flush(shard)
+
+    def _respawn(self, shard: int) -> None:
+        """Replace one shard's worker: reap, re-fork, handshake, replay.
+
+        The fresh worker's Hello pins the *current* routing epoch, so
+        no migration history needs replaying; the warm-start replay
+        then delivers the shard's full state from the parent table.
+        Raises :class:`TransportError`/``OSError`` on failure (the
+        supervisor's budget loop decides whether to retry).
+        """
+        assert self.placement is not None and self._table is not None
+        channel = self._channels[shard]
+        if channel is not None:
+            channel.close()
+        old = self._procs[shard]
+        self._channels[shard] = None
+        self._procs[shard] = None
+        if old is not None:
+            self._reap(old)
+        self._spawn_worker(shard)
+        self._handshake(shard)
+        self._warm_replay(shard)
+        self._flush(shard)
+        self._suspect.discard(shard)
+
+    def respawn(self, shard: int) -> None:
+        """Force-respawn one shard's worker (the manual operator path).
+
+        Unlike the supervisor's budgeted ``recover``, this always
+        attempts exactly one respawn and raises on failure; success
+        books a restart and clears the shard's down/degraded state.
+        """
+        if self._closed or self.placement is None:
+            raise RuntimeError("ProcessExecutor is not running")
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"no such shard: {shard}")
+        self._respawn(shard)
+        if self.supervisor is not None:
+            self.supervisor.restarts[shard] += 1
+            self.supervisor.down.discard(shard)
+
+    def rolling_restart(self) -> int:
+        """Cycle every worker, one at a time, under live traffic.
+
+        Per shard: **drain** (flush buffered writes, send a clean
+        :class:`Shutdown`), **respawn** (re-fork; the Hello pins the
+        current routing epoch), **warm replay** (full state from the
+        replay log), then **epoch re-broadcast** (an idempotent
+        :class:`MapUpdate` at the current version -- survivors confirm
+        their epoch, the newcomer already holds it).  The executor is
+        synchronous, so each cycle completes between requests: no
+        request ever observes a half-restarted cluster, and results
+        are bit-for-bit unchanged.  Downed shards are revived on the
+        way through.  Returns the number of workers cycled.
+        """
+        if self._closed or self.placement is None:
+            raise RuntimeError("ProcessExecutor is not running")
+        for shard in range(self.num_shards):
+            channel = self._channels[shard]
+            if channel is not None and not self._shard_unhealthy(shard):
+                try:
+                    self._flush(shard)
+                    channel.send(Shutdown())
+                except (TransportError, OSError):
+                    pass  # died just now; _respawn escalates the reap
+            self.respawn(shard)
+            self._broadcast_epoch()
+        return self.num_shards
+
+    # --- health -------------------------------------------------------------
+
+    def _shard_unhealthy(self, shard: int) -> bool:
+        """True when the shard needs a recovery before its next read."""
+        if shard in self._suspect:
+            return True
+        return self.supervisor is not None and shard in self.supervisor.down
+
+    def _recover(self, shard: int) -> bool:
+        """Budgeted recovery via the supervisor (False = shard down)."""
+        if self.supervisor is None:
+            return False
+        return self.supervisor.recover(shard)
+
+    def _broadcast_epoch(self) -> None:
+        """Idempotent MapUpdate at the current version, to every live worker.
+
+        A bystander dying mid-broadcast is marked suspect (its next
+        read recovers it -- and the respawn Hello carries the current
+        epoch anyway) instead of failing the caller's operation.
+        """
+        assert self.placement is not None
+        for shard in range(self.num_shards):
+            if self._channels[shard] is None or self._shard_unhealthy(shard):
+                continue
+            try:
+                self._deliver(shard, MapUpdate(version=self.placement.version))
+            except TransportError:
+                self._suspect.add(shard)
 
     # --- write routing ------------------------------------------------------
 
@@ -252,20 +486,48 @@ class ProcessExecutor:
         assert self.placement is not None
         self.vocab.intern(item)  # master assigns the column in write order
         shard = self.placement.shard_of(user_id)
+        if self.supervisor is not None and self._shard_unhealthy(shard):
+            # The table already holds the write (it IS the replay log);
+            # the recovery that brings the shard back replays it.
+            # Buffering for a channel that will be torn down anyway
+            # would only grow memory.
+            return
         users, items, values = self._write_buffers[shard]
         users.append(user_id)
         items.append(item)
         values.append(value)
         if len(users) >= self.ipc_write_batch:
-            self._flush(shard)
+            if self.supervisor is None:
+                self._flush(shard)  # attach-time warm start: fail loudly
+                return
+            try:
+                self._flush(shard)
+            except (TransportError, OSError):
+                # Never fail the caller's table write: the write is
+                # durable in the table, and marking the shard suspect
+                # forces the next read to recover (which replays it).
+                self._suspect.add(shard)
+
+    def _deliver(self, shard: int, msg: Message) -> None:
+        """Send one frame, wrapping socket errors with the shard index."""
+        channel = self._channels[shard]
+        if channel is None:
+            raise TransportError(f"worker {shard} has no live channel")
+        try:
+            channel.send(msg)
+        except OSError as exc:
+            raise TransportError(
+                f"worker {shard} unreachable ({exc})"
+            ) from exc
 
     def _sync_vocab(self, shard: int) -> None:
         """Send the columns this worker has not seen yet (if any)."""
         total = len(self.vocab)
         synced = self._vocab_synced[shard]
         if total > synced:
-            self._channels[shard].send(
-                VocabDelta(base=synced, items=self.vocab.item_array()[synced:])
+            self._deliver(
+                shard,
+                VocabDelta(base=synced, items=self.vocab.item_array()[synced:]),
             )
             self._vocab_synced[shard] = total
 
@@ -275,12 +537,13 @@ class ProcessExecutor:
         users, items, values = self._write_buffers[shard]
         if not users:
             return
-        self._channels[shard].send(
+        self._deliver(
+            shard,
             WriteBatch(
                 user_ids=np.asarray(users, dtype=np.int64),
                 items=np.asarray(items, dtype=np.int64),
                 values=np.asarray(values, dtype=np.float64),
-            )
+            ),
         )
         self._write_buffers[shard] = ([], [], [])
 
@@ -306,6 +569,15 @@ class ProcessExecutor:
         slices arrive).  Results preserve shard order, and partials
         within a shard are keyed by job index, so the merge is
         deterministic regardless of worker timing.
+
+        A shard that fails anywhere in the exchange (EOF, deadline,
+        protocol violation) drops out of the concurrent path and is
+        retried synchronously after a supervisor recovery -- the
+        retried worker warm-started from the replay log computes the
+        identical partials, so recovery is invisible in the results.
+        A shard that stays down either raises
+        :class:`ShardUnavailable` or, with ``degraded_reads``, serves
+        nothing this batch (see :attr:`last_degraded`).
         """
         if self._closed or self.placement is None:
             raise RuntimeError("ProcessExecutor is not running")
@@ -313,32 +585,89 @@ class ProcessExecutor:
             raise ValueError("one slice list per shard required")
         batch_id = self._next_batch_id
         self._next_batch_id += 1
-        for shard in range(self.num_shards):
-            self._flush(shard)
-        for shard, slices in enumerate(shard_slices):
-            if slices:
-                self._channels[shard].send(
-                    JobSlices(
-                        batch_id=batch_id,
-                        truncate=self.truncate_partials,
-                        slices=tuple(slices),
-                        map_version=self.placement.version,
-                    )
-                )
-        results: list[dict[int, WirePartial]] = []
-        for shard, slices in enumerate(shard_slices):
-            if not slices:
-                results.append({})
-                continue
-            reply = self._channels[shard].recv()
-            if not isinstance(reply, Partials) or reply.batch_id != batch_id:
-                raise TransportError(
-                    f"worker {shard} answered batch {batch_id} with {reply!r}"
-                )
-            results.append(
-                {partial.job_index: partial for partial in reply.partials}
+        frames: list[JobSlices | None] = [
+            JobSlices(
+                batch_id=batch_id,
+                truncate=self.truncate_partials,
+                slices=tuple(slices),
+                map_version=self.placement.version,
             )
+            if slices
+            else None
+            for slices in shard_slices
+        ]
+        failed: set[int] = set()
+        for shard, frame in enumerate(frames):
+            if self._shard_unhealthy(shard):
+                failed.add(shard)
+                continue
+            try:
+                self._flush(shard)
+                if frame is not None:
+                    self._deliver(shard, frame)
+            except (TransportError, OSError):
+                failed.add(shard)
+        # Drain every healthy shard's reply *before* any retry can
+        # raise: a ShardUnavailable escaping mid-drain would strand
+        # unread Partials in the surviving channels and desync them.
+        results: list[dict[int, WirePartial] | None] = [None] * len(frames)
+        for shard, frame in enumerate(frames):
+            if shard in failed:
+                continue
+            if frame is None:
+                results[shard] = {}
+                continue
+            try:
+                results[shard] = self._recv_partials(shard, batch_id)
+            except (TransportError, OSError):
+                failed.add(shard)
+        degraded: list[int] = []
+        for shard in sorted(failed):
+            partials = self._retry_shard(shard, frames[shard], batch_id)
+            if partials is None:
+                degraded.append(shard)
+                results[shard] = {}
+            else:
+                results[shard] = partials
+        self.last_degraded = tuple(degraded)
         return results
+
+    def _recv_partials(self, shard: int, batch_id: int) -> dict[int, WirePartial]:
+        channel = self._channels[shard]
+        assert channel is not None
+        reply = channel.recv()
+        if not isinstance(reply, Partials) or reply.batch_id != batch_id:
+            raise TransportError(
+                f"worker {shard} answered batch {batch_id} with {reply!r}"
+            )
+        return {partial.job_index: partial for partial in reply.partials}
+
+    def _retry_shard(
+        self, shard: int, frame: JobSlices | None, batch_id: int
+    ) -> dict[int, WirePartial] | None:
+        """Recover a failed shard and re-run its half of the batch.
+
+        The coordinator is synchronous, so no write lands between the
+        failed attempt and the retry: the respawned worker scores the
+        identical frame against identical state, keeping the batch
+        bit-for-bit exact.  Returns ``None`` when the shard stays down
+        and ``degraded_reads`` allows serving without it; raises
+        :class:`ShardUnavailable` otherwise.
+        """
+        for _ in range(2):
+            if not self._recover(shard):
+                break
+            if frame is None:
+                return {}
+            try:
+                self._flush(shard)
+                self._deliver(shard, frame)
+                return self._recv_partials(shard, batch_id)
+            except (TransportError, OSError):
+                continue
+        if self.degraded_reads:
+            return None
+        raise ShardUnavailable(shard, "respawn budget exhausted")
 
     def migrate_bucket(self, bucket: int, new_owner: int) -> int:
         """Hand one placement bucket from its owner to ``new_owner``.
@@ -363,6 +692,12 @@ class ProcessExecutor:
            worker; the participants already hold the new epoch (the
            broadcast is idempotent for them), the bystanders advance.
 
+        Migrations do not self-heal: a participant dying mid-handoff
+        fails this call loudly (routing untouched) and marks the
+        worker for recovery at its next read; callers wanting moves
+        during an outage must recover first (the rebalancer simply
+        pauses -- see ``ShardRebalancer``).
+
         Returns the new map version.
         """
         if self._closed or self.placement is None:
@@ -370,12 +705,22 @@ class ProcessExecutor:
         placement = self.placement
         old_owner = placement.validate_move(bucket, new_owner)
         for shard in range(self.num_shards):
+            if self._shard_unhealthy(shard):
+                raise ShardUnavailable(
+                    shard, "cannot migrate while a shard needs recovery"
+                )
             self._flush(shard)
         new_version = placement.version + 1
-        self._channels[old_owner].send(
-            HandoffRequest(bucket=bucket, version=new_version)
-        )
-        reply = self._channels[old_owner].recv()
+        try:
+            self._deliver(
+                old_owner, HandoffRequest(bucket=bucket, version=new_version)
+            )
+            channel = self._channels[old_owner]
+            assert channel is not None
+            reply = channel.recv()
+        except (TransportError, OSError):
+            self._suspect.add(old_owner)
+            raise
         if (
             not isinstance(reply, HandoffData)
             or reply.bucket != bucket
@@ -385,40 +730,78 @@ class ProcessExecutor:
                 f"worker {old_owner} answered the handoff of bucket "
                 f"{bucket} with {reply!r}"
             )
-        self._sync_vocab(new_owner)
-        self._channels[new_owner].send(reply)
+        try:
+            self._sync_vocab(new_owner)
+            self._deliver(new_owner, reply)
+        except TransportError:
+            self._suspect.add(new_owner)
+            raise
         placement.move_bucket(bucket, new_owner)
         assert placement.version == new_version
-        for channel in self._channels:
-            channel.send(MapUpdate(version=new_version))
+        self._broadcast_epoch()
         return new_version
 
     def stats(self) -> tuple[ShardStats, ...]:
-        """Per-worker load/churn counters, via a stats round trip."""
+        """Per-worker load/churn counters, via a stats round trip.
+
+        Each shard is probed (v3 ping, refreshing ``last_ping_ms``)
+        and queried; a shard that fails gets one recovery attempt, and
+        one that stays down is reported as a dead row
+        (``alive=False``) rather than failing the whole read --
+        liveness is exactly what stats exist to surface.
+        """
         if self._closed or self.placement is None:
             raise RuntimeError("ProcessExecutor is not running")
-        for shard in range(self.num_shards):
-            self._flush(shard)  # counters must include buffered writes
-            self._channels[shard].send(StatsRequest())
-        replies: list[ShardStats] = []
-        for shard, channel in enumerate(self._channels):
-            reply = channel.recv()
-            if not isinstance(reply, StatsReply):
-                raise TransportError(
-                    f"worker {shard} answered stats with {reply!r}"
-                )
-            replies.append(
-                ShardStats(
-                    shard=shard,
-                    users=reply.users,
-                    arena_live=reply.arena_live,
-                    arena_garbage=reply.arena_garbage,
-                    writes=reply.writes,
-                    compactions=reply.compactions,
-                    pid=reply.pid,
-                )
+        return tuple(
+            self._stat_shard(shard) for shard in range(self.num_shards)
+        )
+
+    def _stat_shard(self, shard: int) -> ShardStats:
+        supervisor = self.supervisor
+        for _ in range(2):
+            if self._shard_unhealthy(shard) and not self._recover(shard):
+                break
+            try:
+                self._flush(shard)  # counters must include buffered writes
+                if supervisor is not None:
+                    supervisor.ping(shard)
+                self._deliver(shard, StatsRequest())
+                channel = self._channels[shard]
+                assert channel is not None
+                reply = channel.recv()
+                if not isinstance(reply, StatsReply):
+                    raise TransportError(
+                        f"worker {shard} answered stats with {reply!r}"
+                    )
+            except (TransportError, OSError):
+                self._suspect.add(shard)
+                continue
+            return ShardStats(
+                shard=shard,
+                users=reply.users,
+                arena_live=reply.arena_live,
+                arena_garbage=reply.arena_garbage,
+                writes=reply.writes,
+                compactions=reply.compactions,
+                pid=reply.pid,
+                alive=True,
+                restarts=supervisor.restarts[shard] if supervisor else 0,
+                last_ping_ms=(
+                    supervisor.last_ping_ms[shard] if supervisor else -1.0
+                ),
             )
-        return tuple(replies)
+        return ShardStats(
+            shard=shard,
+            users=0,
+            arena_live=0,
+            arena_garbage=0,
+            writes=0,
+            compactions=0,
+            pid=0,
+            alive=False,
+            restarts=supervisor.restarts[shard] if supervisor else 0,
+            last_ping_ms=-1.0,
+        )
 
     # --- ShardExecutor protocol compatibility -------------------------------
 

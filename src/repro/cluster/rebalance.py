@@ -195,6 +195,19 @@ class ShardRebalancer:
             version=0,
         )
 
+    def _cluster_healthy(self) -> bool:
+        """False while a worker is down, dead, or mid-recovery.
+
+        Migrating a bucket through a shard whose worker needs a
+        respawn would race the warm-start replay (and fail loudly
+        anyway -- the handoff path refuses unhealthy participants), so
+        the rebalancer simply pauses: skipped checks cost nothing, and
+        the write histogram keeps accumulating for the next pass.
+        In-process executors have no supervisor and are always healthy.
+        """
+        supervisor = getattr(self.coordinator.executor, "supervisor", None)
+        return supervisor is None or supervisor.healthy
+
     def rebalance(self) -> list[BucketMove]:
         """Propose-and-apply moves until balanced or out of budget.
 
@@ -203,7 +216,12 @@ class ShardRebalancer:
         was scattered for.  The per-worker counters surfaced by
         ``ServerStats.shards`` remain the operator's live view; this
         method's return value records what actually moved.
+
+        Pauses (returns no moves) while any worker is down or a
+        recovery is in flight; see :meth:`_cluster_healthy`.
         """
+        if not self._cluster_healthy():
+            return []
         applied: list[BucketMove] = []
         self._rebalancing = True
         try:

@@ -42,8 +42,15 @@ class ShardStats:
     For the process executor these are read over the wire from the
     worker that hosts the shard; ``pid`` then identifies that worker
     process (it stays 0 for in-process shards).  Together with
-    ``users``/``writes`` this is the per-worker load signal a future
-    rebalancing placement map would consume.
+    ``users``/``writes`` this is the per-worker load signal the
+    rebalancing placement map consumes.
+
+    The liveness fields are parent-side supervisor knowledge (workers
+    cannot report their own death): ``alive`` is False for a shard
+    whose worker is down, ``restarts`` counts its respawns, and
+    ``last_ping_ms`` is the latest v3 liveness probe's round trip
+    (-1.0 before the first probe).  In-process shards are trivially
+    alive and never restart.
     """
 
     shard: int
@@ -53,6 +60,9 @@ class ShardStats:
     writes: int  # profile writes routed to this shard
     compactions: int  # arena compactions performed
     pid: int = 0  # hosting worker process (0: in-process shard)
+    alive: bool = True  # worker answering (always True in-process)
+    restarts: int = 0  # respawns of this shard's worker
+    last_ping_ms: float = -1.0  # last liveness probe RTT (-1: never)
 
 
 class ShardedLikedMatrix:

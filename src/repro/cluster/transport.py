@@ -45,6 +45,11 @@ Message flow (parent ``->`` worker unless noted):
   the parent forwards verbatim to the new owner.  Both frames carry
   the epoch the move creates; workers insist it advances their local
   epoch by exactly one (a skipped epoch means a lost frame).
+* :class:`Ping` / :class:`Pong` (worker ``->`` parent) -- liveness
+  probe: the worker echoes the parent's nonce along with its shard
+  index and pid.  The :class:`~repro.cluster.supervisor.WorkerSupervisor`
+  uses the round-trip time as the per-worker health signal surfaced
+  in ``ServerStats``.
 * :class:`Shutdown` -- clean worker exit.
 
 Framing errors are typed: short reads raise
@@ -68,8 +73,9 @@ from repro.cluster.scoring import ShardSlice, WirePartial
 PROTOCOL_MAGIC = b"HY"
 #: v2 added the movable-placement fields: Hello's bucket count and
 #: routing epoch, JobSlices' epoch stamp, and the MapUpdate/Handoff
-#: frame family.
-PROTOCOL_VERSION = 2
+#: frame family.  v3 added the Ping/Pong liveness probes the worker
+#: supervisor drives.
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one frame's payload (a sanity valve against corrupt
 #: length fields, not a protocol feature): 1 GiB.
@@ -109,6 +115,8 @@ class FrameType(enum.IntEnum):
     MAP_UPDATE = 10
     HANDOFF_REQUEST = 11
     HANDOFF_DATA = 12
+    PING = 13
+    PONG = 14
 
 
 # --- payload primitives -----------------------------------------------------
@@ -538,6 +546,52 @@ class HandoffData:
 
 
 @dataclass(frozen=True)
+class Ping:
+    """Parent -> worker: liveness probe (v3).
+
+    ``nonce`` is an arbitrary caller-chosen value the worker must echo
+    back, so a reply can never be confused with a stale probe's.
+    """
+
+    nonce: int
+
+    def _pack(self) -> bytes:
+        return _pack_scalar(self.nonce)
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["Ping", int]:
+        nonce, offset = _unpack_scalar(buf, 0)
+        return cls(nonce=nonce), offset
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Worker -> parent: probe echo plus the worker's identity (v3).
+
+    Echoing ``shard`` and ``pid`` lets the supervisor assert the reply
+    came from the worker it probed, not a misrouted or stale peer.
+    """
+
+    nonce: int
+    shard: int
+    pid: int
+
+    def _pack(self) -> bytes:
+        return (
+            _pack_scalar(self.nonce)
+            + _pack_scalar(self.shard)
+            + _pack_scalar(self.pid)
+        )
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["Pong", int]:
+        nonce, offset = _unpack_scalar(buf, 0)
+        shard, offset = _unpack_scalar(buf, offset)
+        pid, offset = _unpack_scalar(buf, offset)
+        return cls(nonce=nonce, shard=shard, pid=pid), offset
+
+
+@dataclass(frozen=True)
 class Shutdown:
     """Parent -> worker: drain and exit cleanly."""
 
@@ -562,6 +616,8 @@ Message = (
     | MapUpdate
     | HandoffRequest
     | HandoffData
+    | Ping
+    | Pong
 )
 
 _MESSAGE_TYPES: dict[FrameType, type] = {
@@ -577,6 +633,8 @@ _MESSAGE_TYPES: dict[FrameType, type] = {
     FrameType.MAP_UPDATE: MapUpdate,
     FrameType.HANDOFF_REQUEST: HandoffRequest,
     FrameType.HANDOFF_DATA: HandoffData,
+    FrameType.PING: Ping,
+    FrameType.PONG: Pong,
 }
 _FRAME_OF_TYPE = {cls: frame for frame, cls in _MESSAGE_TYPES.items()}
 
@@ -640,6 +698,11 @@ class Channel:
 
     def __init__(self, sock) -> None:
         self._sock = sock
+
+    @property
+    def sock(self):
+        """The underlying socket (fork inheritance lists need the fd)."""
+        return self._sock
 
     def send(self, msg: Message) -> None:
         """Serialize and write one frame (blocking until accepted)."""

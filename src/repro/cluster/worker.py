@@ -46,6 +46,8 @@ from repro.cluster.transport import (
     MapUpdate,
     Message,
     Partials,
+    Ping,
+    Pong,
     Ready,
     Shutdown,
     StatsReply,
@@ -86,6 +88,11 @@ class ShardHost:
         user having been applied (that is how the like/un-like
         transition is reconstructed without shipping ``previous``).
         """
+        if isinstance(msg, Ping):
+            # Liveness probes are legal at any point in the lifecycle
+            # (even pre-handshake): they mutate nothing and must keep
+            # answering while the supervisor decides a worker's fate.
+            return Pong(nonce=msg.nonce, shard=self.shard, pid=os.getpid())
         if isinstance(msg, VocabDelta):
             self._apply_vocab_delta(msg)
             return None

@@ -75,6 +75,24 @@ class HyRecConfig:
             the cadence, leaving the rebalancer manual-only.
         rebalance_max_moves: Sharded engine only: bucket-migration
             budget per rebalance pass (a control-loop safety valve).
+        worker_timeout: Process executor only: deadline in seconds on
+            every parent<->worker socket operation (and the per-stage
+            join timeout of shutdown escalation).  A worker that stays
+            silent past the deadline is treated as dead and respawned;
+            set it above the worst-case time a worker legitimately
+            spends scoring one batch.
+        max_respawns: Process executor only: automatic re-fork attempts
+            per worker-failure incident before the shard is declared
+            down; ``0`` disables automatic respawn entirely.
+        retry_backoff: Process executor only: base in seconds of the
+            exponential backoff between respawn attempts within one
+            incident.
+        degraded_reads: Process executor only: with a shard down (its
+            respawn budget exhausted), serve reads from the surviving
+            shards -- results carry ``degraded=True`` -- instead of
+            failing fast with ``ShardUnavailable``.  Writes are never
+            dropped either way: the profile table is the replay log,
+            and the next successful respawn replays them.
     """
 
     k: int = 10
@@ -94,6 +112,10 @@ class HyRecConfig:
     rebalance_threshold: float = 2.0
     rebalance_interval: int = 0
     rebalance_max_moves: int = 4
+    worker_timeout: float = 5.0
+    max_respawns: int = 3
+    retry_backoff: float = 0.05
+    degraded_reads: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -141,5 +163,17 @@ class HyRecConfig:
             raise ValueError(
                 "rebalance_max_moves must be at least 1, got "
                 f"{self.rebalance_max_moves}"
+            )
+        if self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns cannot be negative, got {self.max_respawns}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff cannot be negative, got {self.retry_backoff}"
             )
         get_metric(self.metric)  # fail fast on unknown metrics

@@ -68,15 +68,28 @@ class JobResult:
     neighbor_tokens: list[str]
     recommended_items: list[str]
     neighbor_scores: list[float] = field(default_factory=list)
+    #: True when a cluster shard was down while this job was served
+    #: under ``degraded_reads``: the neighbors/recommendations came
+    #: from the surviving shards only.  Exact results (the default and
+    #: the overwhelmingly common case) keep the flag False.
+    degraded: bool = False
 
     def to_payload(self) -> dict[str, Any]:
-        """JSON-ready dict for the ``/neighbors/`` update call."""
-        return {
+        """JSON-ready dict for the ``/neighbors/`` update call.
+
+        ``degraded`` travels only when set: exact results stay
+        byte-identical to the pre-supervision wire format, keeping the
+        Figure 10 message-size measurements comparable.
+        """
+        payload = {
             "u": self.user_token,
             "n": list(self.neighbor_tokens),
             "r": list(self.recommended_items),
             "s": list(self.neighbor_scores),
         }
+        if self.degraded:
+            payload["d"] = True
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "JobResult":
@@ -86,4 +99,5 @@ class JobResult:
             neighbor_tokens=list(payload["n"]),
             recommended_items=list(payload["r"]),
             neighbor_scores=[float(s) for s in payload.get("s", [])],
+            degraded=bool(payload.get("d", False)),
         )

@@ -59,6 +59,12 @@ class ServerStats:
     placement_version: int = 0
     #: Bucket migrations applied so far; ``0`` unless ``engine="sharded"``.
     migrations: int = 0
+    #: Requests not served exactly because a shard was down (degraded
+    #: results plus fail-fast losses); ``0`` unless ``executor="process"``.
+    dropped_requests: int = 0
+    #: Successful automatic worker recoveries (supervisor respawns);
+    #: ``0`` unless ``executor="process"``.
+    recoveries: int = 0
 
 
 class HyRecServer:
@@ -114,6 +120,10 @@ class HyRecServer:
                     self.config.executor,
                     truncate_partials=self.config.truncate_partials,
                     ipc_write_batch=self.config.ipc_write_batch,
+                    worker_timeout=self.config.worker_timeout,
+                    max_respawns=self.config.max_respawns,
+                    retry_backoff=self.config.retry_backoff,
+                    degraded_reads=self.config.degraded_reads,
                 ),
             )
             # Constructed after the coordinator so its write listener
@@ -439,6 +449,14 @@ class HyRecServer:
             ),
             migrations=(
                 self.cluster.migrations if self.cluster is not None else 0
+            ),
+            dropped_requests=(
+                self.cluster.dropped_requests
+                if self.cluster is not None
+                else 0
+            ),
+            recoveries=(
+                self.cluster.recoveries if self.cluster is not None else 0
             ),
         )
 

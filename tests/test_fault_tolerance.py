@@ -1,0 +1,503 @@
+"""Fault tolerance: worker death is a recoverable event, not an outage.
+
+The acceptance bar mirrors the rebalancing suite's: *recovery moves
+nothing but time*.  SIGKILLing workers mid-replay and mid-request must
+leave every output bit -- per-request results, the KNN table,
+byte-exact wire metering -- identical to the unsharded vectorized
+engine, because the parent ``ProfileTable`` is the replay log and a
+respawned worker warm-starts from it exactly.  On top sit the policy
+tests: fail-fast ``ShardUnavailable`` vs config-gated degraded reads
+when the respawn budget is exhausted, zero lost writes through any
+outage, supervisor bookkeeping surfaced via ``ServerStats``, and
+``rolling_restart`` cycling the whole fleet under live load with zero
+failed requests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ProcessExecutor,
+    ShardUnavailable,
+)
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Rating, Trace
+from repro.engine import LikedMatrix, VectorizedWidget
+from repro.engine.jobs import EngineJob
+from repro.sim.loadgen import ClusterLoadGenerator
+
+
+def _random_trace(rng: random.Random, users: int, items: int, n: int) -> Trace:
+    ratings = []
+    now = 0.0
+    for _ in range(n):
+        now += rng.random() * 50
+        ratings.append(
+            Rating(
+                timestamp=now,
+                user=rng.randrange(users),
+                item=rng.randrange(items),
+                value=float(rng.random() < 0.75),
+            )
+        )
+    return Trace("fault-tolerance", ratings)
+
+
+def _replay_digest(system: HyRecSystem, trace: Trace) -> dict:
+    outcomes: list = []
+    system.replay(trace, on_request=outcomes.append)
+    return {
+        "results": [
+            (
+                o.result.neighbor_tokens,
+                o.result.neighbor_scores,
+                o.result.recommended_items,
+                o.recommendations,
+            )
+            for o in outcomes
+        ],
+        "knn": system.server.knn_table.as_dict(),
+        "wire": {
+            channel: system.server.meter.reading(channel)
+            for channel in ("server->client", "client->server")
+        },
+    }
+
+
+def _populate(rng: random.Random, table: ProfileTable, users: int, items: int):
+    for uid in range(users):
+        table.get_or_create(uid)
+        for item in rng.sample(range(items), rng.randrange(2, 15)):
+            table.record(uid, item, 1.0 if rng.random() < 0.7 else 0.0)
+
+
+def _job(rng: random.Random, users: int) -> EngineJob:
+    user_id = rng.randrange(users)
+    pairs = sorted(
+        (f"u0_{uid:04x}", uid)
+        for uid in range(users)
+        if uid != user_id and rng.random() < 0.7
+    )
+    return EngineJob(
+        user_id=user_id,
+        user_token=f"u0_{user_id:04x}",
+        candidate_ids=tuple(uid for _, uid in pairs),
+        candidate_tokens=tuple(token for token, _ in pairs),
+        k=5,
+        r=6,
+        metric="cosine",
+    )
+
+
+def _kill(executor: ProcessExecutor, shard: int) -> int:
+    """SIGKILL a shard's worker and wait for the OS to reap it."""
+    proc = executor._procs[shard]
+    assert proc is not None and proc.is_alive()
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join()
+    return proc.pid
+
+
+class KillDriver:
+    """SIGKILLs a worker (round-robin) at chosen table-write counts.
+
+    Registered as a table listener after the system is built, exactly
+    like the churn driver of ``tests/test_rebalance.py``, so the
+    engine's own write routing precedes the fault -- the kill lands
+    between a routed write and the next read, which is where real
+    worker deaths surface.
+    """
+
+    def __init__(self, system: HyRecSystem, at_writes: set[int]) -> None:
+        cluster = system.server.cluster
+        assert cluster is not None
+        self.executor = cluster.executor
+        self.at_writes = at_writes
+        self.writes = 0
+        self.kills = 0
+        system.server.profiles.add_listener(self._on_write)
+
+    def _on_write(self, user_id, item, value, previous) -> None:
+        del user_id, item, value, previous
+        self.writes += 1
+        if self.writes not in self.at_writes:
+            return
+        victim = self.kills % len(self.executor._procs)
+        proc = self.executor._procs[victim]
+        if proc is not None and proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join()
+            self.kills += 1
+
+
+class TestKillRecoveryParity:
+    """Recovery is exact: killed workers leave no trace in any output."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _random_trace(random.Random(53), users=30, items=90, n=300)
+
+    @pytest.fixture(scope="class")
+    def reference(self, trace):
+        return _replay_digest(
+            HyRecSystem(HyRecConfig(k=5, r=6, engine="vectorized"), seed=29),
+            trace,
+        )
+
+    @pytest.mark.parametrize("num_shards", (2, 4))
+    def test_kills_mid_replay_keep_parity(self, trace, reference, num_shards):
+        system = HyRecSystem(
+            HyRecConfig(
+                k=5,
+                r=6,
+                engine="sharded",
+                num_shards=num_shards,
+                executor="process",
+                retry_backoff=0.01,
+            ),
+            seed=29,
+        )
+        driver = KillDriver(system, at_writes={60, 150, 240})
+        try:
+            digest = _replay_digest(system, trace)
+            executor = system.server.cluster.executor
+            stats = system.server.stats
+        finally:
+            system.close()
+        assert driver.kills == 3  # the faults actually happened
+        assert executor.supervisor.recoveries == 3
+        assert sum(executor.supervisor.restarts) == 3
+        assert len(executor.supervisor.recovery_times) == 3
+        assert stats.recoveries == 3
+        assert stats.dropped_requests == 0  # every request was served
+        assert digest == reference, (
+            f"kill-recovery @ {num_shards} shards diverged"
+        )
+
+    def test_kill_mid_request_after_frames_sent(self):
+        # The recv-side detection path: the worker dies *after* the
+        # batch's JobSlices frame went out (SIGSTOP blocks it from
+        # replying, so the read deadline -- not a send error -- is
+        # what notices), and the retry must re-score on the
+        # replacement with exact results.
+        rng = random.Random(11)
+        table = ProfileTable()
+        _populate(rng, table, users=24, items=60)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        executor = ProcessExecutor(worker_timeout=1.0, retry_backoff=0.01)
+        coordinator = ClusterCoordinator(table, num_shards=3, executor=executor)
+        try:
+            victim = 1
+            stopped = executor._procs[victim]
+            os.kill(stopped.pid, signal.SIGSTOP)  # wedged, not dead
+            job = _job(rng, users=24)
+            result = coordinator.process_engine_job(job)
+            assert result == widget.process_engine_job(job, matrix)
+            assert executor.supervisor.recoveries == 1
+            assert executor.supervisor.restarts[victim] == 1
+            # the wedged process was reaped, not leaked
+            assert stopped.exitcode is not None
+        finally:
+            coordinator.close()
+
+    def test_writes_during_outage_are_never_lost(self):
+        rng = random.Random(17)
+        table = ProfileTable()
+        _populate(rng, table, users=24, items=60)
+        executor = ProcessExecutor(retry_backoff=0.01)
+        coordinator = ClusterCoordinator(table, num_shards=4, executor=executor)
+        try:
+            _kill(executor, 2)
+            # Writes keep landing while the worker is dead -- routed
+            # through table.record exactly as live traffic would.
+            for uid in range(24):
+                table.record(uid, 200 + uid, 1.0)
+                table.record(uid, 300 + uid, 0.0)
+            matrix = LikedMatrix(table)  # reference built *after* the writes
+            widget = VectorizedWidget()
+            for _ in range(6):
+                job = _job(rng, users=24)
+                assert coordinator.process_engine_job(job) == (
+                    widget.process_engine_job(job, matrix)
+                )
+            assert executor.supervisor.recoveries == 1
+        finally:
+            coordinator.close()
+
+    def test_consecutive_incidents_each_get_a_fresh_budget(self):
+        rng = random.Random(19)
+        table = ProfileTable()
+        _populate(rng, table, users=20, items=50)
+        executor = ProcessExecutor(retry_backoff=0.01)
+        coordinator = ClusterCoordinator(table, num_shards=2, executor=executor)
+        try:
+            matrix = LikedMatrix(table)
+            widget = VectorizedWidget()
+            for incident in range(1, 4):
+                _kill(executor, 0)
+                job = _job(rng, users=20)
+                assert coordinator.process_engine_job(job) == (
+                    widget.process_engine_job(job, matrix)
+                )
+                assert executor.supervisor.recoveries == incident
+            assert executor.supervisor.restarts[0] == 3
+            assert not executor.supervisor.down
+        finally:
+            coordinator.close()
+
+
+class TestDownShardPolicy:
+    """Respawn budget exhausted: fail fast, or degrade when asked to."""
+
+    def _build(self, degraded: bool):
+        rng = random.Random(7)
+        table = ProfileTable()
+        _populate(rng, table, users=24, items=50)
+        executor = ProcessExecutor(
+            worker_timeout=1.0,
+            max_respawns=0,  # no automatic recovery: the shard stays down
+            retry_backoff=0.0,
+            degraded_reads=degraded,
+        )
+        coordinator = ClusterCoordinator(table, num_shards=3, executor=executor)
+        return table, executor, coordinator, rng
+
+    def test_fail_fast_raises_typed_shard_unavailable(self):
+        table, executor, coordinator, rng = self._build(degraded=False)
+        try:
+            _kill(executor, 1)
+            with pytest.raises(ShardUnavailable, match="shard 1"):
+                coordinator.process_engine_job(_job(rng, users=24))
+            assert coordinator.dropped_requests == 1
+            assert 1 in executor.supervisor.down
+            assert not executor.supervisor.healthy
+            stats = executor.stats()
+            assert not stats[1].alive
+            assert stats[0].alive and stats[2].alive
+        finally:
+            coordinator.close()
+
+    def test_degraded_reads_serve_survivors_and_flag_results(self):
+        table, executor, coordinator, rng = self._build(degraded=True)
+        matrix = LikedMatrix(table)
+        widget = VectorizedWidget()
+        try:
+            _kill(executor, 1)
+            job = _job(rng, users=24)
+            result = coordinator.process_engine_job(job)
+            reference = widget.process_engine_job(job, matrix)
+            assert result.degraded is True
+            assert result != reference  # the dead shard's candidates miss
+            # subset contract: nothing fabricated, only survivors merge
+            assert set(result.neighbor_tokens) <= set(reference.neighbor_tokens) | set(
+                job.candidate_tokens
+            )
+            assert coordinator.dropped_requests == 1
+            # writes during the outage queue in the replay log...
+            for uid in range(24):
+                table.record(uid, 300 + uid, 1.0)
+            # ...and a manual respawn heals the shard back to exactness
+            executor.respawn(1)
+            matrix = LikedMatrix(table)
+            job = _job(rng, users=24)
+            healed = coordinator.process_engine_job(job)
+            assert healed.degraded is False
+            assert healed == widget.process_engine_job(job, matrix)
+            assert executor.supervisor.restarts[1] == 1
+            assert 1 not in executor.supervisor.down
+        finally:
+            coordinator.close()
+
+    def test_degraded_flag_rides_the_wire_only_when_set(self):
+        from repro.core.jobs import JobResult
+
+        exact = JobResult(
+            user_token="u0_0001", neighbor_tokens=["a"],
+            recommended_items=["i3"], neighbor_scores=[1.0],
+        )
+        degraded = JobResult(
+            user_token="u0_0001", neighbor_tokens=["a"],
+            recommended_items=["i3"], neighbor_scores=[1.0], degraded=True,
+        )
+        assert "d" not in exact.to_payload()  # exact wire bytes untouched
+        assert degraded.to_payload()["d"] is True
+        assert JobResult.from_payload(exact.to_payload()).degraded is False
+        assert JobResult.from_payload(degraded.to_payload()).degraded is True
+
+    def test_rebalancer_pauses_while_a_shard_is_down(self):
+        from repro.cluster import ShardRebalancer
+
+        table, executor, coordinator, rng = self._build(degraded=True)
+        rebalancer = ShardRebalancer(
+            coordinator, threshold=1.01, max_moves=8
+        )
+        try:
+            # hammer one user so the spread would normally trigger moves
+            for _ in range(50):
+                table.record(0, 7, 1.0)
+            _kill(executor, 1)
+            coordinator.process_engine_job(_job(rng, users=24))  # marks it down
+            assert rebalancer.imbalance() > rebalancer.threshold
+            assert rebalancer.rebalance() == []  # paused, not failing
+            assert coordinator.placement.version == 0
+        finally:
+            rebalancer.close()
+            coordinator.close()
+
+    def test_migration_refuses_unhealthy_participants(self):
+        table, executor, coordinator, rng = self._build(degraded=True)
+        try:
+            _kill(executor, 1)
+            coordinator.process_engine_job(_job(rng, users=24))  # marks it down
+            bucket = coordinator.placement.buckets_owned_by(0)[0]
+            with pytest.raises(ShardUnavailable):
+                coordinator.migrate_bucket(int(bucket), 2)
+            assert coordinator.placement.version == 0  # routing untouched
+        finally:
+            coordinator.close()
+
+
+class TestRollingRestart:
+    """The whole fleet cycles under live traffic with zero failed requests."""
+
+    def test_rolling_restart_under_live_load(self):
+        config = HyRecConfig(
+            k=5,
+            r=6,
+            engine="sharded",
+            num_shards=4,
+            executor="process",
+            batch_window=8,
+            retry_backoff=0.01,
+        )
+        reference_system = HyRecSystem(
+            HyRecConfig(k=5, r=6, engine="vectorized"), seed=31
+        )
+        system = HyRecSystem(config, seed=31)
+        rng = random.Random(23)
+        try:
+            for target in (system, reference_system):
+                target_rng = random.Random(23)
+                for uid in range(30):
+                    for item in target_rng.sample(range(80), 10):
+                        target.record_rating(uid, item, 1.0)
+            del rng
+            users = list(range(30))
+            loadgen = ClusterLoadGenerator(system, users)
+            reference_loadgen = ClusterLoadGenerator(reference_system, users)
+
+            before = loadgen.run(requests=40, concurrency=8)
+            executor = system.server.cluster.executor
+            pids_before = [proc.pid for proc in executor._procs]
+            version_before = system.server.cluster.placement.version
+
+            cycled = system.server.cluster.rolling_restart()
+
+            after = loadgen.run(requests=40, concurrency=8)
+            reference_loadgen.run(requests=80, concurrency=8)
+
+            assert cycled == 4
+            pids_after = [proc.pid for proc in executor._procs]
+            assert all(a != b for a, b in zip(pids_before, pids_after))
+            # every request before, during, and after was served
+            assert before.requests + after.requests == 80
+            stats = system.server.stats
+            assert stats.dropped_requests == 0
+            assert stats.recoveries == 0  # deliberate restarts, not faults
+            assert [s.restarts for s in stats.shards] == [1, 1, 1, 1]
+            assert all(s.alive for s in stats.shards)
+            # placement/epoch invariants: a restart is not a migration
+            assert system.server.cluster.placement.version == version_before
+            assert stats.migrations == 0
+            # bit-for-bit parity with the never-restarted reference
+            assert (
+                system.server.knn_table.as_dict()
+                == reference_system.server.knn_table.as_dict()
+            )
+            for channel in ("server->client", "client->server"):
+                assert system.server.meter.reading(channel) == (
+                    reference_system.server.meter.reading(channel)
+                )
+        finally:
+            system.close()
+            reference_system.close()
+
+    def test_rolling_restart_needs_a_worker_hosting_executor(self):
+        system = HyRecSystem(
+            HyRecConfig(engine="sharded", num_shards=2, executor="serial")
+        )
+        try:
+            with pytest.raises(TypeError, match="worker-hosting"):
+                system.server.cluster.rolling_restart()
+        finally:
+            system.close()
+
+
+class TestSupervisorSurface:
+    """The supervisor's bookkeeping is observable where operators look."""
+
+    def test_ping_measures_and_records_rtt(self):
+        table = ProfileTable()
+        executor = ProcessExecutor()
+        executor.attach(table, num_shards=2)
+        try:
+            supervisor = executor.supervisor
+            assert supervisor.last_ping_ms == [-1.0, -1.0]  # never probed
+            rtt = supervisor.ping(0)
+            assert rtt >= 0.0
+            assert supervisor.last_ping_ms[0] == rtt
+            assert supervisor.last_ping_ms[1] == -1.0
+            assert supervisor.alive(0) and supervisor.alive(1)
+            assert supervisor.healthy
+        finally:
+            executor.close()
+
+    def test_stats_surface_liveness_after_recovery(self):
+        rng = random.Random(3)
+        table = ProfileTable()
+        _populate(rng, table, users=16, items=40)
+        executor = ProcessExecutor(retry_backoff=0.01)
+        coordinator = ClusterCoordinator(table, num_shards=3, executor=executor)
+        try:
+            _kill(executor, 2)
+            coordinator.process_engine_job(_job(rng, users=16))
+            stats = executor.stats()
+            assert all(stat.alive for stat in stats)
+            assert [stat.restarts for stat in stats] == [0, 0, 1]
+            assert all(stat.last_ping_ms >= 0.0 for stat in stats)
+            assert executor.supervisor.recovery_times[0] > 0.0
+        finally:
+            coordinator.close()
+
+    def test_server_stats_count_drops_and_recoveries(self):
+        system = HyRecSystem(
+            HyRecConfig(
+                engine="sharded",
+                num_shards=2,
+                executor="process",
+                retry_backoff=0.01,
+            ),
+            seed=5,
+        )
+        try:
+            rng = random.Random(5)
+            for uid in range(12):
+                for item in rng.sample(range(30), 6):
+                    system.record_rating(uid, item, 1.0)
+            executor = system.server.cluster.executor
+            _kill(executor, 0)
+            system.request(3)
+            stats = system.server.stats
+            assert stats.recoveries == 1
+            assert stats.dropped_requests == 0
+        finally:
+            system.close()

@@ -10,8 +10,10 @@ exactness proof obligations of shard-local top-K truncation.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import random
+import signal
 
 import numpy as np
 import pytest
@@ -588,3 +590,56 @@ class TestTruncationExactness:
         finally:
             for coordinator in coordinators:
                 coordinator.close()
+
+
+def _no_shard_children() -> bool:
+    """No live (or zombie) shard workers remain under this process."""
+    # active_children() also joins finished children, so a True here
+    # means reaped, not merely dead.
+    return not [
+        proc
+        for proc in multiprocessing.active_children()
+        if proc.name.startswith("hyrec-shard")
+    ]
+
+
+class TestTeardownHardening:
+    """close() and attach() reap every worker on every path."""
+
+    def test_close_escalates_to_kill_for_wedged_workers(self):
+        executor = ProcessExecutor(worker_timeout=0.2)
+        executor.attach(ProfileTable(), num_shards=3)
+        procs = list(executor._procs)
+        # A stopped process ignores the Shutdown frame and leaves
+        # SIGTERM pending forever -- only the SIGKILL stage reaps it.
+        os.kill(procs[1].pid, signal.SIGSTOP)
+        executor.close()
+        assert all(proc.exitcode is not None for proc in procs)
+        assert _no_shard_children()
+        executor.close()  # idempotent after the escalated teardown
+
+    def test_attach_failure_mid_replay_names_shard_and_reaps_all(
+        self, monkeypatch
+    ):
+        from repro.cluster.transport import Channel
+
+        rng = random.Random(13)
+        table = ProfileTable()
+        _populate(rng, table, users=20, items=50)
+        original_send = Channel.send
+
+        def failing_send(self, msg):
+            if isinstance(msg, WriteBatch):
+                raise OSError("injected wire fault")
+            return original_send(self, msg)
+
+        monkeypatch.setattr(Channel, "send", failing_send)
+        executor = ProcessExecutor(ipc_write_batch=4, worker_timeout=0.5)
+        # The warm-start replay is the first WriteBatch each worker
+        # sees, so attach must fail loudly -- naming the shard whose
+        # replay broke -- and reap every worker it already spawned.
+        with pytest.raises(TransportError, match=r"worker \d+"):
+            executor.attach(table, num_shards=3)
+        assert _no_shard_children()
+        # the failed attach tore the executor down, not half-built
+        assert executor._procs == [] and executor._channels == []

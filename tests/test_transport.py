@@ -27,6 +27,8 @@ from repro.cluster.transport import (
     JobSlices,
     MapUpdate,
     Partials,
+    Ping,
+    Pong,
     Ready,
     Shutdown,
     StatsReply,
@@ -387,3 +389,79 @@ class TestRejection:
         finally:
             left.close()
             right.close()
+
+
+# --- v3 liveness probes -----------------------------------------------------
+
+
+class TestLivenessFrames:
+    """Ping/Pong (protocol v3): the supervisor's active health probe."""
+
+    def test_protocol_version_is_3(self):
+        # v3 is the Ping/Pong revision; a bump without new frames (or
+        # new frames without a bump) is a protocol bug.
+        assert PROTOCOL_VERSION == 3
+        assert FrameType.PING in FrameType
+        assert FrameType.PONG in FrameType
+
+    @given(nonce=ids64)
+    def test_ping_round_trip(self, nonce):
+        decoded = _roundtrip(Ping(nonce=nonce))
+        assert decoded == Ping(nonce=nonce)
+
+    @given(nonce=ids64, shard=small_int, pid=small_int)
+    def test_pong_round_trip(self, nonce, shard, pid):
+        decoded = _roundtrip(Pong(nonce=nonce, shard=shard, pid=pid))
+        assert decoded.nonce == nonce
+        assert decoded.shard == shard and decoded.pid == pid
+
+    @given(nonce=ids64, shard=small_int, pid=small_int)
+    @settings(max_examples=25)
+    def test_any_probe_truncation_is_rejected(self, nonce, shard, pid):
+        # Probe frames travel on the same stream as job frames, so a
+        # cut probe must fail typed -- never desync the channel.
+        for msg in (Ping(nonce=nonce), Pong(nonce=nonce, shard=shard, pid=pid)):
+            frame = encode_message(msg)
+            for cut in range(len(frame)):
+                with pytest.raises(TruncatedFrameError):
+                    decode_message(frame[:cut])
+
+    def test_pong_payload_underrun_rejected(self):
+        # A Pong lying about its length (claims more scalars than it
+        # carries) is malformed, not a shorter Ping.
+        payload = Ping(nonce=9)._pack()
+        frame = (
+            PROTOCOL_MAGIC
+            + bytes([PROTOCOL_VERSION, FrameType.PONG])
+            + len(payload).to_bytes(4, "big")
+            + payload
+        )
+        with pytest.raises(TransportError):
+            decode_message(frame)
+
+    def test_host_answers_ping_before_handshake(self):
+        # The probe must work on a worker that has not completed (or
+        # has just restarted into) its handshake -- liveness checking
+        # cannot depend on the state it is checking for.
+        import os
+
+        from repro.cluster.worker import ShardHost
+
+        host = ShardHost(3)
+        reply = host.handle(Ping(nonce=41))
+        assert reply == Pong(nonce=41, shard=3, pid=os.getpid())
+
+    def test_respawned_host_rejects_stale_epoch_jobs(self):
+        # The recovery contract: a replacement worker handshakes at the
+        # *current* epoch, so frames scattered under the old map (from
+        # before the worker died) must be re-stamped by the retry path,
+        # never replayed verbatim.
+        from repro.cluster.worker import ShardHost
+
+        host = ShardHost(0)
+        host.handle(Hello(shard=0, num_shards=2, num_buckets=8, map_version=4))
+        stale = JobSlices(batch_id=1, truncate=True, slices=(), map_version=3)
+        with pytest.raises(TransportError, match="stale map version"):
+            host.handle(stale)
+        fresh = JobSlices(batch_id=1, truncate=True, slices=(), map_version=4)
+        assert host.handle(fresh).batch_id == 1
