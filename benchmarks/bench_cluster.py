@@ -502,6 +502,84 @@ def bench_recovery(
     return entry
 
 
+def bench_obs_overhead(
+    scale: float, num_shards: int = 8, rounds: int = 6, seed: int = 0
+) -> dict:
+    """Replay overhead of the default-on metrics registry (PR 7 gate).
+
+    The same ML1 replay on the 8-shard engine, run with
+    ``metrics_enabled=True`` and ``False`` in interleaved rounds; the
+    observability contract is that the registry's hot-path cost --
+    request latency histogram, batch/shard counters -- stays within a
+    few percent of the bare engine.  Tracing stays off in both runs:
+    it is a debugging tool, not part of the steady-state overhead
+    budget.  Fails the run when the measured overhead exceeds 3%.
+
+    Noise discipline: single replays on a shared host swing far more
+    than 3%, so each side keeps its best (minimum) round -- scheduling
+    noise only ever adds time -- over enough rounds for the minima to
+    converge, the on/off order alternates every round so neither side
+    systematically runs first, and one untimed warmup replay absorbs
+    the cold-start (import, page-cache, fork) cost.
+    """
+    trace = load_dataset("ML1", scale=scale, seed=seed)
+
+    def timed_replay(enabled: bool) -> float:
+        system = HyRecSystem(
+            HyRecConfig(
+                k=10,
+                engine="sharded",
+                num_shards=num_shards,
+                metrics_enabled=enabled,
+            ),
+            seed=seed,
+        )
+        start = time.perf_counter()
+        system.replay(trace)
+        elapsed = time.perf_counter() - start
+        system.close()
+        return elapsed
+
+    timed_replay(True)  # untimed warmup
+    best: dict[str, float] = {}
+    sides = (("metrics_on", True), ("metrics_off", False))
+    for round_index in range(rounds):
+        order = sides if round_index % 2 == 0 else sides[::-1]
+        for label, enabled in order:
+            elapsed = timed_replay(enabled)
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+
+    overhead_pct = round(
+        (best["metrics_on"] - best["metrics_off"])
+        / best["metrics_off"]
+        * 100,
+        2,
+    )
+    within_budget = overhead_pct <= 3.0
+    print(
+        f"obs overhead x{num_shards} (ML1@{scale}, best of {rounds}): "
+        f"metrics on {best['metrics_on']:.3f}s vs off "
+        f"{best['metrics_off']:.3f}s -> {overhead_pct:+.2f}% "
+        f"({'within' if within_budget else 'EXCEEDS'} the 3% budget)"
+    )
+    if not within_budget:
+        raise SystemExit(
+            f"metrics overhead {overhead_pct}% exceeds the 3% budget"
+        )
+    return {
+        "dataset": "ML1",
+        "scale": scale,
+        "requests": len(trace),
+        "num_shards": num_shards,
+        "rounds": rounds,
+        "metrics_on_s": round(best["metrics_on"], 3),
+        "metrics_off_s": round(best["metrics_off"], 3),
+        "overhead_pct": overhead_pct,
+        "within_budget": within_budget,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -517,12 +595,32 @@ def main(argv: list[str] | None = None) -> int:
         "existing report (the CI fault-tolerance smoke)",
     )
     parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="run only the metrics-on vs metrics-off overhead gate and "
+        "merge it into an existing report (the CI observability smoke)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=REPO_ROOT / "BENCH_cluster.json",
         help="where to write the JSON report",
     )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        obs = bench_obs_overhead(
+            scale=min(args.scale, 0.03) if args.quick else args.scale
+        )
+        report = (
+            json.loads(args.output.read_text())
+            if args.output.exists()
+            else {}
+        )
+        report["obs_overhead"] = obs
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"updated obs_overhead section of {args.output}")
+        return 0
 
     if args.quick:
         recovery = bench_recovery(
@@ -555,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         replay = bench_replay(scale=min(args.scale, 0.03), num_shards=4)
         skew = bench_skew(num_users=200, writes=2000, num_shards=8)
+        obs = bench_obs_overhead(scale=min(args.scale, 0.03))
     else:
         sweep = bench_sweep(
             num_users=800, profile_size=200, catalog=2500, k=20,
@@ -562,12 +661,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         replay = bench_replay(scale=args.scale, num_shards=4)
         skew = bench_skew(num_users=400, writes=8000, num_shards=8)
+        obs = bench_obs_overhead(scale=args.scale)
 
     report = {
         "sweep": sweep,
         "replay": [replay],
         "skew": skew,
         "recovery": recovery,
+        "obs_overhead": obs,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -51,6 +51,7 @@ output bit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -70,6 +71,8 @@ from repro.core.jobs import JobResult
 from repro.core.tables import ProfileTable
 from repro.engine.jobs import EngineJob
 from repro.engine.kernels import select_top_items
+from repro.obs import Observability
+from repro.obs.registry import MetricSample
 
 __all__ = [
     "ClusterCoordinator",
@@ -149,9 +152,15 @@ class ClusterCoordinator:
         num_shards: int = 4,
         executor: ShardExecutor | None = None,
         placement: ShardPlacement | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self._table = table
         self.executor = executor if executor is not None else SerialExecutor()
+        if obs is None:
+            # Share the executor's instance (the server hands the same
+            # one to both); a bare coordinator gets inert instruments.
+            obs = getattr(self.executor, "obs", None)
+        self.obs = obs if obs is not None else Observability.disabled()
         #: In-process shard matrices; ``None`` when the executor hosts
         #: shard state in worker processes (``hosts_shards = True``).
         self.matrix: ShardedLikedMatrix | None
@@ -172,6 +181,28 @@ class ClusterCoordinator:
         #: a fail-fast :class:`ShardUnavailable` (surfaced in
         #: ``ServerStats.dropped_requests``).
         self.dropped_requests = 0
+        registry = self.obs.registry
+        self._batch_seconds = registry.histogram("hyrec_batch_seconds")
+        self._jobs_total = registry.counter("hyrec_jobs_total")
+        self._migrations_total = registry.counter("hyrec_migrations_total")
+        # Per-shard series for the *in-process* executors only: the
+        # process executor's workers sample these inside their own
+        # registries (polled via metrics_samples), so parent-side
+        # handles there would double-count after the merge.
+        if self.matrix is not None:
+            shards = [str(shard) for shard in range(self.num_shards)]
+            self._shard_jobs = tuple(
+                registry.counter("hyrec_shard_jobs_total", shard=shard)
+                for shard in shards
+            )
+            self._shard_batches = tuple(
+                registry.counter("hyrec_shard_batches_total", shard=shard)
+                for shard in shards
+            )
+            self._shard_score_seconds = tuple(
+                registry.histogram("hyrec_shard_score_seconds", shard=shard)
+                for shard in shards
+            )
 
     @property
     def recoveries(self) -> int:
@@ -225,12 +256,31 @@ class ClusterCoordinator:
         the shard protocol.  Either way the engine's outputs are
         bit-for-bit unchanged across the move.
         """
+        start = time.perf_counter()
         if self.matrix is not None:
             version = self.matrix.migrate_bucket(bucket, new_owner)
         else:
             version = self.executor.migrate_bucket(bucket, new_owner)
         self.migrations += 1
+        self._migrations_total.inc()
+        self.obs.events.record(
+            "bucket_migration",
+            bucket=bucket,
+            target=new_owner,
+            epoch=version,
+            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+        )
         return version
+
+    def metrics_samples(self) -> list[MetricSample]:
+        """The workers' wire-shipped metrics snapshots (if any).
+
+        Empty on the in-process executors -- their shard series sample
+        straight into the shared registry, so the server's snapshot
+        already holds them.
+        """
+        sampler = getattr(self.executor, "metrics_samples", None)
+        return sampler() if sampler is not None else []
 
     def shard_stats(self) -> tuple[ShardStats, ...]:
         """Per-shard load/churn counters (surfaced via ``ServerStats``).
@@ -288,61 +338,127 @@ class ClusterCoordinator:
         """
         if not jobs:
             return []
-        queries = [self._query_of(job.user_id) for job in jobs]
+        tracer = self.obs.tracer
+        # A traced batch attaches to the first job's request trace; the
+        # remaining jobs' roots reference the shared batch through
+        # their schedule spans (see ``BatchScheduler``).
+        parent_ctx = next(
+            (job.trace_ctx for job in jobs if job.trace_ctx is not None), None
+        )
+        start_ns = time.perf_counter_ns()
+        batch_span = tracer.span("batch", parent=parent_ctx, jobs=len(jobs))
+        with batch_span:
+            with tracer.span("scatter"):
+                queries = [self._query_of(job.user_id) for job in jobs]
+                # Scatter: per shard, this batch's transportable slices.
+                shard_slices: list[list[ShardSlice]] = [
+                    [] for _ in range(self.num_shards)
+                ]
+                for index, job in enumerate(jobs):
+                    query = queries[index]
+                    for shard, (ids, positions) in enumerate(
+                        self._shards.partition(job.candidate_ids)
+                    ):
+                        if ids.size:
+                            shard_slices[shard].append(
+                                ShardSlice(
+                                    job_index=index,
+                                    candidate_ids=ids,
+                                    positions=positions,
+                                    query_cols=query.cols,
+                                    liked_count=query.liked_count,
+                                    metric=job.metric,
+                                    k=job.k,
+                                )
+                            )
 
-        # Scatter: per shard, this batch's transportable job slices.
-        shard_slices: list[list[ShardSlice]] = [
-            [] for _ in range(self.num_shards)
-        ]
-        for index, job in enumerate(jobs):
-            query = queries[index]
-            for shard, (ids, positions) in enumerate(
-                self._shards.partition(job.candidate_ids)
-            ):
-                if ids.size:
-                    shard_slices[shard].append(
-                        ShardSlice(
-                            job_index=index,
-                            candidate_ids=ids,
-                            positions=positions,
-                            query_cols=query.cols,
-                            liked_count=query.liked_count,
-                            metric=job.metric,
-                            k=job.k,
+            degraded_jobs: set[int] = set()
+            score_span = tracer.span("score")
+            with score_span:
+                if self.matrix is None:
+                    # Out-of-process: serialized slices out, wire
+                    # partials back (worker score spans ride along when
+                    # the batch is traced).
+                    try:
+                        partials_by_shard = self.executor.run_slices(
+                            shard_slices, trace=score_span.ctx
                         )
-                    )
+                    except ShardUnavailable:
+                        # Fail-fast mode: the whole batch is lost (no
+                        # partial answers leave the coordinator), which
+                        # is the dropped requests the stats count.
+                        self.dropped_requests += len(jobs)
+                        raise
+                    # Degraded mode: a down shard served nothing, so
+                    # any job with candidates there is flagged (and
+                    # counted) -- the survivors' partials still merge
+                    # exactly as usual.
+                    for shard in getattr(self.executor, "last_degraded", ()):
+                        degraded_jobs.update(
+                            piece.job_index for piece in shard_slices[shard]
+                        )
+                    self.dropped_requests += len(degraded_jobs)
+                else:
+                    score_ctx = score_span.ctx
+                    tasks = [
+                        (
+                            lambda s=shard: self._score_shard(
+                                s, shard_slices[s], score_ctx
+                            )
+                        )
+                        for shard in range(self.num_shards)
+                    ]
+                    partials_by_shard = self.executor.run(tasks)
 
-        degraded_jobs: set[int] = set()
-        if self.matrix is None:
-            # Out-of-process: serialized slices out, wire partials back.
-            try:
-                partials_by_shard = self.executor.run_slices(shard_slices)
-            except ShardUnavailable:
-                # Fail-fast mode: the whole batch is lost (no partial
-                # answers leave the coordinator), which is the dropped
-                # requests the stats surface counts.
-                self.dropped_requests += len(jobs)
-                raise
-            # Degraded mode: a down shard served nothing, so any job
-            # with candidates there is flagged (and counted) -- the
-            # survivors' partials still merge exactly as usual.
-            for shard in getattr(self.executor, "last_degraded", ()):
-                degraded_jobs.update(
-                    piece.job_index for piece in shard_slices[shard]
+            with tracer.span("merge"):
+                results = self._merge(
+                    jobs, queries, partials_by_shard, degraded_jobs
                 )
-            self.dropped_requests += len(degraded_jobs)
-        else:
-            matrix = self.matrix
-            tasks = [
-                (
-                    lambda s=shard: score_slices(
-                        matrix.shards[s], shard_slices[s]
-                    )
-                )
-                for shard in range(self.num_shards)
-            ]
-            partials_by_shard = self.executor.run(tasks)
+        self.batches_processed += 1
+        self.jobs_processed += len(jobs)
+        self._jobs_total.inc(len(jobs))
+        self._batch_seconds.observe(
+            (time.perf_counter_ns() - start_ns) / 1e9
+        )
+        return results
 
+    def _score_shard(self, shard: int, slices, trace):
+        """Score one in-process shard, sampling the shard-local series.
+
+        Runs on whatever thread the executor provides, so the trace
+        context is passed explicitly (pool threads do not share the
+        coordinator's active-span stack) and the span is recorded
+        pre-measured.  Empty slice lists stay unsampled, mirroring the
+        process executor (which sends no frame for them).
+        """
+        matrix = self.matrix
+        assert matrix is not None
+        obs = self.obs
+        if not obs.registry.enabled and not obs.tracer.enabled:
+            return score_slices(matrix.shards[shard], slices)
+        start_ns = time.perf_counter_ns()
+        partials = score_slices(matrix.shards[shard], slices)
+        dur_ns = time.perf_counter_ns() - start_ns
+        if slices:
+            self._shard_batches[shard].inc()
+            self._shard_jobs[shard].inc(len(slices))
+            self._shard_score_seconds[shard].observe(dur_ns / 1e9)
+            if trace is not None:
+                obs.tracer.add(
+                    f"shard{shard}:score",
+                    parent=trace,
+                    start_us=start_ns // 1000,
+                    dur_us=dur_ns // 1000,
+                )
+        return partials
+
+    def _merge(
+        self,
+        jobs: Sequence[EngineJob],
+        queries: Sequence[_Query],
+        partials_by_shard,
+        degraded_jobs: set[int],
+    ) -> list[JobResult]:
         # Merge: per job, combine whatever each shard contributed.
         results: list[JobResult] = []
         item_array = self._shards.vocab.item_array()
@@ -384,8 +500,6 @@ class ClusterCoordinator:
                     degraded=index in degraded_jobs,
                 )
             )
-        self.batches_processed += 1
-        self.jobs_processed += len(jobs)
         return results
 
     def _query_of(self, user_id: int) -> _Query:

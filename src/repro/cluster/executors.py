@@ -84,14 +84,18 @@ def make_executor(
     max_respawns: int = 3,
     retry_backoff: float = 0.05,
     degraded_reads: bool = False,
+    obs=None,
 ) -> ShardExecutor:
     """Build the executor selected by ``HyRecConfig.executor``.
 
     The keyword knobs configure the process executor's IPC behavior
     (write-buffer flush threshold, shard-local top-K truncation of
-    shipped partials) and its supervision policy (socket deadline,
-    respawn budget/backoff, degraded reads); all of them are ignored
-    by the in-process executors, which have no workers to lose.
+    shipped partials), its supervision policy (socket deadline,
+    respawn budget/backoff, degraded reads), and the shared
+    :class:`~repro.obs.Observability` its workers report into; all of
+    them are ignored by the in-process executors, which have no
+    workers to lose (their shard metrics sample through the
+    coordinator into the shared registry directly).
     """
     if name == "serial":
         return SerialExecutor()
@@ -110,6 +114,7 @@ def make_executor(
             max_respawns=max_respawns,
             retry_backoff=retry_backoff,
             degraded_reads=degraded_reads,
+            obs=obs,
         )
     raise ValueError(
         f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import multiprocessing
 import socket
+import time
 from typing import Sequence
 
 import numpy as np
@@ -63,6 +64,7 @@ from repro.cluster.scoring import ShardSlice, WirePartial
 from repro.cluster.sharded_matrix import ShardStats
 from repro.cluster.supervisor import ShardUnavailable, WorkerSupervisor
 from repro.cluster.transport import (
+    HELLO_FLAG_METRICS,
     Channel,
     HandoffData,
     HandoffRequest,
@@ -70,6 +72,8 @@ from repro.cluster.transport import (
     JobSlices,
     MapUpdate,
     Message,
+    MetricsRequest,
+    MetricsSnapshot,
     Partials,
     Ready,
     Shutdown,
@@ -82,6 +86,10 @@ from repro.cluster.transport import (
 from repro.cluster.worker import worker_main
 from repro.core.tables import ProfileTable
 from repro.engine.liked_matrix import ItemVocabulary
+from repro.obs import Observability
+from repro.obs.exposition import sample_from_wire
+from repro.obs.registry import MetricSample
+from repro.obs.tracing import SpanContext, SpanRecord
 
 
 class ProcessExecutor:
@@ -102,6 +110,7 @@ class ProcessExecutor:
         max_respawns: int = 3,
         retry_backoff: float = 0.05,
         degraded_reads: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         """
         Args:
@@ -131,6 +140,12 @@ class ProcessExecutor:
             degraded_reads: When a shard is down, serve reads from the
                 surviving shards (results are flagged ``degraded``)
                 instead of raising :class:`ShardUnavailable`.
+            obs: The deployment's shared :class:`~repro.obs.Observability`.
+                With metrics enabled, workers run live registries
+                (:data:`~repro.cluster.transport.HELLO_FLAG_METRICS`)
+                polled by :meth:`metrics_samples`; with tracing
+                enabled, traced batches stitch worker score spans into
+                the parent's traces.  Defaults to a disabled instance.
         """
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
@@ -161,6 +176,7 @@ class ProcessExecutor:
         self.max_respawns = max_respawns
         self.retry_backoff = retry_backoff
         self.degraded_reads = degraded_reads
+        self.obs = obs if obs is not None else Observability.disabled()
         self.vocab = ItemVocabulary()
         self.placement: ShardPlacement | None = None
         self.supervisor: WorkerSupervisor | None = None
@@ -334,6 +350,11 @@ class ProcessExecutor:
                     num_shards=self.num_shards,
                     num_buckets=self.placement.num_buckets,
                     map_version=self.placement.version,
+                    flags=(
+                        HELLO_FLAG_METRICS
+                        if self.obs.registry.enabled
+                        else 0
+                    ),
                 )
             )
             ready = channel.recv()
@@ -431,6 +452,7 @@ class ProcessExecutor:
         """
         if self._closed or self.placement is None:
             raise RuntimeError("ProcessExecutor is not running")
+        start = time.perf_counter()
         for shard in range(self.num_shards):
             channel = self._channels[shard]
             if channel is not None and not self._shard_unhealthy(shard):
@@ -441,6 +463,11 @@ class ProcessExecutor:
                     pass  # died just now; _respawn escalates the reap
             self.respawn(shard)
             self._broadcast_epoch()
+        self.obs.events.record(
+            "rolling_restart",
+            workers=self.num_shards,
+            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+        )
         return self.num_shards
 
     # --- health -------------------------------------------------------------
@@ -557,7 +584,9 @@ class ProcessExecutor:
         return self.placement.partition(user_ids)
 
     def run_slices(
-        self, shard_slices: Sequence[Sequence[ShardSlice]]
+        self,
+        shard_slices: Sequence[Sequence[ShardSlice]],
+        trace: SpanContext | None = None,
     ) -> list[dict[int, WirePartial]]:
         """Execute one batch: slices out to every worker, partials back.
 
@@ -578,6 +607,12 @@ class ProcessExecutor:
         A shard that stays down either raises
         :class:`ShardUnavailable` or, with ``degraded_reads``, serves
         nothing this batch (see :attr:`last_degraded`).
+
+        ``trace`` is the coordinator's score-span context when the
+        batch is traced: it stamps every job frame, and the workers'
+        measured score spans (returned on the Partials) are adopted
+        into the parent tracer -- once per shard, on the successful
+        receive only, so a recovery retry never duplicates spans.
         """
         if self._closed or self.placement is None:
             raise RuntimeError("ProcessExecutor is not running")
@@ -585,12 +620,16 @@ class ProcessExecutor:
             raise ValueError("one slice list per shard required")
         batch_id = self._next_batch_id
         self._next_batch_id += 1
+        trace_id = trace[0] if trace is not None else 0
+        trace_parent = trace[1] if trace is not None else 0
         frames: list[JobSlices | None] = [
             JobSlices(
                 batch_id=batch_id,
                 truncate=self.truncate_partials,
                 slices=tuple(slices),
                 map_version=self.placement.version,
+                trace_id=trace_id,
+                trace_parent=trace_parent,
             )
             if slices
             else None
@@ -618,12 +657,12 @@ class ProcessExecutor:
                 results[shard] = {}
                 continue
             try:
-                results[shard] = self._recv_partials(shard, batch_id)
+                results[shard] = self._recv_partials(shard, batch_id, trace)
             except (TransportError, OSError):
                 failed.add(shard)
         degraded: list[int] = []
         for shard in sorted(failed):
-            partials = self._retry_shard(shard, frames[shard], batch_id)
+            partials = self._retry_shard(shard, frames[shard], batch_id, trace)
             if partials is None:
                 degraded.append(shard)
                 results[shard] = {}
@@ -632,7 +671,12 @@ class ProcessExecutor:
         self.last_degraded = tuple(degraded)
         return results
 
-    def _recv_partials(self, shard: int, batch_id: int) -> dict[int, WirePartial]:
+    def _recv_partials(
+        self,
+        shard: int,
+        batch_id: int,
+        trace: SpanContext | None = None,
+    ) -> dict[int, WirePartial]:
         channel = self._channels[shard]
         assert channel is not None
         reply = channel.recv()
@@ -640,10 +684,27 @@ class ProcessExecutor:
             raise TransportError(
                 f"worker {shard} answered batch {batch_id} with {reply!r}"
             )
+        if trace is not None and reply.spans:
+            self.obs.tracer.adopt(
+                SpanRecord(
+                    trace_id=trace[0],
+                    span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    name=span.name,
+                    start_us=span.start_us,
+                    dur_us=span.dur_us,
+                    pid=span.pid,
+                )
+                for span in reply.spans
+            )
         return {partial.job_index: partial for partial in reply.partials}
 
     def _retry_shard(
-        self, shard: int, frame: JobSlices | None, batch_id: int
+        self,
+        shard: int,
+        frame: JobSlices | None,
+        batch_id: int,
+        trace: SpanContext | None = None,
     ) -> dict[int, WirePartial] | None:
         """Recover a failed shard and re-run its half of the batch.
 
@@ -662,7 +723,7 @@ class ProcessExecutor:
             try:
                 self._flush(shard)
                 self._deliver(shard, frame)
-                return self._recv_partials(shard, batch_id)
+                return self._recv_partials(shard, batch_id, trace)
             except (TransportError, OSError):
                 continue
         if self.degraded_reads:
@@ -740,6 +801,45 @@ class ProcessExecutor:
         assert placement.version == new_version
         self._broadcast_epoch()
         return new_version
+
+    def metrics_samples(self) -> list[MetricSample]:
+        """Pull every live worker's metrics snapshot over the wire.
+
+        Per healthy shard: flush (so shipped counters include buffered
+        writes), one :class:`MetricsRequest` round trip, and the
+        :class:`MetricsSnapshot` reply converted back into registry
+        samples.  A shard that fails the exchange is marked suspect
+        (its next read recovers it) and simply contributes nothing to
+        this poll -- exposition must never take the cluster down.
+        Returns ``[]`` when metrics are disabled or the executor is
+        not running.
+        """
+        if self._closed or self.placement is None:
+            return []
+        if not self.obs.registry.enabled:
+            return []
+        samples: list[MetricSample] = []
+        for shard in range(self.num_shards):
+            if self._shard_unhealthy(shard):
+                continue
+            try:
+                self._flush(shard)
+                self._deliver(shard, MetricsRequest())
+                channel = self._channels[shard]
+                assert channel is not None
+                reply = channel.recv()
+                if (
+                    not isinstance(reply, MetricsSnapshot)
+                    or reply.shard != shard
+                ):
+                    raise TransportError(
+                        f"worker {shard} answered metrics with {reply!r}"
+                    )
+            except (TransportError, OSError):
+                self._suspect.add(shard)
+                continue
+            samples.extend(sample_from_wire(wire) for wire in reply.samples)
+        return samples
 
     def stats(self) -> tuple[ShardStats, ...]:
         """Per-worker load/churn counters, via a stats round trip.

@@ -31,6 +31,7 @@ from typing import Sequence
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.core.jobs import JobResult
 from repro.engine.jobs import EngineJob
+from repro.obs.tracing import now_us
 
 
 class BatchTicket:
@@ -79,7 +80,10 @@ class BatchScheduler:
             )
         self.coordinator = coordinator
         self.batch_window = batch_window
-        self._pending: list[tuple[EngineJob, BatchTicket]] = []
+        #: ``(job, ticket, queued_us)`` -- the timestamp is 0 unless
+        #: the job carries a trace context, in which case flush() turns
+        #: the window wait into a ``schedule`` span under its root.
+        self._pending: list[tuple[EngineJob, BatchTicket, int]] = []
         self.batches_dispatched = 0
         self.jobs_dispatched = 0
         self.largest_batch = 0
@@ -100,7 +104,11 @@ class BatchScheduler:
         identical to the request having arrived at dispatch time.
         """
         ticket = BatchTicket(self)
-        self._pending.append((job, ticket))
+        tracer = self.coordinator.obs.tracer
+        queued_us = (
+            now_us() if tracer.enabled and job.trace_ctx is not None else 0
+        )
+        self._pending.append((job, ticket, queued_us))
         if len(self._pending) >= self.batch_window:
             self.flush()
         return ticket
@@ -118,8 +126,20 @@ class BatchScheduler:
         if not self._pending:
             return
         window, self._pending = self._pending, []
-        results = self.coordinator.process_batch([job for job, _ in window])
-        for (_, ticket), result in zip(window, results):
+        tracer = self.coordinator.obs.tracer
+        if tracer.enabled:
+            dispatch_us = now_us()
+            for job, _, queued_us in window:
+                if queued_us and job.trace_ctx is not None:
+                    tracer.add(
+                        "schedule",
+                        parent=job.trace_ctx,
+                        start_us=queued_us,
+                        dur_us=dispatch_us - queued_us,
+                        window=len(window),
+                    )
+        results = self.coordinator.process_batch([job for job, _, _ in window])
+        for (_, ticket, _), result in zip(window, results):
             ticket._resolve(result)
         self.batches_dispatched += 1
         self.jobs_dispatched += len(window)

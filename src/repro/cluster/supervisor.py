@@ -169,12 +169,22 @@ class WorkerSupervisor:
                     self._executor._respawn(shard)
                 except (TransportError, OSError):
                     continue
+                duration = time.perf_counter() - start
                 self.restarts[shard] += 1
                 self.recoveries += 1
-                self.recovery_times.append(time.perf_counter() - start)
+                self.recovery_times.append(duration)
                 self.down.discard(shard)
+                obs = self._executor.obs
+                obs.registry.counter("hyrec_recoveries_total").inc()
+                obs.events.record(
+                    "worker_recovered",
+                    shard=shard,
+                    attempts=attempt + 1,
+                    duration_ms=round(duration * 1e3, 3),
+                )
                 return True
             self.down.add(shard)
+            self._executor.obs.events.record("shard_down", shard=shard)
             return False
         finally:
             self.recovering = False

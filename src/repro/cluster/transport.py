@@ -50,6 +50,15 @@ Message flow (parent ``->`` worker unless noted):
   index and pid.  The :class:`~repro.cluster.supervisor.WorkerSupervisor`
   uses the round-trip time as the per-worker health signal surfaced
   in ``ServerStats``.
+* :class:`MetricsRequest` / :class:`MetricsSnapshot` (worker ``->``
+  parent) -- v4 observability pull: the worker flattens its local
+  :class:`~repro.obs.registry.MetricsRegistry` snapshot into
+  :class:`WireSample` rows (counters, gauges, and histograms with
+  their bucket bounds), which the parent merges into the
+  deployment-wide ``/metrics`` exposition.  Telemetry rides its own
+  frames -- and trace context its own :class:`JobSlices` /
+  :class:`Partials` fields -- so request bytes and the Figure-10 wire
+  meters are untouched by observability.
 * :class:`Shutdown` -- clean worker exit.
 
 Framing errors are typed: short reads raise
@@ -74,8 +83,14 @@ PROTOCOL_MAGIC = b"HY"
 #: v2 added the movable-placement fields: Hello's bucket count and
 #: routing epoch, JobSlices' epoch stamp, and the MapUpdate/Handoff
 #: frame family.  v3 added the Ping/Pong liveness probes the worker
-#: supervisor drives.
-PROTOCOL_VERSION = 3
+#: supervisor drives.  v4 added the observability layer: Hello's
+#: ``flags`` (metrics enable), JobSlices' trace context, Partials'
+#: measured worker spans, and the MetricsRequest/MetricsSnapshot pull.
+PROTOCOL_VERSION = 4
+
+#: Hello ``flags`` bit: the worker should run a live metrics registry
+#: and answer :class:`MetricsRequest` with non-empty snapshots.
+HELLO_FLAG_METRICS = 1
 
 #: Upper bound on one frame's payload (a sanity valve against corrupt
 #: length fields, not a protocol feature): 1 GiB.
@@ -117,6 +132,8 @@ class FrameType(enum.IntEnum):
     HANDOFF_DATA = 12
     PING = 13
     PONG = 14
+    METRICS_REQUEST = 15
+    METRICS_SNAPSHOT = 16
 
 
 # --- payload primitives -----------------------------------------------------
@@ -197,13 +214,16 @@ class Hello:
     ``num_buckets`` and ``map_version`` seed the worker's view of the
     movable placement map: the bucket count lets it select a handed-off
     bucket's users locally, and the version is the routing epoch all
-    subsequent stamped frames are validated against.
+    subsequent stamped frames are validated against.  ``flags`` (v4)
+    carries feature bits -- currently only :data:`HELLO_FLAG_METRICS`,
+    which turns the worker's metrics registry on.
     """
 
     shard: int
     num_shards: int
     num_buckets: int = 0
     map_version: int = 0
+    flags: int = 0
 
     def _pack(self) -> bytes:
         return (
@@ -211,6 +231,7 @@ class Hello:
             + _pack_scalar(self.num_shards)
             + _pack_scalar(self.num_buckets)
             + _pack_scalar(self.map_version)
+            + _pack_scalar(self.flags)
         )
 
     @classmethod
@@ -219,12 +240,14 @@ class Hello:
         num_shards, offset = _unpack_scalar(buf, offset)
         num_buckets, offset = _unpack_scalar(buf, offset)
         map_version, offset = _unpack_scalar(buf, offset)
+        flags, offset = _unpack_scalar(buf, offset)
         return (
             cls(
                 shard=shard,
                 num_shards=num_shards,
                 num_buckets=num_buckets,
                 map_version=map_version,
+                flags=flags,
             ),
             offset,
         )
@@ -297,18 +320,29 @@ class JobSlices:
     under; a worker whose epoch disagrees rejects the frame loudly (a
     stale stamp means the frame crossed a migration it should not
     have).
+
+    ``trace_id`` / ``trace_parent`` (v4) carry the coordinator's trace
+    context when request tracing is on: the worker measures its score
+    span under this parent and ships it back on the :class:`Partials`
+    reply, so both sides of the process boundary stitch into one
+    trace.  Both are 0 when tracing is off -- the frame then carries
+    no trace content at all.
     """
 
     batch_id: int
     truncate: bool  # ship shard-local top-k only
     slices: tuple[ShardSlice, ...]
     map_version: int = 0
+    trace_id: int = 0
+    trace_parent: int = 0
 
     def _pack(self) -> bytes:
         parts = [
             _pack_scalar(self.batch_id),
             _pack_scalar(1 if self.truncate else 0),
             _pack_scalar(self.map_version),
+            _pack_scalar(self.trace_id),
+            _pack_scalar(self.trace_parent),
             _pack_scalar(len(self.slices)),
         ]
         for piece in self.slices:
@@ -326,6 +360,8 @@ class JobSlices:
         batch_id, offset = _unpack_scalar(buf, 0)
         truncate, offset = _unpack_scalar(buf, offset)
         map_version, offset = _unpack_scalar(buf, offset)
+        trace_id, offset = _unpack_scalar(buf, offset)
+        trace_parent, offset = _unpack_scalar(buf, offset)
         count, offset = _unpack_scalar(buf, offset)
         if count < 0 or truncate not in (0, 1):
             raise TransportError("malformed job-slice header")
@@ -357,6 +393,59 @@ class JobSlices:
                 truncate=bool(truncate),
                 slices=tuple(slices),
                 map_version=map_version,
+                trace_id=trace_id,
+                trace_parent=trace_parent,
+            ),
+            offset,
+        )
+
+
+@dataclass(frozen=True)
+class WireSpan:
+    """One span measured inside a worker process (v4).
+
+    Attached to a :class:`Partials` reply when the triggering
+    :class:`JobSlices` frame carried a trace context.  ``start_us`` /
+    ``dur_us`` are ``perf_counter``-based microseconds --
+    ``CLOCK_MONOTONIC`` on Linux is system-wide, so the parent adopts
+    the span onto the shared timeline unchanged.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int
+    start_us: int
+    dur_us: int
+    pid: int
+
+    def _pack(self) -> bytes:
+        return _pack_str(self.name) + b"".join(
+            _pack_scalar(value)
+            for value in (
+                self.span_id,
+                self.parent_id,
+                self.start_us,
+                self.dur_us,
+                self.pid,
+            )
+        )
+
+    @classmethod
+    def _unpack(cls, buf: bytes, offset: int) -> tuple["WireSpan", int]:
+        name, offset = _unpack_str(buf, offset)
+        span_id, offset = _unpack_scalar(buf, offset)
+        parent_id, offset = _unpack_scalar(buf, offset)
+        start_us, offset = _unpack_scalar(buf, offset)
+        dur_us, offset = _unpack_scalar(buf, offset)
+        pid, offset = _unpack_scalar(buf, offset)
+        return (
+            cls(
+                name=name,
+                span_id=span_id,
+                parent_id=parent_id,
+                start_us=start_us,
+                dur_us=dur_us,
+                pid=pid,
             ),
             offset,
         )
@@ -364,10 +453,16 @@ class JobSlices:
 
 @dataclass(frozen=True)
 class Partials:
-    """Worker -> parent: per-job wire partials for one batch."""
+    """Worker -> parent: per-job wire partials for one batch.
+
+    ``spans`` (v4) carries the worker's measured score spans when the
+    batch was traced; it is always empty for untraced batches, so the
+    frame's request payload is byte-identical with tracing off.
+    """
 
     batch_id: int
     partials: tuple[WirePartial, ...]
+    spans: tuple[WireSpan, ...] = ()
 
     def _pack(self) -> bytes:
         parts = [_pack_scalar(self.batch_id), _pack_scalar(len(self.partials))]
@@ -377,6 +472,9 @@ class Partials:
             parts.append(_pack_array(partial.scores))
             parts.append(_pack_array(partial.pop_cols))
             parts.append(_pack_array(partial.pop_counts))
+        parts.append(_pack_scalar(len(self.spans)))
+        for span in self.spans:
+            parts.append(span._pack())
         return b"".join(parts)
 
     @classmethod
@@ -405,7 +503,21 @@ class Partials:
                     pop_counts=pop_counts,
                 )
             )
-        return cls(batch_id=batch_id, partials=tuple(partials)), offset
+        span_count, offset = _unpack_scalar(buf, offset)
+        if span_count < 0:
+            raise TransportError("negative span count")
+        spans = []
+        for _ in range(span_count):
+            span, offset = WireSpan._unpack(buf, offset)
+            spans.append(span)
+        return (
+            cls(
+                batch_id=batch_id,
+                partials=tuple(partials),
+                spans=tuple(spans),
+            ),
+            offset,
+        )
 
 
 @dataclass(frozen=True)
@@ -592,6 +704,93 @@ class Pong:
 
 
 @dataclass(frozen=True)
+class MetricsRequest:
+    """Parent -> worker: ask for the shard's metrics snapshot (v4)."""
+
+    def _pack(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["MetricsRequest", int]:
+        return cls(), 0
+
+
+@dataclass(frozen=True)
+class WireSample:
+    """One flattened metric sample inside a :class:`MetricsSnapshot`.
+
+    ``kind`` is an index into ``("counter", "gauge", "histogram")``;
+    ``labels`` is the ``k=v,k=v`` form; histogram ``values`` are
+    ``[count, sum, *bucket_counts]`` with the bucket ``bounds``
+    shipped alongside (see :mod:`repro.obs.exposition`, which owns
+    both directions of this conversion).
+    """
+
+    kind: int
+    name: str
+    labels: str
+    values: np.ndarray  # float64
+    bounds: np.ndarray  # float64; empty except for histograms
+
+    def __post_init__(self) -> None:
+        if self.kind not in (0, 1, 2):
+            raise TransportError(f"unknown metric kind {self.kind}")
+
+    def _pack(self) -> bytes:
+        return (
+            _pack_scalar(self.kind)
+            + _pack_str(self.name)
+            + _pack_str(self.labels)
+            + _pack_array(self.values)
+            + _pack_array(self.bounds)
+        )
+
+    @classmethod
+    def _unpack(cls, buf: bytes, offset: int) -> tuple["WireSample", int]:
+        kind, offset = _unpack_scalar(buf, offset)
+        name, offset = _unpack_str(buf, offset)
+        labels, offset = _unpack_str(buf, offset)
+        values, offset = _unpack_array(buf, offset)
+        bounds, offset = _unpack_array(buf, offset)
+        return (
+            cls(
+                kind=kind,
+                name=name,
+                labels=labels,
+                values=values.astype(np.float64),
+                bounds=bounds.astype(np.float64),
+            ),
+            offset,
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Worker -> parent: the shard registry's full snapshot (v4)."""
+
+    shard: int
+    samples: tuple[WireSample, ...]
+
+    def _pack(self) -> bytes:
+        parts = [_pack_scalar(self.shard), _pack_scalar(len(self.samples))]
+        for sample in self.samples:
+            parts.append(sample._pack())
+        return b"".join(parts)
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["MetricsSnapshot", int]:
+        shard, offset = _unpack_scalar(buf, 0)
+        count, offset = _unpack_scalar(buf, offset)
+        if count < 0:
+            raise TransportError("negative sample count")
+        samples = []
+        for _ in range(count):
+            sample, offset = WireSample._unpack(buf, offset)
+            samples.append(sample)
+        return cls(shard=shard, samples=tuple(samples)), offset
+
+
+@dataclass(frozen=True)
 class Shutdown:
     """Parent -> worker: drain and exit cleanly."""
 
@@ -618,6 +817,8 @@ Message = (
     | HandoffData
     | Ping
     | Pong
+    | MetricsRequest
+    | MetricsSnapshot
 )
 
 _MESSAGE_TYPES: dict[FrameType, type] = {
@@ -635,6 +836,8 @@ _MESSAGE_TYPES: dict[FrameType, type] = {
     FrameType.HANDOFF_DATA: HandoffData,
     FrameType.PING: Ping,
     FrameType.PONG: Pong,
+    FrameType.METRICS_REQUEST: MetricsRequest,
+    FrameType.METRICS_SNAPSHOT: MetricsSnapshot,
 }
 _FRAME_OF_TYPE = {cls: frame for frame, cls in _MESSAGE_TYPES.items()}
 

@@ -31,12 +31,14 @@ from __future__ import annotations
 
 import os
 import socket
+import time
 
 import numpy as np
 
 from repro.cluster.placement import bucket_of_id
 from repro.cluster.scoring import score_slices, to_wire_partial
 from repro.cluster.transport import (
+    HELLO_FLAG_METRICS,
     Channel,
     ConnectionClosedError,
     HandoffData,
@@ -45,6 +47,8 @@ from repro.cluster.transport import (
     JobSlices,
     MapUpdate,
     Message,
+    MetricsRequest,
+    MetricsSnapshot,
     Partials,
     Ping,
     Pong,
@@ -54,10 +58,15 @@ from repro.cluster.transport import (
     StatsRequest,
     TransportError,
     VocabDelta,
+    WireSample,
+    WireSpan,
     WriteBatch,
 )
 from repro.core.tables import ProfileTable
 from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
+from repro.obs.exposition import sample_to_wire_parts
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import salted_id
 
 
 class ShardHost:
@@ -77,6 +86,27 @@ class ShardHost:
         self.handoffs_out = 0
         self.handoffs_in = 0
         self._handshaken = False
+        #: Shard-local metrics; off until the Hello handshake raises
+        #: :data:`~repro.cluster.transport.HELLO_FLAG_METRICS` (bare
+        #: hosts in unit tests thus carry inert instruments).
+        self.registry = MetricsRegistry(enabled=False)
+        self._bind_metrics()
+        self._span_seq = 0
+
+    def _bind_metrics(self) -> None:
+        """(Re)bind the hot-path instrument handles to the registry."""
+        shard = str(self.shard)
+        registry = self.registry
+        self._jobs_total = registry.counter("hyrec_shard_jobs_total", shard=shard)
+        self._batches_total = registry.counter(
+            "hyrec_shard_batches_total", shard=shard
+        )
+        self._writes_total = registry.counter(
+            "hyrec_shard_writes_total", shard=shard
+        )
+        self._score_seconds = registry.histogram(
+            "hyrec_shard_score_seconds", shard=shard
+        )
 
     # --- frame handlers -----------------------------------------------------
 
@@ -103,6 +133,8 @@ class ShardHost:
             return self._score(msg)
         if isinstance(msg, StatsRequest):
             return self._stats()
+        if isinstance(msg, MetricsRequest):
+            return self._metrics()
         if isinstance(msg, MapUpdate):
             self._apply_map_update(msg)
             return None
@@ -126,6 +158,10 @@ class ShardHost:
             self._handshaken = True
             self.num_buckets = msg.num_buckets
             self.map_version = msg.map_version
+            self.registry = MetricsRegistry(
+                enabled=bool(msg.flags & HELLO_FLAG_METRICS)
+            )
+            self._bind_metrics()
             return Ready(shard=self.shard, pid=os.getpid())
         if isinstance(msg, Shutdown):
             return None
@@ -163,6 +199,7 @@ class ShardHost:
             batch.values.tolist(),
         ):
             record(user_id, item, value)
+        self._writes_total.inc(batch.user_ids.size)
 
     # --- placement epochs and shard handoff ---------------------------------
 
@@ -287,8 +324,30 @@ class ShardHost:
         for piece in msg.slices:
             for user_id in piece.candidate_ids.tolist():
                 get_or_create(user_id)
+        start_ns = time.perf_counter_ns()
         partials = score_slices(self.matrix, msg.slices)
+        dur_ns = time.perf_counter_ns() - start_ns
         self.batches_scored += 1
+        self._batches_total.inc()
+        self._jobs_total.inc(len(msg.slices))
+        self._score_seconds.observe(dur_ns / 1e9)
+        spans: tuple[WireSpan, ...] = ()
+        if msg.trace_id:
+            # The batch is traced: ship the measured score span so the
+            # parent's tracer stitches it under its score phase.  Span
+            # ids are pid-salted, so they cannot collide with ids the
+            # parent minted for the same trace.
+            self._span_seq += 1
+            spans = (
+                WireSpan(
+                    name=f"shard{self.shard}:score",
+                    span_id=salted_id(self._span_seq),
+                    parent_id=msg.trace_parent,
+                    start_us=start_ns // 1000,
+                    dur_us=dur_ns // 1000,
+                    pid=os.getpid(),
+                ),
+            )
         return Partials(
             batch_id=msg.batch_id,
             partials=tuple(
@@ -300,7 +359,29 @@ class ShardHost:
                 )
                 for piece in msg.slices
             ),
+            spans=spans,
         )
+
+    def _metrics(self) -> MetricsSnapshot:
+        """Flatten the local registry snapshot for the parent.
+
+        Snapshots are non-destructive, so the parent may poll at any
+        cadence without double-counting; a disabled registry answers
+        with an empty sample list.
+        """
+        samples = []
+        for sample in self.registry.snapshot():
+            kind, name, labels, values, bounds = sample_to_wire_parts(sample)
+            samples.append(
+                WireSample(
+                    kind=kind,
+                    name=name,
+                    labels=labels,
+                    values=np.asarray(values, dtype=np.float64),
+                    bounds=np.asarray(bounds, dtype=np.float64),
+                )
+            )
+        return MetricsSnapshot(shard=self.shard, samples=tuple(samples))
 
     def _stats(self) -> StatsReply:
         matrix = self.matrix

@@ -93,6 +93,22 @@ class HyRecConfig:
             failing fast with ``ShardUnavailable``.  Writes are never
             dropped either way: the profile table is the replay log,
             and the next successful respawn replays them.
+        metrics_enabled: Run the deployment's
+            :class:`~repro.obs.registry.MetricsRegistry` live: request
+            latency/batch histograms, per-shard job counters (sampled
+            inside worker processes and merged over the wire), and the
+            ``/metrics`` exposition.  Disabling swaps every instrument
+            for a shared no-op, leaving the hot path bare.
+        tracing: Collect request-lifecycle spans
+            (schedule/scatter/score/merge/respond) into the
+            :class:`~repro.obs.tracing.Tracer` ring, stitching worker
+            process score spans into each request's trace; exportable
+            as Chrome trace-event JSON.  Off by default -- tracing is
+            a debugging/profiling tool, not a steady-state monitor.
+        slow_request_ms: Threshold in milliseconds above which a
+            request is logged as slow (a structured ``slow_request``
+            event plus a ``repro.obs`` warning); ``0`` disables the
+            slow-request log.  Independent of ``tracing``.
     """
 
     k: int = 10
@@ -116,6 +132,9 @@ class HyRecConfig:
     max_respawns: int = 3
     retry_backoff: float = 0.05
     degraded_reads: bool = False
+    metrics_enabled: bool = True
+    tracing: bool = False
+    slow_request_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -175,5 +194,9 @@ class HyRecConfig:
         if self.retry_backoff < 0:
             raise ValueError(
                 f"retry_backoff cannot be negative, got {self.retry_backoff}"
+            )
+        if self.slow_request_ms < 0:
+            raise ValueError(
+                f"slow_request_ms cannot be negative, got {self.slow_request_ms}"
             )
         get_metric(self.metric)  # fail fast on unknown metrics

@@ -32,6 +32,8 @@ from repro.core.tables import KnnTable, ProfileTable
 from repro.engine.jobs import EngineJob
 from repro.engine.liked_matrix import LikedMatrix
 from repro.messages import MessageMeter
+from repro.obs import Observability
+from repro.obs.registry import MetricSample
 from repro.sim.randomness import derive_rng
 
 if TYPE_CHECKING:  # imported lazily at runtime (cluster imports core back)
@@ -41,7 +43,17 @@ if TYPE_CHECKING:  # imported lazily at runtime (cluster imports core back)
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Counters exposed for the evaluation harness."""
+    """Counters exposed for the evaluation harness.
+
+    Reads are non-destructive: polling ``server.stats`` twice in a row
+    returns identical counts (per-shard rows included -- their round
+    trips ship point-in-time worker counters, never deltas), so a
+    dashboard polling loop can never double-count.  The counters
+    accumulate from the server's birth; :meth:`HyRecServer.reset_stats`
+    rebases the deltas without touching the underlying counters (whose
+    raw values drive behavior like the reshuffle cadence, and remain
+    the source of truth for the ``/metrics`` exposition).
+    """
 
     online_requests: int
     knn_updates: int
@@ -100,6 +112,11 @@ class HyRecServer:
         #: Runs manually (``rebalancer.rebalance()``) and, when
         #: ``rebalance_interval > 0``, on a write-count cadence.
         self.rebalancer: "ShardRebalancer | None" = None
+        #: The deployment's shared observability: metrics registry,
+        #: request tracer, and event log -- one instance threaded
+        #: through the cluster layers, so worker-process samples and
+        #: spans aggregate with the server's own.
+        self.obs = Observability.from_config(self.config)
         if self.config.engine == "sharded":
             # Imported here, not at module top: the cluster package
             # imports core modules back, and a top-level circular
@@ -124,7 +141,9 @@ class HyRecServer:
                     max_respawns=self.config.max_respawns,
                     retry_backoff=self.config.retry_backoff,
                     degraded_reads=self.config.degraded_reads,
+                    obs=self.obs,
                 ),
+                obs=self.obs,
             )
             # Constructed after the coordinator so its write listener
             # fires after the engine's own router: by the time a
@@ -141,6 +160,22 @@ class HyRecServer:
         self._online_requests = 0
         self._knn_updates = 0
         self._reshuffles = 0
+        #: Snapshot the counters were rebased to by :meth:`reset_stats`
+        #: (all zero at birth); ``stats`` reports deltas against it.
+        self._stats_baseline = {
+            "online_requests": 0,
+            "knn_updates": 0,
+            "reshuffles": 0,
+            "migrations": 0,
+            "dropped_requests": 0,
+            "recoveries": 0,
+        }
+        if self.obs.registry.enabled:
+            # Collector pattern: exposition reads the existing
+            # source-of-truth counters at snapshot time instead of
+            # duplicating increments on the hot path (which could
+            # drift from the counters behavior depends on).
+            self.obs.registry.add_collector(self._collect_metrics)
 
     def close(self) -> None:
         """Release engine resources (the cluster's executor workers).
@@ -285,6 +320,11 @@ class HyRecServer:
             candidate_profile_sizes=tuple(
                 len(self.profiles.get(uid)) for _, uid in pairs
             ),
+            # None unless an active "request" span exists -- the job
+            # then carries its context through the scheduler and the
+            # JobSlices frames, so scatter/score/merge spans (worker
+            # processes included) stitch into that request's trace.
+            trace_ctx=self.obs.tracer.current,
         )
 
     def render_online_response(self, job: PersonalizationJob) -> bytes:
@@ -434,11 +474,17 @@ class HyRecServer:
 
     @property
     def stats(self) -> ServerStats:
-        """Request counters for the evaluation harness."""
+        """Request counters for the evaluation harness.
+
+        Reported values are deltas since the last :meth:`reset_stats`
+        (since birth by default).  The read itself never mutates
+        anything, so polling twice returns identical counts.
+        """
+        base = self._stats_baseline
         return ServerStats(
-            online_requests=self._online_requests,
-            knn_updates=self._knn_updates,
-            reshuffles=self._reshuffles,
+            online_requests=self._online_requests - base["online_requests"],
+            knn_updates=self._knn_updates - base["knn_updates"],
+            reshuffles=self._reshuffles - base["reshuffles"],
             shards=(
                 self.cluster.shard_stats() if self.cluster is not None else ()
             ),
@@ -448,17 +494,108 @@ class HyRecServer:
                 else 0
             ),
             migrations=(
-                self.cluster.migrations if self.cluster is not None else 0
+                self.cluster.migrations - base["migrations"]
+                if self.cluster is not None
+                else 0
             ),
             dropped_requests=(
-                self.cluster.dropped_requests
+                self.cluster.dropped_requests - base["dropped_requests"]
                 if self.cluster is not None
                 else 0
             ),
             recoveries=(
-                self.cluster.recoveries if self.cluster is not None else 0
+                self.cluster.recoveries - base["recoveries"]
+                if self.cluster is not None
+                else 0
             ),
         )
+
+    def reset_stats(self) -> None:
+        """Rebase :attr:`stats` so subsequent reads count from zero.
+
+        Only the *reported deltas* reset: the underlying counters keep
+        accumulating, because raw values drive behavior (the
+        anonymizer's reshuffle cadence is ``online_requests %
+        reshuffle_every``) and feed the monotone ``/metrics``
+        exposition, both of which a destructive reset would corrupt.
+        Per-shard rows are point-in-time worker counters and are not
+        rebased.
+        """
+        self._stats_baseline = {
+            "online_requests": self._online_requests,
+            "knn_updates": self._knn_updates,
+            "reshuffles": self._reshuffles,
+            "migrations": (
+                self.cluster.migrations if self.cluster is not None else 0
+            ),
+            "dropped_requests": (
+                self.cluster.dropped_requests
+                if self.cluster is not None
+                else 0
+            ),
+            "recoveries": (
+                self.cluster.recoveries if self.cluster is not None else 0
+            ),
+        }
+
+    def _collect_metrics(self) -> list[MetricSample]:
+        """Snapshot-time samples pulled from the source-of-truth counters.
+
+        Raw (never baseline-subtracted) values: ``/metrics`` consumers
+        expect monotone counters and compute their own deltas, and the
+        raw counters are exactly what behavior like the reshuffle
+        cadence runs on.  Deliberately avoids ``shard_stats()`` -- that
+        would add one IPC round trip per shard to every scrape; the
+        per-shard view comes from the worker registries instead
+        (merged in :func:`repro.obs.exposition.server_samples`).
+        """
+
+        def counter(name: str, value: float, **labels: object) -> MetricSample:
+            label_set = tuple(
+                sorted((key, str(val)) for key, val in labels.items())
+            )
+            return MetricSample(
+                name=name, kind="counter", labels=label_set, value=float(value)
+            )
+
+        samples = [
+            counter("hyrec_online_requests_total", self._online_requests),
+            counter("hyrec_knn_updates_total", self._knn_updates),
+            counter("hyrec_reshuffles_total", self._reshuffles),
+            MetricSample(
+                name="hyrec_users", kind="gauge", value=float(len(self.profiles))
+            ),
+        ]
+        for channel, reading in sorted(self.meter.channels.items()):
+            samples.append(
+                counter(
+                    "hyrec_wire_bytes_total",
+                    reading.wire_bytes,
+                    channel=channel,
+                )
+            )
+            samples.append(
+                counter(
+                    "hyrec_wire_messages_total",
+                    reading.messages,
+                    channel=channel,
+                )
+            )
+        if self.cluster is not None:
+            samples.append(
+                MetricSample(
+                    name="hyrec_placement_epoch",
+                    kind="gauge",
+                    value=float(self.cluster.placement.version),
+                )
+            )
+            samples.append(
+                counter(
+                    "hyrec_dropped_requests_total",
+                    self.cluster.dropped_requests,
+                )
+            )
+        return samples
 
     @property
     def num_users(self) -> int:

@@ -21,6 +21,7 @@ least once per simulated week while she exists.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -133,17 +134,29 @@ class HyRecSystem:
 
         The job is rendered to wire bytes (and metered) exactly as the
         HTTP deployment would, so replay bandwidth numbers are real.
+        When tracing is on, the whole round trip runs under a root
+        ``request`` span -- the job carries its context down through
+        the scheduler and shard frames, so worker score spans stitch
+        into the same trace -- and every request feeds the latency
+        histogram (plus the slow-request log past its threshold).
         """
+        obs = self.server.obs
+        start_ns = time.perf_counter_ns()
+        span = obs.tracer.begin("request", user=user_id)
         job: PersonalizationJob | EngineJob
-        if self._use_fast_path():
-            job = self.server.handle_engine_request(user_id, now=now)
-            self.server.render_engine_response(job)
-            result = self._execute_engine_job(job)
-        else:
-            job = self.server.handle_online_request(user_id, now=now)
-            self.server.render_online_response(job)
-            result = self.widget.process_job(job)
-        recommendations = self.server.handle_knn_update(user_id, result)
+        with obs.tracer.activate(span):
+            if self._use_fast_path():
+                job = self.server.handle_engine_request(user_id, now=now)
+                self.server.render_engine_response(job)
+                result = self._execute_engine_job(job)
+            else:
+                job = self.server.handle_online_request(user_id, now=now)
+                self.server.render_online_response(job)
+                result = self.widget.process_job(job)
+            with obs.tracer.span("respond"):
+                recommendations = self.server.handle_knn_update(user_id, result)
+        span.finish()
+        obs.note_request(user_id, (time.perf_counter_ns() - start_ns) / 1e9)
         self.requests_served += 1
         return RequestOutcome(
             user_id=user_id,
@@ -176,17 +189,28 @@ class HyRecSystem:
         same admission state, per-job results are identical on every
         engine and batch size.
         """
+        obs = self.server.obs
         jobs: list[PersonalizationJob | EngineJob] = []
+        # One root span per member of the window, begun at admission
+        # (that is when the user's request "arrived"); each stays open
+        # across the shared dispatch so schedule/batch spans can parent
+        # under it, and closes after its own KNN update below.
+        spans = []
+        starts_ns: list[int] = []
         fast = self._use_fast_path()
         for user_id in user_ids:
-            if fast:
-                job: PersonalizationJob | EngineJob = (
-                    self.server.handle_engine_request(user_id, now=now)
-                )
-                self.server.render_engine_response(job)
-            else:
-                job = self.server.handle_online_request(user_id, now=now)
-                self.server.render_online_response(job)
+            starts_ns.append(time.perf_counter_ns())
+            span = obs.tracer.begin("request", user=user_id)
+            spans.append(span)
+            with obs.tracer.activate(span):
+                if fast:
+                    job: PersonalizationJob | EngineJob = (
+                        self.server.handle_engine_request(user_id, now=now)
+                    )
+                    self.server.render_engine_response(job)
+                else:
+                    job = self.server.handle_online_request(user_id, now=now)
+                    self.server.render_online_response(job)
             jobs.append(job)
 
         if fast and self.scheduler is not None:
@@ -198,8 +222,15 @@ class HyRecSystem:
             results = [self.widget.process_job(job) for job in jobs]
 
         outcomes: list[RequestOutcome] = []
-        for user_id, job, result in zip(user_ids, jobs, results):
-            recommendations = self.server.handle_knn_update(user_id, result)
+        for user_id, job, result, span, start_ns in zip(
+            user_ids, jobs, results, spans, starts_ns
+        ):
+            # Explicit parent: the thread-local stack belongs to the
+            # dispatch loop, not to this request's admission context.
+            with obs.tracer.span("respond", parent=span.ctx):
+                recommendations = self.server.handle_knn_update(user_id, result)
+            span.finish()
+            obs.note_request(user_id, (time.perf_counter_ns() - start_ns) / 1e9)
             self.requests_served += 1
             outcomes.append(
                 RequestOutcome(

@@ -41,6 +41,11 @@ class EngineJob:
     #: fast-path outcomes too.
     user_profile_size: int = 0
     candidate_profile_sizes: tuple[int, ...] = ()
+    #: ``(trace_id, span_id)`` of the request's root span when tracing
+    #: is on (see :mod:`repro.obs.tracing`); the sharded engine's
+    #: batch/schedule spans parent to it, stitching one trace per
+    #: request.  ``None`` whenever tracing is off.
+    trace_ctx: tuple[int, int] | None = None
 
     def candidate_count(self) -> int:
         """Size of the candidate set carried by this job."""

@@ -8,8 +8,9 @@
   that contain the item the user is about to like (Figure 6).
 * :mod:`repro.metrics.convergence` -- time-series bucketing for the
   candidate-set size curves (Figure 5).
-* :mod:`repro.metrics.timing` -- latency summaries for the systems
-  experiments (Figures 7-9, 12-13).
+* latency summaries for the systems experiments (Figures 7-9, 12-13)
+  live in :mod:`repro.obs.timing` (the observability layer) and are
+  re-exported here; :mod:`repro.metrics.timing` is a deprecated shim.
 * :mod:`repro.metrics.bandwidth` -- byte formatting and per-widget
   traffic summaries (Figure 10, Section 5.6).
 """
@@ -26,7 +27,7 @@ from repro.metrics.recommendation_quality import (
     RecommenderAdapter,
 )
 from repro.metrics.convergence import bucket_series, SeriesPoint
-from repro.metrics.timing import LatencySummary, summarize_latencies
+from repro.obs.timing import LatencySummary, summarize_latencies
 from repro.metrics.bandwidth import format_bytes
 
 __all__ = [

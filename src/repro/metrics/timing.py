@@ -1,41 +1,14 @@
-"""Latency summaries for the systems experiments."""
+"""Deprecated shim: latency summaries moved to :mod:`repro.obs.timing`.
+
+The observability layer (PR 7) re-homed the repo's one timing
+facility; import :class:`LatencySummary` / :func:`summarize_latencies`
+from :mod:`repro.obs.timing` (or :mod:`repro.metrics`, which
+re-exports them).  This module stays importable so existing call sites
+keep working.
+"""
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass
-from typing import Sequence
+from repro.obs.timing import LatencySummary, summarize_latencies
 
-
-@dataclass(frozen=True)
-class LatencySummary:
-    """Aggregate statistics of a latency sample, in seconds."""
-
-    count: int
-    mean: float
-    median: float
-    p95: float
-    maximum: float
-
-    @property
-    def mean_ms(self) -> float:
-        return self.mean * 1e3
-
-    @property
-    def p95_ms(self) -> float:
-        return self.p95 * 1e3
-
-
-def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
-    """Summarize a non-empty sequence of latencies."""
-    if not samples:
-        raise ValueError("cannot summarize an empty latency sample")
-    ordered = sorted(samples)
-    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
-    return LatencySummary(
-        count=len(ordered),
-        mean=statistics.fmean(ordered),
-        median=ordered[len(ordered) // 2],
-        p95=ordered[p95_index],
-        maximum=ordered[-1],
-    )
+__all__ = ["LatencySummary", "summarize_latencies"]

@@ -1,0 +1,129 @@
+"""End-to-end observability: metrics, tracing, events, exposition.
+
+The layer PR 7 adds across the whole stack, in three pieces:
+
+* :mod:`repro.obs.registry` -- a low-overhead, thread-safe metrics
+  registry (counters, gauges, fixed-log-bucket histograms) sampled on
+  the request hot path and inside worker processes, with snapshots
+  that merge across process boundaries.
+* :mod:`repro.obs.tracing` -- request-lifecycle spans
+  (schedule -> scatter -> per-shard score -> merge -> respond) stitched
+  across the coordinator/worker boundary via trace context on
+  ``JobSlices`` frames, exportable as Chrome trace-event JSON.
+* :mod:`repro.obs.events` -- structured operational events
+  (recoveries, rolling restarts, bucket migrations, slow requests).
+
+:class:`Observability` bundles the three per deployment; every layer
+(server, coordinator, executor, supervisor, rebalancer) shares one
+instance so worker spans and shard samples land in the same place.
+Exposition lives in :mod:`repro.obs.exposition` (Prometheus text for
+``GET /metrics``) and :mod:`repro.obs.dump` (the CLI).
+
+Everything here is exactness-neutral by construction: instruments
+observe and never decide, disabled components are shared null objects,
+and telemetry crossing the process boundary rides its own frames and
+fields -- request bytes and the Figure-10 wire meters are untouched.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.events import EventLog, EventRecord
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    log_buckets,
+    merge_samples,
+)
+from repro.obs.timing import LatencySummary, summarize_latencies
+from repro.obs.tracing import Span, SpanContext, SpanRecord, Tracer, now_us
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "EventLog",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "LatencySummary",
+    "MetricSample",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "log_buckets",
+    "merge_samples",
+    "now_us",
+    "summarize_latencies",
+]
+
+logger = logging.getLogger("repro.obs")
+
+
+class Observability:
+    """One deployment's registry + tracer + event log.
+
+    Constructed by :class:`~repro.core.server.HyRecServer` from the
+    ``metrics_enabled`` / ``tracing`` / ``slow_request_ms`` config
+    knobs and threaded through the cluster layers, so parent-side
+    instruments, adopted worker spans, and operational events all
+    aggregate in one place.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        tracing: bool = False,
+        slow_request_ms: float = 0.0,
+        trace_capacity: int = 4096,
+    ) -> None:
+        self.registry = MetricsRegistry(enabled=metrics)
+        self.tracer = Tracer(enabled=tracing, capacity=trace_capacity)
+        self.events = EventLog()
+        self.slow_request_ms = slow_request_ms
+        self._requests_total = self.registry.counter("hyrec_requests_total")
+        self._request_latency = self.registry.histogram(
+            "hyrec_request_latency_seconds"
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A fully inert instance (the default for bare components)."""
+        return cls(metrics=False, tracing=False)
+
+    @classmethod
+    def from_config(cls, config) -> "Observability":
+        """Build from any object carrying the three obs knobs."""
+        return cls(
+            metrics=getattr(config, "metrics_enabled", True),
+            tracing=getattr(config, "tracing", False),
+            slow_request_ms=getattr(config, "slow_request_ms", 0.0),
+        )
+
+    def note_request(self, user_id: int, seconds: float) -> None:
+        """Book one finished request: latency histogram + slow log.
+
+        The slow-request log is threshold-gated by ``slow_request_ms``
+        (0 disables it) and independent of tracing: a slow request is
+        recorded as a structured event and a warning even when span
+        collection is off.
+        """
+        self._requests_total.inc()
+        self._request_latency.observe(seconds)
+        if self.slow_request_ms > 0 and seconds * 1e3 > self.slow_request_ms:
+            ms = round(seconds * 1e3, 3)
+            self.events.record("slow_request", user=user_id, ms=ms)
+            logger.warning(
+                "slow request: user=%d took %.3f ms (threshold %.3f ms)",
+                user_id,
+                ms,
+                self.slow_request_ms,
+            )

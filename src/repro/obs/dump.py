@@ -1,0 +1,95 @@
+"""CLI: replay a workload and dump the observability state.
+
+    python -m repro.obs.dump --dataset ML1 --scale 0.02 --requests 64
+    python -m repro.obs.dump --engine sharded --shards 4 \\
+        --executor process --tracing --trace-out /tmp/hyrec-trace.json
+
+Builds a :class:`~repro.core.system.HyRecSystem`, replays the chosen
+Table 2 workload, serves a burst of online requests, then prints the
+full Prometheus exposition followed by the structured event log.  With
+``--tracing`` and ``--trace-out`` the collected spans are additionally
+exported as Chrome trace-event JSON for Perfetto (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.datasets import dataset_names, load_dataset
+from repro.obs.exposition import metrics_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.dump",
+        description="Replay a workload and dump metrics, events, and traces.",
+    )
+    parser.add_argument("--dataset", choices=dataset_names(), default="ML1")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine", choices=("python", "vectorized", "sharded"), default="sharded"
+    )
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=32, help="online requests after the replay"
+    )
+    parser.add_argument(
+        "--tracing", action="store_true", help="collect request-lifecycle spans"
+    )
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=0.0,
+        help="slow-request log threshold (0 disables)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write collected spans as Chrome trace-event JSON to this path",
+    )
+    args = parser.parse_args(argv)
+
+    config = HyRecConfig(
+        engine=args.engine,
+        num_shards=args.shards,
+        executor=args.executor,
+        tracing=args.tracing,
+        slow_request_ms=args.slow_request_ms,
+    )
+    system = HyRecSystem(config, seed=args.seed)
+    trace = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    system.replay(trace)
+
+    users = system.server.profiles.users()
+    now = max((rating.timestamp for rating in trace), default=0.0)
+    for index in range(args.requests):
+        system.request(users[index % len(users)], now=now)
+
+    try:
+        print(metrics_text(system.server), end="")
+        print()
+        print("# events")
+        events = system.server.obs.events.records()
+        if not events:
+            print("(none)")
+        for event in events:
+            fields = " ".join(f"{key}={value}" for key, value in event.fields)
+            print(f"{event.kind} {fields}".rstrip())
+
+        if args.trace_out is not None:
+            count = system.server.obs.tracer.export(args.trace_out)
+            print(f"# wrote {count} spans to {args.trace_out}")
+    finally:
+        system.server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Structured operational event records.
+
+Counters say *how often*; events say *what happened*: supervisor
+recoveries, shards declared down, rolling restarts, rebalancer bucket
+migrations (epoch, bucket, duration), slow requests.  Each record is
+an immutable ``kind`` plus stringified key/value fields, timestamped
+on the monotonic clock, held in a bounded ring -- the in-process
+stand-in for a structured log pipeline, and what ``repro.obs.dump``
+prints after a replay.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as _Counter
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.tracing import now_us
+
+__all__ = ["EventLog", "EventRecord"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured event."""
+
+    kind: str
+    ts_us: int  # monotonic microseconds (perf_counter based)
+    fields: tuple[tuple[str, str], ...] = ()
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        for field_key, value in self.fields:
+            if field_key == key:
+                return value
+        return default
+
+
+class EventLog:
+    """Bounded, thread-safe ring of :class:`EventRecord`\\ s.
+
+    Always on: operational events are rare (a recovery, a migration)
+    and cheap, so unlike metrics/tracing they are not gated by a
+    config knob -- a deployment that never recovers or migrates simply
+    has an empty log.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self._records: deque[EventRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, **fields: object) -> EventRecord:
+        event = EventRecord(
+            kind=kind,
+            ts_us=now_us(),
+            fields=tuple((key, str(value)) for key, value in fields.items()),
+        )
+        with self._lock:
+            self._records.append(event)
+        return event
+
+    def records(self, kind: str | None = None) -> list[EventRecord]:
+        """All buffered events, oldest first; optionally one kind only."""
+        with self._lock:
+            records = list(self._records)
+        if kind is None:
+            return records
+        return [record for record in records if record.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind (for quick assertions and dumps)."""
+        with self._lock:
+            return dict(_Counter(record.kind for record in self._records))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

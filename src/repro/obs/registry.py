@@ -1,0 +1,361 @@
+"""Low-overhead, thread-safe metrics: counters, gauges, histograms.
+
+The registry is the cluster's single metrics facility (PR 7): the
+ad-hoc counters ``ServerStats``/``ShardStats`` surface are *absorbed*
+into it -- either sampled directly on the hot path (per-shard scoring
+counters, request latency) or pulled at snapshot time through
+registered collectors (server totals, wire meters), so the exposition
+layer never keeps a second copy of a counter that could drift from the
+source of truth.
+
+Design constraints, in order:
+
+* **Exactness-neutral** -- metrics observe, never participate: no RNG,
+  no wire bytes, no ordering effects.  A deployment with
+  ``metrics_enabled=False`` gets null instruments whose methods are
+  no-ops, so the hot path is identical either way.
+* **Low overhead** -- one dict lookup at *registration* time (handles
+  are cached by callers), one short critical section per observation.
+  Histograms use fixed log-spaced buckets resolved with ``bisect``.
+* **Thread safety** -- instruments carry their own locks (shard tasks
+  run on pool threads); the registry guards its instrument table with
+  a creation lock.
+* **Mergeable snapshots** -- :meth:`MetricsRegistry.snapshot` renders
+  every instrument into immutable :class:`MetricSample` rows; samples
+  from several registries (each worker process keeps its own) merge
+  with :func:`merge_samples` -- counters/histograms sum, gauges keep
+  the last value -- which is how per-shard worker snapshots aggregate
+  over the wire into one cluster view.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "log_buckets",
+    "merge_samples",
+]
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def log_buckets(
+    start: float, factor: float = 2.0, count: int = 16
+) -> tuple[float, ...]:
+    """``count`` fixed log-spaced bucket upper bounds from ``start``."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("log buckets need start > 0, factor > 1, count >= 1")
+    bounds = []
+    bound = float(start)
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: 0.5 ms .. ~16 s, doubling: covers one request on every engine from
+#: the in-process fast path to a cold 8-shard process batch.
+DEFAULT_LATENCY_BUCKETS = log_buckets(0.0005, 2.0, 16)
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One instrument's state, immutable -- the unit of aggregation."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: LabelSet = ()
+    #: Counter/gauge value (unused for histograms).
+    value: float = 0.0
+    #: Histogram observation count / sum over all observations.
+    count: int = 0
+    total: float = 0.0
+    #: Histogram bucket upper bounds; ``bucket_counts`` has one extra
+    #: trailing entry for the +Inf overflow bucket.
+    bounds: tuple[float, ...] = ()
+    bucket_counts: tuple[int, ...] = field(default=())
+
+
+def _label_set(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """Monotone float counter (thread-safe)."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self) -> MetricSample:
+        return MetricSample(
+            name=self.name, kind="counter", labels=self.labels, value=self._value
+        )
+
+
+class Gauge:
+    """Last-value instrument (thread-safe)."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self) -> MetricSample:
+        return MetricSample(
+            name=self.name, kind="gauge", labels=self.labels, value=self._value
+        )
+
+
+class Histogram:
+    """Fixed-log-bucket histogram (thread-safe).
+
+    ``bounds`` are upper bucket edges; an observation lands in the
+    first bucket whose bound is >= the value, or the trailing +Inf
+    bucket.  Count and sum are kept alongside, so mean latency and
+    Prometheus ``_sum``/``_count`` series fall out for free.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_lock", "_counts", "_total", "_count")
+
+    def __init__(
+        self, name: str, labels: LabelSet, bounds: tuple[float, ...]
+    ) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._total = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_right(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._total += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def _sample(self) -> MetricSample:
+        with self._lock:
+            return MetricSample(
+                name=self.name,
+                kind="histogram",
+                labels=self.labels,
+                count=self._count,
+                total=self._total,
+                bounds=self.bounds,
+                bucket_counts=tuple(self._counts),
+            )
+
+
+class _NullInstrument:
+    """Shared no-op instrument returned by a disabled registry."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: LabelSet = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+#: Collector callback: returns extra samples computed at snapshot time
+#: (reads an existing source-of-truth counter instead of duplicating
+#: hot-path increments that could drift from it).
+Collector = Callable[[], Iterable[MetricSample]]
+
+
+class MetricsRegistry:
+    """Instrument table + snapshot/merge machinery.
+
+    Instruments are identified by ``(name, labels)``; asking for the
+    same identity twice returns the same object, so callers cache the
+    handle once and observe through it lock-free of the registry.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, LabelSet], Counter | Gauge | Histogram] = {}
+        self._collectors: list[Collector] = []
+
+    def _get(self, name: str, labels: LabelSet, factory):
+        with self._lock:
+            instrument = self._metrics.get((name, labels))
+            if instrument is None:
+                instrument = factory()
+                self._metrics[(name, labels)] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = _label_set(labels)
+        instrument = self._get(name, key, lambda: Counter(name, key))
+        if not isinstance(instrument, Counter):
+            raise TypeError(f"{name} is already registered as another kind")
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = _label_set(labels)
+        instrument = self._get(name, key, lambda: Gauge(name, key))
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"{name} is already registered as another kind")
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = _label_set(labels)
+        bounds = buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        instrument = self._get(name, key, lambda: Histogram(name, key, bounds))
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"{name} is already registered as another kind")
+        return instrument
+
+    def add_collector(self, collector: Collector) -> None:
+        """Register a snapshot-time sample source (no-op when disabled)."""
+        if self.enabled:
+            with self._lock:
+                self._collectors.append(collector)
+
+    def snapshot(self) -> list[MetricSample]:
+        """Every instrument (and collector) as sorted, immutable samples.
+
+        Non-destructive: snapshotting never resets an instrument, so
+        repeated polls see monotone counters, exactly like scraping a
+        Prometheus endpoint.
+        """
+        if not self.enabled:
+            return []
+        with self._lock:
+            instruments = list(self._metrics.values())
+            collectors = list(self._collectors)
+        samples = [instrument._sample() for instrument in instruments]
+        for collector in collectors:
+            samples.extend(collector())
+        samples.sort(key=lambda sample: (sample.name, sample.labels))
+        return samples
+
+    def reset(self) -> None:
+        """Drop every instrument's state (collectors stay registered).
+
+        Callers holding instrument handles must re-acquire them; this
+        exists for A/B harnesses (the obs-overhead bench) that want a
+        clean slate without rebuilding the deployment.
+        """
+        with self._lock:
+            self._metrics.clear()
+
+
+def merge_samples(*groups: Iterable[MetricSample]) -> list[MetricSample]:
+    """Aggregate sample groups from several registries into one view.
+
+    Counters and histograms (with identical bounds) sum; gauges keep
+    the last group's value.  This is exact for the cluster topology --
+    each worker labels its samples with its shard, so cross-registry
+    collisions only happen for deliberately cluster-wide series.
+    """
+    merged: dict[tuple[str, LabelSet], MetricSample] = {}
+    for group in groups:
+        for sample in group:
+            key = (sample.name, sample.labels)
+            seen = merged.get(key)
+            if seen is None:
+                merged[key] = sample
+                continue
+            if seen.kind != sample.kind:
+                raise ValueError(
+                    f"metric {sample.name} merged across kinds "
+                    f"({seen.kind} vs {sample.kind})"
+                )
+            if sample.kind == "counter":
+                merged[key] = MetricSample(
+                    name=sample.name,
+                    kind="counter",
+                    labels=sample.labels,
+                    value=seen.value + sample.value,
+                )
+            elif sample.kind == "gauge":
+                merged[key] = sample
+            else:
+                if seen.bounds != sample.bounds:
+                    raise ValueError(
+                        f"histogram {sample.name} merged across bucket layouts"
+                    )
+                merged[key] = MetricSample(
+                    name=sample.name,
+                    kind="histogram",
+                    labels=sample.labels,
+                    count=seen.count + sample.count,
+                    total=seen.total + sample.total,
+                    bounds=sample.bounds,
+                    bucket_counts=tuple(
+                        a + b
+                        for a, b in zip(seen.bucket_counts, sample.bucket_counts)
+                    ),
+                )
+    return sorted(merged.values(), key=lambda sample: (sample.name, sample.labels))

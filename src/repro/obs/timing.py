@@ -1,0 +1,55 @@
+"""Latency summaries -- the repo's one timing facility.
+
+Lives in the observability layer (PR 7) so there is exactly one place
+that turns raw latency samples into aggregate statistics: the
+evaluation figures (``repro.eval``), the benchmarks, and the obs dump
+all summarize through here.  ``repro.metrics.timing`` remains as a
+deprecated import shim.
+
+For live instruments prefer a
+:class:`repro.obs.registry.Histogram` -- it is bounded and mergeable
+across processes; :func:`summarize_latencies` is for offline sample
+lists where exact percentiles are wanted.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["LatencySummary", "summarize_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate statistics of a latency sample, in seconds."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.p95 * 1e3
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Summarize a non-empty sequence of latencies."""
+    if not samples:
+        raise ValueError("cannot summarize an empty latency sample")
+    ordered = sorted(samples)
+    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return LatencySummary(
+        count=len(ordered),
+        mean=statistics.fmean(ordered),
+        median=ordered[len(ordered) // 2],
+        p95=ordered[p95_index],
+        maximum=ordered[-1],
+    )

@@ -22,10 +22,24 @@ from repro.web.client import HttpWidgetClient
 from repro.web.server import HyRecHttpServer
 
 
-def build_server(dataset: str, scale: float, seed: int, k: int, r: int) -> HyRecServer:
-    """A HyRec server preloaded with one synthetic workload."""
+def build_server(
+    dataset: str,
+    scale: float,
+    seed: int,
+    config: HyRecConfig | None = None,
+    *,
+    k: int = 10,
+    r: int = 10,
+) -> HyRecServer:
+    """A HyRec server preloaded with one synthetic workload.
+
+    Pass a full ``config`` to pick engine/executor/observability knobs;
+    the ``k``/``r`` shorthands build a default single-process config.
+    """
+    if config is None:
+        config = HyRecConfig(k=k, r=r)
     trace = load_dataset(dataset, scale=scale, seed=seed)
-    server = HyRecServer(HyRecConfig(k=k, r=r), seed=seed)
+    server = HyRecServer(config, seed=seed)
     for rating in trace:
         server.record_rating(rating.user, rating.item, rating.value, rating.timestamp)
     return server
@@ -42,6 +56,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--r", type=int, default=10)
     parser.add_argument("--port", type=int, default=0, help="0 = pick a free port")
     parser.add_argument(
+        "--engine",
+        choices=("python", "vectorized", "sharded"),
+        default="vectorized",
+        help="request-path execution engine",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="shard count (engine=sharded)"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard-task executor (engine=sharded)",
+    )
+    parser.add_argument(
+        "--tracing",
+        action="store_true",
+        help="collect request-lifecycle spans (see /metrics neighbors "
+        "docs/observability.md for exporting them)",
+    )
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=0.0,
+        help="log requests slower than this many ms (0 = off)",
+    )
+    parser.add_argument(
         "--warmup", type=int, default=3, help="widget round trips per user at start"
     )
     parser.add_argument(
@@ -52,11 +93,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    server = build_server(args.dataset, args.scale, args.seed, args.k, args.r)
+    config = HyRecConfig(
+        k=args.k,
+        r=args.r,
+        engine=args.engine,
+        num_shards=args.shards,
+        executor=args.executor,
+        tracing=args.tracing,
+        slow_request_ms=args.slow_request_ms,
+    )
+    server = build_server(args.dataset, args.scale, args.seed, config)
     http_server = HyRecHttpServer(server, port=args.port)
     http_server.start()
     print(f"HyRec serving {args.dataset} (scale {args.scale}) at {http_server.url}")
-    print(f"  {server.num_users} users loaded; endpoints: /online /neighbors /stats")
+    print(
+        f"  {server.num_users} users loaded; "
+        "endpoints: /online /neighbors /stats /metrics"
+    )
 
     if args.warmup:
         client = HttpWidgetClient(http_server.url)
@@ -79,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         pass
     finally:
         http_server.stop()
+        server.close()  # worker shutdown on engine=sharded
         print("server stopped.")
     return 0
 

@@ -11,6 +11,10 @@ Endpoints (Table 1 of the paper):
   -- same, for widgets that prefer a body over a query string.
 * ``GET /stats/`` -- server counters (users, requests, traffic), handy
   for demos and tests.
+* ``GET /metrics`` -- Prometheus text exposition of the deployment's
+  metrics registry (request/latency histograms, per-shard scoring
+  counters sampled inside worker processes, wire meters); scrapeable
+  by a stock Prometheus, see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from urllib.parse import parse_qsl, urlparse
 from repro.core.api import WebApi
 from repro.core.server import HyRecServer
 from repro.messages import encode_json
+from repro.obs.exposition import metrics_text
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -46,6 +51,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(self.api.neighbors(uid, params))
             elif parsed.path.rstrip("/") == "/stats":
                 self._respond_stats()
+            elif parsed.path.rstrip("/") == "/metrics":
+                self._respond_metrics()
             else:
                 self.send_error(404, "unknown endpoint")
         except (KeyError, ValueError) as error:
@@ -85,6 +92,18 @@ class _Handler(BaseHTTPRequestHandler):
         body = encode_json(stats)
         self.send_response(200)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_metrics(self) -> None:
+        body = metrics_text(self.api.server).encode("utf-8")
+        self.send_response(200)
+        # The version parameter is the Prometheus text format's own
+        # version stamp, expected verbatim by scrapers.
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -55,6 +55,7 @@ class TestDocLinks:
         readme_links = set(_relative_links(REPO_ROOT / "README.md"))
         assert "docs/architecture.md" in readme_links
         assert "docs/engines.md" in readme_links
+        assert "docs/observability.md" in readme_links
 
 
 class TestConfigDrift:

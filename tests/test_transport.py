@@ -26,6 +26,8 @@ from repro.cluster.transport import (
     Hello,
     JobSlices,
     MapUpdate,
+    MetricsRequest,
+    MetricsSnapshot,
     Partials,
     Ping,
     Pong,
@@ -37,6 +39,8 @@ from repro.cluster.transport import (
     TruncatedFrameError,
     VersionMismatchError,
     VocabDelta,
+    WireSample,
+    WireSpan,
     WriteBatch,
     decode_message,
     encode_message,
@@ -397,12 +401,15 @@ class TestRejection:
 class TestLivenessFrames:
     """Ping/Pong (protocol v3): the supervisor's active health probe."""
 
-    def test_protocol_version_is_3(self):
-        # v3 is the Ping/Pong revision; a bump without new frames (or
-        # new frames without a bump) is a protocol bug.
-        assert PROTOCOL_VERSION == 3
+    def test_protocol_version_is_4(self):
+        # v3 added Ping/Pong; v4 added the observability frames.  A
+        # bump without new frames (or new frames without a bump) is a
+        # protocol bug.
+        assert PROTOCOL_VERSION == 4
         assert FrameType.PING in FrameType
         assert FrameType.PONG in FrameType
+        assert FrameType.METRICS_REQUEST in FrameType
+        assert FrameType.METRICS_SNAPSHOT in FrameType
 
     @given(nonce=ids64)
     def test_ping_round_trip(self, nonce):
@@ -465,3 +472,118 @@ class TestLivenessFrames:
             host.handle(stale)
         fresh = JobSlices(batch_id=1, truncate=True, slices=(), map_version=4)
         assert host.handle(fresh).batch_id == 1
+
+
+# --- v4 observability frames -------------------------------------------------
+
+
+class TestObservabilityFrames:
+    """Hello flags, trace stamps, WireSpan/WireSample round trips (v4).
+
+    Telemetry neutrality matters here: an untraced JobSlices and a
+    metrics-off Hello must encode byte-identically to their v3-era
+    defaults plus zeroed new fields, and Partials with no spans carry
+    exactly one extra zero scalar -- no per-partial overhead.
+    """
+
+    @given(flags=st.integers(0, 2**16))
+    def test_hello_flags_round_trip(self, flags):
+        decoded = _roundtrip(Hello(shard=1, num_shards=4, flags=flags))
+        assert decoded.flags == flags
+
+    @given(trace_id=ids64, trace_parent=ids64)
+    def test_job_slices_trace_stamp_round_trip(self, trace_id, trace_parent):
+        msg = JobSlices(
+            batch_id=3,
+            truncate=True,
+            slices=(),
+            map_version=2,
+            trace_id=trace_id,
+            trace_parent=trace_parent,
+        )
+        decoded = _roundtrip(msg)
+        assert decoded.trace_id == trace_id
+        assert decoded.trace_parent == trace_parent
+
+    @given(
+        name=st.text(max_size=30),
+        span_id=ids64,
+        parent_id=ids64,
+        start_us=ids64,
+        dur_us=ids64,
+        pid=small_int,
+    )
+    @settings(max_examples=50)
+    def test_partials_spans_round_trip(
+        self, name, span_id, parent_id, start_us, dur_us, pid
+    ):
+        span = WireSpan(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            start_us=start_us,
+            dur_us=dur_us,
+            pid=pid,
+        )
+        decoded = _roundtrip(
+            Partials(batch_id=9, partials=(), spans=(span, span))
+        )
+        assert decoded.spans == (span, span)
+
+    def test_untraced_partials_carry_no_span_bytes(self):
+        frame = encode_message(Partials(batch_id=1, partials=()))
+        # batch_id + partial count + span count: three packed scalars.
+        header = 8  # magic(2) + version + type + length(4)
+        assert len(frame) == header + 3 * 8
+
+    def test_metrics_request_round_trip(self):
+        assert _roundtrip(MetricsRequest()) == MetricsRequest()
+
+    @given(
+        kind=st.integers(0, 2),
+        name=st.text(max_size=30),
+        labels=st.text(max_size=30),
+        values=float_arrays(10),
+        bounds=float_arrays(6),
+    )
+    @settings(max_examples=50)
+    def test_metrics_snapshot_round_trip(
+        self, kind, name, labels, values, bounds
+    ):
+        sample = WireSample(
+            kind=kind, name=name, labels=labels, values=values, bounds=bounds
+        )
+        decoded = _roundtrip(MetricsSnapshot(shard=5, samples=(sample,)))
+        assert decoded.shard == 5
+        got = decoded.samples[0]
+        assert got.kind == kind and got.name == name and got.labels == labels
+        assert _arrays_equal(got.values, values)
+        assert _arrays_equal(got.bounds, bounds)
+
+    def test_unknown_sample_kind_rejected(self):
+        with pytest.raises(TransportError, match="unknown metric kind"):
+            WireSample(
+                kind=3,
+                name="x",
+                labels="",
+                values=np.zeros(1),
+                bounds=np.zeros(0),
+            )
+
+    @settings(max_examples=20)
+    @given(trace_id=ids64)
+    def test_traced_frame_truncation_rejected(self, trace_id):
+        span = WireSpan(
+            name="shard0:score",
+            span_id=7,
+            parent_id=trace_id,
+            start_us=1,
+            dur_us=2,
+            pid=3,
+        )
+        frame = encode_message(
+            Partials(batch_id=1, partials=(), spans=(span,))
+        )
+        for cut in range(8, len(frame)):
+            with pytest.raises(TransportError):
+                decode_message(frame[:cut])
