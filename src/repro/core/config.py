@@ -109,6 +109,31 @@ class HyRecConfig:
             request is logged as slow (a structured ``slow_request``
             event plus a ``repro.obs`` warning); ``0`` disables the
             slow-request log.  Independent of ``tracing``.
+        cache_ttl: HTTP front door only: seconds a cached ``/online/``
+            response may keep being served after it was rendered --
+            the deployment's staleness bound.  ``0`` (the default)
+            disables the response cache entirely, which keeps every
+            HTTP response byte-identical to the in-process path.  A
+            ``/neighbors/`` write for a user always evicts that user's
+            cached response immediately, whatever the TTL, so a cached
+            response is never stale with respect to its own user's
+            writes -- the TTL only bounds staleness against *other*
+            users' activity (see ``docs/http.md``).
+        cache_capacity: HTTP front door only: maximum entries in the
+            in-process L1 response cache; least-recently-used entries
+            are evicted beyond it.
+        http_max_concurrency: HTTP front door only: personalization
+            requests executing on the engine simultaneously (the size
+            of the front door's worker pool).  Cache hits and the
+            health endpoints (``/stats/``, ``/metrics``) do not
+            consume a slot.
+        http_max_pending: HTTP front door only: admitted requests that
+            may wait for an execution slot before the front door sheds
+            new work with ``503`` + ``Retry-After`` (``0`` sheds as
+            soon as every slot is busy).
+        http_retry_after: HTTP front door only: whole seconds clients
+            are told to back off in the ``Retry-After`` header of a
+            shed response.
     """
 
     k: int = 10
@@ -135,6 +160,11 @@ class HyRecConfig:
     metrics_enabled: bool = True
     tracing: bool = False
     slow_request_ms: float = 0.0
+    cache_ttl: float = 0.0
+    cache_capacity: int = 1024
+    http_max_concurrency: int = 8
+    http_max_pending: int = 64
+    http_retry_after: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -198,5 +228,28 @@ class HyRecConfig:
         if self.slow_request_ms < 0:
             raise ValueError(
                 f"slow_request_ms cannot be negative, got {self.slow_request_ms}"
+            )
+        if self.cache_ttl < 0:
+            raise ValueError(
+                f"cache_ttl cannot be negative, got {self.cache_ttl}"
+            )
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be at least 1, got {self.cache_capacity}"
+            )
+        if self.http_max_concurrency < 1:
+            raise ValueError(
+                "http_max_concurrency must be at least 1, got "
+                f"{self.http_max_concurrency}"
+            )
+        if self.http_max_pending < 0:
+            raise ValueError(
+                "http_max_pending cannot be negative, got "
+                f"{self.http_max_pending}"
+            )
+        if self.http_retry_after < 0:
+            raise ValueError(
+                "http_retry_after cannot be negative, got "
+                f"{self.http_retry_after}"
             )
         get_metric(self.metric)  # fail fast on unknown metrics

@@ -156,6 +156,13 @@ class HyRecServer:
                 interval=self.config.rebalance_interval,
             )
         self.meter = MessageMeter()
+        #: Per-user write observers: called with the user id after any
+        #: write that changes what that user's next personalization
+        #: response may contain (a profile rating or a ``/neighbors/``
+        #: KNN update).  The HTTP front door's response cache hooks in
+        #: here for write-driven invalidation; see
+        #: :meth:`add_user_write_listener`.
+        self._user_write_listeners: list = []
         self._bootstrap_rng = derive_rng(seed, "server:bootstrap")
         self._online_requests = 0
         self._knn_updates = 0
@@ -193,6 +200,34 @@ class HyRecServer:
         if self.cluster is not None:
             self.cluster.close()
 
+    # --- write observation ----------------------------------------------------
+
+    def add_user_write_listener(self, listener) -> None:
+        """Subscribe ``listener(user_id)`` to every write touching a user.
+
+        Fires *after* the write is applied, on both write paths --
+        :meth:`record_rating` (profile writes) and
+        :meth:`handle_knn_update` (the ``/neighbors/`` endpoint) -- so
+        a read issued by the listener observes the new state.  This is
+        the invalidation feed of the HTTP response cache
+        (:mod:`repro.web.cache`): because every state-changing
+        operation of the deployment funnels through these two methods,
+        a cache that evicts on this signal can never serve a response
+        predating its own user's latest write.
+        """
+        self._user_write_listeners.append(listener)
+
+    def remove_user_write_listener(self, listener) -> None:
+        """Unsubscribe a user-write listener (no-op if absent)."""
+        try:
+            self._user_write_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_user_write(self, user_id: int) -> None:
+        for listener in self._user_write_listeners:
+            listener(user_id)
+
     # --- profile management ---------------------------------------------------
 
     def register_user(self, user_id: int) -> Profile:
@@ -226,6 +261,8 @@ class HyRecServer:
         """Update the Profile Table with one fresh opinion."""
         self.register_user(user_id)
         self.profiles.record(user_id, item, value, timestamp)
+        if self._user_write_listeners:
+            self._notify_user_write(user_id)
 
     # --- orchestration -----------------------------------------------------------
 
@@ -454,6 +491,8 @@ class HyRecServer:
                 neighbor_ids.append(neighbor)
         self.knn_table.update(user_id, neighbor_ids[: self.config.k])
         self._knn_updates += 1
+        if self._user_write_listeners:
+            self._notify_user_write(user_id)
         return [self._resolve_item_key(key) for key in result.recommended_items]
 
     # --- helpers -------------------------------------------------------------------

@@ -282,6 +282,20 @@ class MetricsRegistry:
             with self._lock:
                 self._collectors.append(collector)
 
+    def remove_collector(self, collector: Collector) -> None:
+        """Unsubscribe a collector (no-op if absent).
+
+        Components with an explicit shutdown (the HTTP front door)
+        must detach here, or a snapshot taken after their teardown
+        would still pull samples from them -- and a rebuilt component
+        on the same registry would double-report every series.
+        """
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
     def snapshot(self) -> list[MetricSample]:
         """Every instrument (and collector) as sorted, immutable samples.
 

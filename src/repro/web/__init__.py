@@ -1,15 +1,36 @@
 """A real HTTP deployment of the Table 1 web API.
 
 The paper ships HyRec as J2EE servlets (optionally bundled with Jetty)
-plus a JavaScript widget.  This package is the Python equivalent: a
-threaded standard-library HTTP server mounting
-:class:`repro.core.api.WebApi`, and an HTTP widget client that runs
-real personalization jobs against it.  ``examples/http_demo.py``
-exercises the full loop over localhost -- actual sockets, actual JSON,
-actual gzip.
+plus a JavaScript widget.  This package is the Python equivalent, in
+two tiers:
+
+* :class:`AsyncHyRecServer` (``async_server.py``) -- the production
+  front door: an asyncio server with admission control/backpressure
+  (bounded pending queue, ``503`` + ``Retry-After`` shedding) and the
+  per-user L1 response cache of :mod:`repro.web.cache` with
+  write-driven invalidation.  Load-tested end to end by
+  :mod:`repro.web.loadtest` / ``benchmarks/bench_http.py``.
+* :class:`HyRecHttpServer` (``server.py``) -- the original threaded
+  standard-library server; zero moving parts, handy for demos.
+
+Both mount :class:`repro.core.api.WebApi`, so the endpoint surface is
+identical; ``docs/http.md`` documents endpoints, cache semantics, and
+admission knobs.
 """
 
-from repro.web.server import HyRecHttpServer
+from repro.web.async_server import AsyncHyRecServer
+from repro.web.cache import CacheStats, ResponseCache
 from repro.web.client import HttpWidgetClient
+from repro.web.loadtest import HttpLoadDriver, HttpLoadResult, fetch_stats
+from repro.web.server import HyRecHttpServer
 
-__all__ = ["HyRecHttpServer", "HttpWidgetClient"]
+__all__ = [
+    "AsyncHyRecServer",
+    "CacheStats",
+    "HttpLoadDriver",
+    "HttpLoadResult",
+    "HttpWidgetClient",
+    "HyRecHttpServer",
+    "ResponseCache",
+    "fetch_stats",
+]

@@ -18,6 +18,7 @@ from repro.core.config import HyRecConfig
 from repro.core.server import HyRecServer
 from repro.datasets import dataset_names, load_dataset
 from repro.metrics import format_bytes
+from repro.web.async_server import AsyncHyRecServer
 from repro.web.client import HttpWidgetClient
 from repro.web.server import HyRecHttpServer
 
@@ -83,6 +84,41 @@ def main(argv: list[str] | None = None) -> int:
         help="log requests slower than this many ms (0 = off)",
     )
     parser.add_argument(
+        "--frontdoor",
+        choices=("async", "threaded"),
+        default="async",
+        help="async = admission control + response cache (docs/http.md); "
+        "threaded = the zero-moving-parts stdlib server",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=0.0,
+        help="response-cache staleness bound in seconds (async front door; "
+        "0 = cache off, byte-exact responses)",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=1024, help="max cached responses"
+    )
+    parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="concurrent engine requests (async front door)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="queued requests before shedding 503s (async front door)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=int,
+        default=1,
+        help="Retry-After seconds on shed responses",
+    )
+    parser.add_argument(
         "--warmup", type=int, default=3, help="widget round trips per user at start"
     )
     parser.add_argument(
@@ -101,15 +137,33 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         tracing=args.tracing,
         slow_request_ms=args.slow_request_ms,
+        cache_ttl=args.cache_ttl,
+        cache_capacity=args.cache_capacity,
+        http_max_concurrency=args.max_concurrency,
+        http_max_pending=args.max_pending,
+        http_retry_after=args.retry_after,
     )
     server = build_server(args.dataset, args.scale, args.seed, config)
-    http_server = HyRecHttpServer(server, port=args.port)
+    if args.frontdoor == "async":
+        http_server: AsyncHyRecServer | HyRecHttpServer = AsyncHyRecServer(
+            server, port=args.port
+        )
+    else:
+        http_server = HyRecHttpServer(server, port=args.port)
     http_server.start()
-    print(f"HyRec serving {args.dataset} (scale {args.scale}) at {http_server.url}")
+    print(
+        f"HyRec serving {args.dataset} (scale {args.scale}) at {http_server.url}"
+        f" ({args.frontdoor} front door)"
+    )
     print(
         f"  {server.num_users} users loaded; "
         "endpoints: /online /neighbors /stats /metrics"
     )
+    if args.frontdoor == "async" and args.cache_ttl > 0:
+        print(
+            f"  response cache on: ttl {args.cache_ttl}s, "
+            f"capacity {args.cache_capacity}"
+        )
 
     if args.warmup:
         client = HttpWidgetClient(http_server.url)

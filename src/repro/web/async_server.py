@@ -1,0 +1,549 @@
+"""Asyncio HTTP front door: admission control + response caching.
+
+This is the production path in front of a :class:`HyRecServer` (any
+engine, including the sharded/process cluster): a single-threaded
+asyncio accept/parse/respond loop, a bounded admission queue feeding a
+small engine worker pool, and the per-user L1 response cache of
+:mod:`repro.web.cache`.  The threaded
+:class:`~repro.web.server.HyRecHttpServer` stays as the zero-moving-
+parts demo deployment; both mount the same :class:`~repro.core.api.
+WebApi`, so the endpoint surface (the paper's Table 1) is identical.
+
+Request flow::
+
+                       ┌──────────────── event loop ────────────────┐
+    socket ── parse ──▶│ /online  cache hit? ──────────────▶ respond │
+                       │    │ miss                                   │
+                       │    ▼                                        │
+                       │ admission (≤ http_max_pending waiting) ─┐   │
+                       │    │ full: 503 + Retry-After (shed)     │   │
+                       └────┼────────────────────────────────────┼───┘
+                            ▼                                    │
+                 engine pool (http_max_concurrency threads)      │
+                 render via WebApi → cache.put → respond ────────┘
+
+Contracts the test suite pins down:
+
+* **Exactness (cache off).** With ``cache_ttl=0`` every response body
+  is byte-identical to calling :class:`~repro.core.api.WebApi`
+  in-process in the same order, wire metering included.
+* **Bounded staleness (cache on).** A hit is never served more than
+  ``cache_ttl`` seconds after its response was rendered, and a user's
+  own write always invalidates her entry immediately (the server's
+  user-write listener feed).
+* **Deterministic shedding.** Engine endpoints past the admission
+  bound get ``503`` with a ``Retry-After: http_retry_after`` header
+  and count into the shed counter; nothing is queued unboundedly.
+* **Health bypass.** ``/stats/`` and ``/metrics`` never enter the
+  admission queue and are never cached (the threaded server behaves
+  the same way, implicitly); they run on a dedicated thread so a
+  saturated engine pool cannot starve them.
+* **Graceful drain.** :meth:`AsyncHyRecServer.stop` stops accepting,
+  lets every in-flight request finish, then closes idle keep-alive
+  connections -- zero in-flight requests dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import parse_qsl, urlparse
+
+from repro.core.api import WebApi
+from repro.core.server import HyRecServer
+from repro.messages import encode_json
+from repro.obs.exposition import metrics_text
+from repro.obs.registry import MetricSample
+from repro.web.cache import ResponseCache
+
+logger = logging.getLogger("repro.web")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class AsyncHyRecServer:
+    """Lifecycle wrapper around the asyncio front door.
+
+    Mirrors :class:`~repro.web.server.HyRecHttpServer`: construct over
+    a live :class:`HyRecServer`, :meth:`start` (binds and serves on a
+    background event-loop thread, returns the port), :meth:`stop`
+    (graceful drain).  Admission and cache knobs default to the server
+    config (``http_max_concurrency``, ``http_max_pending``,
+    ``http_retry_after``, ``cache_ttl``, ``cache_capacity``); keyword
+    overrides exist for tests and sweeps.
+    """
+
+    def __init__(
+        self,
+        server: HyRecServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_concurrency: int | None = None,
+        max_pending: int | None = None,
+        retry_after: int | None = None,
+        cache_ttl: float | None = None,
+        cache_capacity: int | None = None,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        config = server.config
+        self.hyrec = server
+        self.api = WebApi(server)
+        self._host = host
+        self._port = port
+        self.max_concurrency = (
+            config.http_max_concurrency
+            if max_concurrency is None
+            else max_concurrency
+        )
+        self.max_pending = (
+            config.http_max_pending if max_pending is None else max_pending
+        )
+        self.retry_after = (
+            config.http_retry_after if retry_after is None else retry_after
+        )
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if self.max_pending < 0:
+            raise ValueError("max_pending cannot be negative")
+        self.drain_timeout = drain_timeout
+        self.cache = ResponseCache(
+            capacity=(
+                config.cache_capacity
+                if cache_capacity is None
+                else cache_capacity
+            ),
+            ttl=config.cache_ttl if cache_ttl is None else cache_ttl,
+        )
+        # Engine pool sized to the concurrency limit -- the semaphore
+        # already guarantees at most that many engine calls in flight.
+        self._engine_pool = ThreadPoolExecutor(
+            max_workers=self.max_concurrency, thread_name_prefix="hyrec-engine"
+        )
+        # Health endpoints get their own lane so a saturated engine
+        # pool can never starve /stats//metrics (the bypass contract).
+        self._health_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="hyrec-health"
+        )
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        # Admission state; touched only on the event-loop thread.
+        self._sem: asyncio.Semaphore | None = None
+        self._waiting = 0
+        self._executing = 0
+        self._active_requests = 0
+        self._closing = False
+        # Source-of-truth front-door counters (ints under the GIL;
+        # /stats and the metrics collector read them).
+        self._shed = 0
+        self._served: dict[tuple[str, int], int] = {}
+        obs = server.obs
+        self._latency = obs.registry.histogram(
+            "hyrec_http_request_latency_seconds"
+        )
+        obs.registry.add_collector(self._collect_metrics)
+        # Write-driven invalidation: every profile/KNN write for a user
+        # evicts her cached response, whatever the TTL.
+        server.add_user_write_listener(self.cache.invalidate)
+
+    # --- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, actual port) after :meth:`start`."""
+        if self._address is None:
+            raise RuntimeError("server not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self, timeout: float = 10.0) -> int:
+        """Bind and serve on a background event loop; returns the port."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="hyrec-async-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("async server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("async server failed to bind") from (
+                self._startup_error
+            )
+        return self.address[1]
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain in-flight requests, then close.
+
+        Idempotent.  Detaches the cache's write listener and the
+        metrics collector so a new front door can be mounted on the
+        same :class:`HyRecServer`.
+        """
+        if self._thread is not None:
+            loop, stop_event = self._loop, self._stop_event
+            if loop is not None and stop_event is not None:
+                loop.call_soon_threadsafe(stop_event.set)
+            self._thread.join(timeout=self.drain_timeout + 5)
+            self._thread = None
+        self._engine_pool.shutdown(wait=False)
+        self._health_pool.shutdown(wait=False)
+        self.hyrec.remove_user_write_listener(self.cache.invalidate)
+        self.hyrec.obs.registry.remove_collector(self._collect_metrics)
+
+    def __enter__(self) -> "AsyncHyRecServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as error:  # pragma: no cover - diagnostic
+            if not self._started.is_set():
+                self._startup_error = error
+                self._started.set()
+            else:
+                logger.exception("async front door crashed")
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._sem = asyncio.Semaphore(self.max_concurrency)
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        sock = server.sockets[0].getsockname()
+        self._address = (sock[0], sock[1])
+        self._started.set()
+        await self._stop_event.wait()
+        # Graceful drain: no new connections, in-flight requests run
+        # to completion, then idle keep-alive connections are closed.
+        self._closing = True
+        server.close()
+        await server.wait_closed()
+        deadline = (
+            asyncio.get_running_loop().time() + self.drain_timeout
+        )
+        while self._active_requests > 0:
+            if asyncio.get_running_loop().time() >= deadline:
+                logger.warning(
+                    "drain timeout with %d requests in flight",
+                    self._active_requests,
+                )
+                break
+            await asyncio.sleep(0.005)
+        for writer in list(self._writers):
+            writer.close()
+
+    # --- connection handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request_line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not request_line:
+                    break
+                parts = request_line.split()
+                if len(parts) != 3:
+                    break
+                method = parts[0].decode("latin1")
+                target = parts[1].decode("latin1")
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                body = b""
+                length = int(headers.get("content-length", "0") or "0")
+                if length:
+                    body = await reader.readexactly(length)
+                self._active_requests += 1
+                try:
+                    response = await self._dispatch(method, target, body)
+                    writer.write(response)
+                    await writer.drain()
+                finally:
+                    self._active_requests -= 1
+                if headers.get("connection", "").lower() == "close":
+                    break
+                if self._closing:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    # --- dispatch --------------------------------------------------------------
+
+    async def _dispatch(self, method: str, target: str, body: bytes) -> bytes:
+        loop = asyncio.get_running_loop()
+        parsed = urlparse(target)
+        path = parsed.path.rstrip("/")
+        params = dict(parse_qsl(parsed.query))
+        start = loop.time()
+        try:
+            if path == "/stats" and method == "GET":
+                payload = await loop.run_in_executor(
+                    self._health_pool, self._stats_body
+                )
+                return self._finish("/stats", 200, start, payload, "application/json")
+            if path == "/metrics" and method == "GET":
+                payload = await loop.run_in_executor(
+                    self._health_pool,
+                    lambda: metrics_text(self.hyrec).encode("utf-8"),
+                )
+                return self._finish(
+                    "/metrics",
+                    200,
+                    start,
+                    payload,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            if path == "/online" and method == "GET":
+                return await self._online(loop, params, start)
+            if path == "/neighbors" and method in ("GET", "POST"):
+                return await self._neighbors(loop, method, params, body, start)
+            return self._finish(path or "/", 404, start, b"unknown endpoint")
+        except (KeyError, ValueError) as error:
+            return self._finish(
+                path or "/", 400, start, f"bad request: {error}".encode()
+            )
+        except Exception:  # pragma: no cover - diagnostic
+            logger.exception("request failed: %s %s", method, target)
+            return self._finish(path or "/", 500, start, b"internal error")
+
+    async def _online(self, loop, params: dict[str, str], start: float) -> bytes:
+        uid = int(params["uid"])
+        extra = []
+        if self.cache.enabled:
+            cached = self.cache.get(uid)
+            if cached is not None:
+                return self._finish(
+                    "/online",
+                    200,
+                    start,
+                    cached,
+                    "application/json",
+                    extra=[("X-Cache", "hit")],
+                    compressed=self.api.compress,
+                )
+            extra = [("X-Cache", "miss")]
+        admitted = await self._admit()
+        if not admitted:
+            return self._shed_response("/online", start)
+        try:
+
+            def work() -> bytes:
+                # Version read precedes the render: a write landing
+                # mid-render bumps it and the put below is discarded,
+                # so the cache never holds a pre-invalidation response.
+                version = self.cache.version(uid)
+                rendered = self.api.online(uid)
+                self.cache.put(uid, rendered, version)
+                return rendered
+
+            payload = await loop.run_in_executor(self._engine_pool, work)
+        finally:
+            self._release()
+        return self._finish(
+            "/online",
+            200,
+            start,
+            payload,
+            "application/json",
+            extra=extra,
+            compressed=self.api.compress,
+        )
+
+    async def _neighbors(
+        self, loop, method: str, params: dict[str, str], body: bytes, start: float
+    ) -> bytes:
+        uid = int(params.pop("uid"))
+        admitted = await self._admit()
+        if not admitted:
+            return self._shed_response("/neighbors", start)
+        try:
+            if method == "POST":
+                payload = await loop.run_in_executor(
+                    self._engine_pool,
+                    lambda: self.api.neighbors_from_body(uid, body),
+                )
+            else:
+                payload = await loop.run_in_executor(
+                    self._engine_pool, lambda: self.api.neighbors(uid, params)
+                )
+        finally:
+            self._release()
+        return self._finish(
+            "/neighbors",
+            200,
+            start,
+            payload,
+            "application/json",
+            compressed=self.api.compress,
+        )
+
+    # --- admission control ------------------------------------------------------
+
+    async def _admit(self) -> bool:
+        """One engine slot, or ``False`` when the queue is full."""
+        assert self._sem is not None
+        if self._sem.locked() and self._waiting >= self.max_pending:
+            self._shed += 1
+            return False
+        self._waiting += 1
+        try:
+            await self._sem.acquire()
+        finally:
+            self._waiting -= 1
+        self._executing += 1
+        return True
+
+    def _release(self) -> None:
+        assert self._sem is not None
+        self._executing -= 1
+        self._sem.release()
+
+    def _shed_response(self, endpoint: str, start: float) -> bytes:
+        return self._finish(
+            endpoint,
+            503,
+            start,
+            b'{"error": "server overloaded"}',
+            "application/json",
+            extra=[("Retry-After", str(self.retry_after))],
+        )
+
+    # --- responses and telemetry -------------------------------------------------
+
+    def _finish(
+        self,
+        endpoint: str,
+        status: int,
+        start: float,
+        body: bytes,
+        content_type: str = "text/plain; charset=utf-8",
+        extra: list[tuple[str, str]] | None = None,
+        compressed: bool = False,
+    ) -> bytes:
+        """Render one response and book its counters/latency."""
+        key = (endpoint, status)
+        self._served[key] = self._served.get(key, 0) + 1
+        self._latency.observe(
+            max(0.0, asyncio.get_running_loop().time() - start)
+        )
+        headers = [("Content-Type", content_type)]
+        if compressed:
+            headers.append(("Content-Encoding", "gzip"))
+        if extra:
+            headers.extend(extra)
+        headers.append(("Content-Length", str(len(body))))
+        reason = _REASONS.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin1")
+        return head + body
+
+    def _stats_body(self) -> bytes:
+        server = self.hyrec
+        cache = self.cache.stats
+        stats = {
+            "users": server.num_users,
+            "online_requests": server.stats.online_requests,
+            "knn_updates": server.stats.knn_updates,
+            "wire_bytes": server.meter.total_wire_bytes,
+            "cache_enabled": self.cache.enabled,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_evictions": cache.evictions,
+            "cache_invalidations": cache.invalidations,
+            "cache_expirations": cache.expirations,
+            "cache_size": cache.size,
+            "shed_requests": self._shed,
+            "pending": self._waiting,
+            "in_flight": self._executing,
+        }
+        return encode_json(stats)
+
+    def _collect_metrics(self) -> list[MetricSample]:
+        """Front-door samples for the shared registry (collector).
+
+        Reads the same source-of-truth ints `/stats/` serves, so the
+        two surfaces can never disagree.
+        """
+
+        def counter(name: str, value: float, **labels: object) -> MetricSample:
+            label_set = tuple(
+                sorted((key, str(val)) for key, val in labels.items())
+            )
+            return MetricSample(
+                name=name, kind="counter", labels=label_set, value=float(value)
+            )
+
+        cache = self.cache.stats
+        samples = [
+            counter("hyrec_http_shed_total", self._shed),
+            counter("hyrec_http_cache_hits_total", cache.hits),
+            counter("hyrec_http_cache_misses_total", cache.misses),
+            counter("hyrec_http_cache_evictions_total", cache.evictions),
+            counter(
+                "hyrec_http_cache_invalidations_total", cache.invalidations
+            ),
+            MetricSample(
+                name="hyrec_http_pending_requests",
+                kind="gauge",
+                value=float(self._waiting),
+            ),
+            MetricSample(
+                name="hyrec_http_in_flight_requests",
+                kind="gauge",
+                value=float(self._executing),
+            ),
+        ]
+        for (endpoint, status), count in sorted(self._served.items()):
+            samples.append(
+                counter(
+                    "hyrec_http_requests_total",
+                    count,
+                    endpoint=endpoint,
+                    status=status,
+                )
+            )
+        return samples

@@ -1,0 +1,287 @@
+"""Closed- and open-loop HTTP load drivers over real sockets.
+
+The paper load-tests HyRec's servlet frontend with Apache ``ab``
+(Figures 8-9); :mod:`repro.sim.loadgen` reproduces that shape against
+in-process engines.  This module is the missing end-to-end rung: it
+drives the *HTTP deployment itself* -- real TCP connections, real
+HTTP/1.1 keep-alive, the full parse/admit/cache/render path -- in the
+style of COB-Service's ``test_scalability.py``.
+
+Two modes:
+
+* **Closed loop** (:meth:`HttpLoadDriver.run_closed`): ``concurrency``
+  workers, each with one persistent connection, each firing its next
+  request as soon as the previous response lands -- ``ab -c C``.
+  Offered load adapts to what the server sustains, so sheds only
+  happen past the admission bound.
+* **Open loop** (:meth:`HttpLoadDriver.run_open`): requests fired on a
+  fixed schedule at ``rps`` regardless of completions -- the arrival
+  process of real browsers, which is what pushes a server past its
+  admission bound and makes the ``503``/``Retry-After`` shed path
+  measurable.  Latency is measured from the request's *scheduled*
+  send time, so queueing delay is not hidden (no coordinated
+  omission).
+
+Both return an :class:`HttpLoadResult` with p50/p95/p99 latency,
+throughput, and shed/error counts; ``benchmarks/bench_http.py`` sweeps
+them into ``BENCH_http.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+from urllib.parse import urlparse
+
+from repro.messages import decode_json
+
+
+@dataclass(frozen=True)
+class HttpLoadResult:
+    """Outcome of one HTTP load run."""
+
+    mode: str  # "closed" | "open"
+    concurrency: int
+    #: Target arrival rate (open loop only; ``None`` for closed loop).
+    offered_rps: float | None
+    requests: int
+    ok: int
+    shed: int  # 503 responses (admission control)
+    errors: int  # transport failures / unexpected statuses
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _summarize(
+    mode: str,
+    concurrency: int,
+    offered_rps: float | None,
+    latencies_s: list[float],
+    ok: int,
+    shed: int,
+    errors: int,
+    duration_s: float,
+) -> HttpLoadResult:
+    latencies = sorted(latencies_s)
+    requests = ok + shed + errors
+    return HttpLoadResult(
+        mode=mode,
+        concurrency=concurrency,
+        offered_rps=offered_rps,
+        requests=requests,
+        ok=ok,
+        shed=shed,
+        errors=errors,
+        duration_s=duration_s,
+        throughput_rps=ok / duration_s if duration_s > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50) * 1e3,
+        p95_ms=_percentile(latencies, 0.95) * 1e3,
+        p99_ms=_percentile(latencies, 0.99) * 1e3,
+        mean_ms=(sum(latencies) / len(latencies) * 1e3) if latencies else 0.0,
+    )
+
+
+class HttpLoadDriver:
+    """Drive ``GET /online/?uid=`` against a running HTTP deployment.
+
+    ``user_ids`` is the population requests cycle through (round
+    robin, so closed-loop runs are deterministic in which uid each
+    sequence number hits).  Works against both the threaded server and
+    the async front door -- anything speaking the Table 1 API.
+    """
+
+    def __init__(self, base_url: str, user_ids: Sequence[int]) -> None:
+        if not user_ids:
+            raise ValueError("need at least one user to draw requests from")
+        parsed = urlparse(base_url)
+        if parsed.hostname is None or parsed.port is None:
+            raise ValueError(f"need an explicit host:port url, got {base_url!r}")
+        self._netloc = (parsed.hostname, parsed.port)
+        self._users = list(user_ids)
+
+    def _request(
+        self, connection: http.client.HTTPConnection, uid: int
+    ) -> int:
+        """One GET; returns the HTTP status (raises on transport errors)."""
+        connection.request("GET", f"/online/?uid={uid}")
+        response = connection.getresponse()
+        response.read()  # drain so keep-alive can reuse the socket
+        return response.status
+
+    # --- closed loop ------------------------------------------------------------
+
+    def run_closed(
+        self, requests: int = 200, concurrency: int = 8
+    ) -> HttpLoadResult:
+        """``requests`` total requests from ``concurrency`` looping workers."""
+        if requests < 1 or concurrency < 1:
+            raise ValueError("need requests >= 1 and concurrency >= 1")
+        counter_lock = threading.Lock()
+        sequence = [0]
+        latencies: list[list[float]] = [[] for _ in range(concurrency)]
+        outcomes: list[list[int]] = [[0, 0, 0] for _ in range(concurrency)]
+
+        def worker(slot: int) -> None:
+            connection = http.client.HTTPConnection(*self._netloc, timeout=30)
+            try:
+                while True:
+                    with counter_lock:
+                        if sequence[0] >= requests:
+                            return
+                        seq = sequence[0]
+                        sequence[0] += 1
+                    uid = self._users[seq % len(self._users)]
+                    start = time.perf_counter()
+                    try:
+                        status = self._request(connection, uid)
+                    except (OSError, http.client.HTTPException):
+                        outcomes[slot][2] += 1
+                        connection.close()
+                        connection = http.client.HTTPConnection(
+                            *self._netloc, timeout=30
+                        )
+                        continue
+                    latencies[slot].append(time.perf_counter() - start)
+                    if status == 200:
+                        outcomes[slot][0] += 1
+                    elif status == 503:
+                        outcomes[slot][1] += 1
+                    else:
+                        outcomes[slot][2] += 1
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,), daemon=True)
+            for slot in range(concurrency)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - start
+        return _summarize(
+            mode="closed",
+            concurrency=concurrency,
+            offered_rps=None,
+            latencies_s=[value for slot in latencies for value in slot],
+            ok=sum(o[0] for o in outcomes),
+            shed=sum(o[1] for o in outcomes),
+            errors=sum(o[2] for o in outcomes),
+            duration_s=duration,
+        )
+
+    # --- open loop --------------------------------------------------------------
+
+    def run_open(
+        self, rps: float, duration_s: float, workers: int = 32
+    ) -> HttpLoadResult:
+        """Fire at ``rps`` for ``duration_s`` seconds regardless of replies.
+
+        ``workers`` bounds the client-side in-flight window; if every
+        worker is busy when a request comes due, the schedule slips
+        and the slip shows up in that request's latency (measured from
+        the scheduled time).
+        """
+        if rps <= 0 or duration_s <= 0 or workers < 1:
+            raise ValueError("need rps > 0, duration_s > 0, workers >= 1")
+        total = max(1, int(rps * duration_s))
+        interval = 1.0 / rps
+        slots: list[http.client.HTTPConnection | None] = [None] * workers
+        free = list(range(workers))
+        free_lock = threading.Lock()
+        latencies: list[float] = []
+        counts = [0, 0, 0]  # ok, shed, errors
+        record_lock = threading.Lock()
+        inflight: list[threading.Thread] = []
+
+        def fire(slot: int, uid: int, scheduled: float) -> None:
+            connection = slots[slot]
+            if connection is None:
+                connection = http.client.HTTPConnection(*self._netloc, timeout=30)
+                slots[slot] = connection
+            try:
+                status = self._request(connection, uid)
+            except (OSError, http.client.HTTPException):
+                connection.close()
+                slots[slot] = None
+                status = -1
+            elapsed = time.perf_counter() - scheduled
+            with record_lock:
+                latencies.append(elapsed)
+                if status == 200:
+                    counts[0] += 1
+                elif status == 503:
+                    counts[1] += 1
+                else:
+                    counts[2] += 1
+            with free_lock:
+                free.append(slot)
+
+        start = time.perf_counter()
+        for seq in range(total):
+            scheduled = start + seq * interval
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            while True:
+                with free_lock:
+                    slot = free.pop() if free else None
+                if slot is not None:
+                    break
+                time.sleep(interval / 4)
+            uid = self._users[seq % len(self._users)]
+            thread = threading.Thread(
+                target=fire, args=(slot, uid, scheduled), daemon=True
+            )
+            thread.start()
+            inflight.append(thread)
+        for thread in inflight:
+            thread.join(timeout=60)
+        duration = time.perf_counter() - start
+        for connection in slots:
+            if connection is not None:
+                connection.close()
+        return _summarize(
+            mode="open",
+            concurrency=workers,
+            offered_rps=rps,
+            latencies_s=latencies,
+            ok=counts[0],
+            shed=counts[1],
+            errors=counts[2],
+            duration_s=duration,
+        )
+
+
+def fetch_stats(base_url: str) -> dict:
+    """``GET /stats/`` decoded -- cache/shed counters for benchmarks."""
+    parsed = urlparse(base_url)
+    connection = http.client.HTTPConnection(
+        parsed.hostname, parsed.port, timeout=10
+    )
+    try:
+        connection.request("GET", "/stats/")
+        response = connection.getresponse()
+        return decode_json(response.read())
+    finally:
+        connection.close()

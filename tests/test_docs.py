@@ -56,6 +56,7 @@ class TestDocLinks:
         assert "docs/architecture.md" in readme_links
         assert "docs/engines.md" in readme_links
         assert "docs/observability.md" in readme_links
+        assert "docs/http.md" in readme_links
 
 
 class TestConfigDrift:

@@ -1,0 +1,246 @@
+"""Cache correctness: LRU, TTL, and write-driven invalidation.
+
+The response cache's contract (``docs/http.md``):
+
+* LRU within ``capacity``; recently *used* entries survive.
+* No entry is served more than ``ttl`` seconds after it was rendered.
+* A write for user ``u`` -- delivered through the server's user-write
+  listener feed -- immediately evicts ``u``'s entry, and (the subtle
+  part) a response rendered *before* a write can never be stored
+  *after* it: stores are tagged with the invalidation version read
+  before rendering and discarded on mismatch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.web.cache import ResponseCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def put(cache: ResponseCache, uid: int, body: bytes) -> bool:
+    """Store through the version protocol, with no interleaved write."""
+    return cache.put(uid, body, cache.version(uid))
+
+
+class TestLookup:
+    def test_miss_then_hit(self, clock):
+        cache = ResponseCache(capacity=4, ttl=10.0, clock=clock)
+        assert cache.get(1) is None
+        assert put(cache, 1, b"one")
+        assert cache.get(1) == b"one"
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_disabled_without_ttl(self, clock):
+        cache = ResponseCache(capacity=4, ttl=0.0, clock=clock)
+        assert not cache.enabled
+        assert not put(cache, 1, b"one")
+        assert cache.get(1) is None
+        # A disabled cache books nothing: the front door with
+        # cache_ttl=0 must look exactly like no cache at all.
+        assert cache.stats.misses == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ResponseCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResponseCache(ttl=-1.0)
+
+
+class TestLru:
+    def test_capacity_evicts_least_recently_used(self, clock):
+        cache = ResponseCache(capacity=2, ttl=10.0, clock=clock)
+        put(cache, 1, b"one")
+        put(cache, 2, b"two")
+        assert cache.get(1) == b"one"  # 1 is now most recently used
+        put(cache, 3, b"three")  # evicts 2
+        assert cache.get(2) is None
+        assert cache.get(1) == b"one"
+        assert cache.get(3) == b"three"
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self, clock):
+        cache = ResponseCache(capacity=2, ttl=10.0, clock=clock)
+        put(cache, 1, b"one")
+        put(cache, 2, b"two")
+        put(cache, 1, b"one again")  # refresh, not insert
+        put(cache, 3, b"three")  # evicts 2, the stale one
+        assert cache.get(1) == b"one again"
+        assert cache.get(2) is None
+
+
+class TestTtl:
+    def test_entry_expires_after_ttl(self, clock):
+        cache = ResponseCache(capacity=4, ttl=5.0, clock=clock)
+        put(cache, 1, b"one")
+        clock.advance(4.99)
+        assert cache.get(1) == b"one"
+        clock.advance(0.02)
+        assert cache.get(1) is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_hit_does_not_extend_freshness(self, clock):
+        # LRU recency must not be confused with freshness: a popular
+        # entry still expires ttl seconds after it was *rendered*.
+        cache = ResponseCache(capacity=4, ttl=5.0, clock=clock)
+        put(cache, 1, b"one")
+        for _ in range(10):
+            clock.advance(0.49)
+            assert cache.get(1) == b"one"
+        clock.advance(0.2)  # 5.1s after the put
+        assert cache.get(1) is None
+
+
+class TestInvalidation:
+    def test_invalidate_evicts(self, clock):
+        cache = ResponseCache(capacity=4, ttl=10.0, clock=clock)
+        put(cache, 1, b"one")
+        cache.invalidate(1)
+        assert cache.get(1) is None
+        assert cache.stats.invalidations == 1
+
+    def test_stale_version_put_is_discarded(self, clock):
+        # The render-vs-write race: version read, then a write lands,
+        # then the (now stale) render tries to store.
+        cache = ResponseCache(capacity=4, ttl=10.0, clock=clock)
+        version = cache.version(1)
+        cache.invalidate(1)
+        assert not cache.put(1, b"stale render", version)
+        assert cache.get(1) is None
+
+    def test_version_survives_eviction(self, clock):
+        # Capacity-evicting an entry must not reset the version, or a
+        # pre-invalidation render could sneak back in afterwards.
+        cache = ResponseCache(capacity=1, ttl=10.0, clock=clock)
+        version = cache.version(1)
+        cache.invalidate(1)
+        put(cache, 2, b"two")  # 1 holds no entry at all now
+        assert not cache.put(1, b"stale render", version)
+
+    def test_server_write_feed_evicts(self, loaded_server):
+        # End-to-end wiring: both server write paths (ratings and
+        # /neighbors KNN updates) must reach a subscribed cache.
+        cache = ResponseCache(capacity=8, ttl=60.0)
+        loaded_server.add_user_write_listener(cache.invalidate)
+        put(cache, 0, b"job for 0")
+        put(cache, 1, b"job for 1")
+        loaded_server.record_rating(0, 99, 1.0)
+        assert cache.get(0) is None
+        assert cache.get(1) == b"job for 1"
+
+        from repro.core.api import WebApi
+        from repro.core.client import HyRecWidget
+        from repro.core.jobs import PersonalizationJob
+
+        api = WebApi(loaded_server)
+
+        job = PersonalizationJob.from_payload(api.decode(api.online(1)))
+        result = HyRecWidget().process_job(job)
+        params = {
+            f"id{i}": token for i, token in enumerate(result.neighbor_tokens)
+        }
+        put(cache, 1, b"job for 1 again")
+        api.neighbors(1, params)
+        assert cache.get(1) is None
+        loaded_server.remove_user_write_listener(cache.invalidate)
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("put"), st.integers(0, 3), st.binary(max_size=4)),
+                st.tuples(st.just("stale_put"), st.integers(0, 3), st.binary(max_size=4)),
+                st.tuples(st.just("invalidate"), st.integers(0, 3), st.just(b"")),
+                st.tuples(st.just("get"), st.integers(0, 3), st.just(b"")),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_dict_model(self, ops):
+        """With ample capacity and TTL, the cache is a dict with
+        invalidation -- and a stale-versioned put is a no-op."""
+        clock = FakeClock()
+        cache = ResponseCache(capacity=64, ttl=1e9, clock=clock)
+        model: dict[int, bytes] = {}
+        for op, uid, payload in ops:
+            clock.advance(1.0)
+            if op == "put":
+                cache.put(uid, payload, cache.version(uid))
+                model[uid] = payload
+            elif op == "stale_put":
+                # A write between the version read and the store.
+                version = cache.version(uid)
+                cache.invalidate(uid)
+                model.pop(uid, None)
+                assert not cache.put(uid, payload, version)
+            elif op == "invalidate":
+                cache.invalidate(uid)
+                model.pop(uid, None)
+            else:
+                assert cache.get(uid) == model.get(uid)
+
+    def test_concurrent_gets_never_resurrect_invalidated_entries(self):
+        """Readers racing a writer: after an invalidation *returns*, no
+        read may see an entry stored under an older version."""
+        cache = ResponseCache(capacity=16, ttl=1e9)
+        uid = 7
+        completed = [0]  # invalidation versions fully applied
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                floor = completed[0]
+                body = cache.get(uid)
+                if body is not None:
+                    stored_version = int(body)
+                    if stored_version < floor:
+                        failures.append(
+                            f"read version {stored_version} after "
+                            f"invalidation {floor} completed"
+                        )
+                # Simulate the front door's render-and-store cycle.
+                version = cache.version(uid)
+                cache.put(uid, str(version).encode(), version)
+
+        def writer() -> None:
+            for _ in range(300):
+                cache.invalidate(uid)
+                completed[0] = cache.version(uid)
+            stop.set()
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        writer_thread.join(timeout=30)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=10)
+        assert not failures, failures[:3]
