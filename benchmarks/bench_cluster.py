@@ -49,6 +49,17 @@ Two measurements:
    cost; asserts zero dropped requests and bit-for-bit parity with an
    unsharded run of the identical request sequence.  ``--recovery-only``
    re-runs just this scenario and merges it into the existing report.
+
+5. **Autoscale** (the elasticity shape): a zipf write ramp drives the
+   :class:`repro.cluster.ShardRebalancer`'s watermark autoscaler --
+   each control pass adds a shard and rebalances while measured
+   request waves keep serving; a near-idle cooldown shrinks the fleet
+   back.  Reports per-phase shard count, write spread, and RPS;
+   asserts the full grow/shrink trajectory, a non-worsening spread
+   after scale-out, zero dropped requests, and bit-for-bit parity
+   with an unsharded run of the identical sequence.
+   ``--autoscale-smoke`` re-runs just this scenario and merges it
+   into the existing report (the CI elasticity smoke).
 """
 
 from __future__ import annotations
@@ -580,6 +591,190 @@ def bench_obs_overhead(
     }
 
 
+def bench_autoscale(
+    num_users: int,
+    ramp_writes: int,
+    catalog: int,
+    requests: int,
+    batch_window: int,
+    min_shards: int = 2,
+    max_shards: int = 4,
+    zipf_a: float = 1.1,
+    seed: int = 0,
+) -> dict:
+    """Load ramp through the watermark autoscaler: grow, serve, shrink.
+
+    The elasticity shape: a process-executor cluster starts at
+    ``min_shards`` and a zipf-skewed write ramp pushes the mean
+    writes/shard past the autoscaler's high-water mark; each control
+    pass (driven explicitly here so the phases are deterministic --
+    the production path runs the same ``run_once`` on a timer) adds
+    one shard and rebalances, with a measured request wave served
+    between passes.  After the fleet reaches ``max_shards`` one more
+    hot chunk lands and a final rebalance must not worsen the spread;
+    a near-idle cooldown then walks the fleet back down to
+    ``min_shards``.  Headline checks: the fleet actually grew to
+    ``max_shards`` and shrank back, the post-scale-out rebalance kept
+    the max/min write spread from growing, zero dropped requests, and
+    bit-for-bit parity (KNN table + wire metering) with an unsharded
+    vectorized run of the identical write/request sequence.  Per-phase
+    RPS and spread are recorded so the report shows both recovering
+    after scale-out.
+    """
+    config = HyRecConfig(
+        k=10,
+        r=10,
+        compress=False,
+        engine="sharded",
+        num_shards=min_shards,
+        executor="process",
+        batch_window=batch_window,
+        rebalance_threshold=1.3,
+        rebalance_max_moves=4 * max_shards,
+        autoscale_min_shards=min_shards,
+        autoscale_max_shards=max_shards,
+        autoscale_high_water=ramp_writes / (2.0 * max_shards),
+        autoscale_low_water=20.0,
+    )
+    system = HyRecSystem(config, seed=seed)
+    reference = HyRecSystem(
+        HyRecConfig(
+            k=10, r=10, compress=False, engine="vectorized",
+            batch_window=batch_window,
+        ),
+        seed=seed,
+    )
+    rng = derive_rng(seed, "cluster-autoscale")
+    users = list(range(num_users))
+    for user in users:  # identical population on both systems
+        for item in rng.sample(range(catalog), 12):
+            value = 1.0 if rng.random() < 0.8 else 0.0
+            system.record_rating(user, item, value, timestamp=0.0)
+            reference.record_rating(user, item, value, timestamp=0.0)
+    for user in users:
+        neighbors = [n for n in rng.sample(users, 11) if n != user][:10]
+        system.server.knn_table.update(user, neighbors)
+        reference.server.knn_table.update(user, neighbors)
+
+    cluster = system.server.cluster
+    rebalancer = system.server.rebalancer
+    assert cluster is not None and rebalancer is not None
+    loadgen = ClusterLoadGenerator(system, users)
+    reference_loadgen = ClusterLoadGenerator(reference, users)
+    weights = [1.0 / (rank + 1) ** zipf_a for rank in range(num_users)]
+
+    def write_chunk(count: int) -> None:
+        for user in rng.choices(range(num_users), weights=weights, k=count):
+            item = rng.randrange(catalog)
+            system.record_rating(user, item, 1.0, timestamp=0.0)
+            reference.record_rating(user, item, 1.0, timestamp=0.0)
+
+    def ratio(loads) -> float:
+        return round(
+            float(loads.max()) / float(max(int(loads.min()), 1)), 3
+        )
+
+    phases: list[dict] = []
+
+    def measure(phase: str) -> dict:
+        result = loadgen.run(requests=requests, concurrency=batch_window)
+        reference_loadgen.run(requests=requests, concurrency=batch_window)
+        loads = rebalancer.shard_loads()
+        entry = {
+            "phase": phase,
+            "num_shards": cluster.num_shards,
+            "rps": round(result.throughput_rps, 1),
+            "per_shard_writes": [int(load) for load in loads],
+            "max_min_ratio": ratio(loads),
+        }
+        phases.append(entry)
+        return entry
+
+    measure("baseline")
+    passes = 0
+    while cluster.num_shards < max_shards and passes < 2 * max_shards:
+        write_chunk(ramp_writes)
+        rebalancer.run_once()  # the timer tick, driven deterministically
+        passes += 1
+        measure(f"ramp-{passes}")
+
+    write_chunk(ramp_writes)  # one more hot chunk at full size
+    spread_pre = ratio(rebalancer.shard_loads())
+    moves = rebalancer.rebalance()
+    spread_post = ratio(rebalancer.shard_loads())
+    after_scaleout = measure("after-scaleout")
+
+    cooldown = 0
+    while cluster.num_shards > min_shards and cooldown < 2 * max_shards:
+        write_chunk(10)  # near idle: mean writes/shard under low water
+        rebalancer.run_once()
+        cooldown += 1
+        measure(f"cooldown-{cooldown}")
+
+    stats = system.server.stats
+    parity = system.server.knn_table.as_dict() == (
+        reference.server.knn_table.as_dict()
+    ) and all(
+        system.server.meter.reading(channel)
+        == reference.server.meter.reading(channel)
+        for channel in ("server->client", "client->server")
+    )
+    grows = [a for a in rebalancer.scale_actions if a[0] == "grow"]
+    shrinks = [a for a in rebalancer.scale_actions if a[0] == "shrink"]
+    rps_recovered = after_scaleout["rps"] >= 0.5 * phases[0]["rps"]
+    entry = {
+        "population": {
+            "users": num_users,
+            "catalog": catalog,
+            "ramp_writes": ramp_writes,
+            "zipf_a": zipf_a,
+            "requests_per_wave": requests,
+        },
+        "min_shards": min_shards,
+        "max_shards": max_shards,
+        "high_water": config.autoscale_high_water,
+        "low_water": config.autoscale_low_water,
+        "phases": phases,
+        "scale_actions": [list(action) for action in rebalancer.scale_actions],
+        "shards_added": stats.shards_added,
+        "shards_removed": stats.shards_removed,
+        "spread_after_scaleout": {
+            "pre_rebalance": spread_pre,
+            "post_rebalance": spread_post,
+            "bucket_moves": len(moves),
+        },
+        "rps_baseline": phases[0]["rps"],
+        "rps_after_scaleout": after_scaleout["rps"],
+        "rps_recovered": bool(rps_recovered),
+        "dropped_requests": stats.dropped_requests,
+        "parity_identical": parity,
+    }
+    system.close()
+    reference.close()
+    print(
+        f"autoscale {min_shards}->{max_shards} shards: "
+        f"{len(grows)} grows / {len(shrinks)} shrinks, spread "
+        f"{spread_pre:.2f} -> {spread_post:.2f} after {len(moves)} moves, "
+        f"rps {entry['rps_baseline']:.1f} -> "
+        f"{entry['rps_after_scaleout']:.1f} after scale-out, "
+        f"dropped={stats.dropped_requests}, parity={parity}"
+    )
+    if len(grows) != max_shards - min_shards:
+        raise SystemExit(
+            f"autoscaler grew {len(grows)} times, expected "
+            f"{max_shards - min_shards}"
+        )
+    if not shrinks or entry["phases"][-1]["num_shards"] != min_shards:
+        raise SystemExit("autoscaler failed to shrink back to the floor")
+    if spread_post > spread_pre:
+        raise SystemExit("post-scale-out rebalance worsened the spread")
+    if stats.dropped_requests != 0:
+        raise SystemExit("autoscale run dropped requests")
+    if not parity:
+        raise SystemExit("autoscale run broke engine parity")
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -593,6 +788,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the kill/recovery scenario and merge it into an "
         "existing report (the CI fault-tolerance smoke)",
+    )
+    parser.add_argument(
+        "--autoscale-smoke",
+        action="store_true",
+        help="run only the elastic grow/shrink scenario and merge it into "
+        "an existing report (the CI elasticity smoke)",
     )
     parser.add_argument(
         "--obs-overhead",
@@ -620,6 +821,28 @@ def main(argv: list[str] | None = None) -> int:
         report["obs_overhead"] = obs
         args.output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"updated obs_overhead section of {args.output}")
+        return 0
+
+    if args.autoscale_smoke:
+        autoscale = (
+            bench_autoscale(
+                num_users=200, ramp_writes=1500, catalog=1500,
+                requests=96, batch_window=16, max_shards=4,
+            )
+            if args.quick
+            else bench_autoscale(
+                num_users=400, ramp_writes=4000, catalog=2500,
+                requests=256, batch_window=32, max_shards=8,
+            )
+        )
+        report = (
+            json.loads(args.output.read_text())
+            if args.output.exists()
+            else {}
+        )
+        report["autoscale"] = autoscale
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"updated autoscale section of {args.output}")
         return 0
 
     if args.quick:
@@ -653,6 +876,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         replay = bench_replay(scale=min(args.scale, 0.03), num_shards=4)
         skew = bench_skew(num_users=200, writes=2000, num_shards=8)
+        autoscale = bench_autoscale(
+            num_users=200, ramp_writes=1500, catalog=1500,
+            requests=96, batch_window=16, max_shards=4,
+        )
         obs = bench_obs_overhead(scale=min(args.scale, 0.03))
     else:
         sweep = bench_sweep(
@@ -661,6 +888,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         replay = bench_replay(scale=args.scale, num_shards=4)
         skew = bench_skew(num_users=400, writes=8000, num_shards=8)
+        autoscale = bench_autoscale(
+            num_users=400, ramp_writes=4000, catalog=2500,
+            requests=256, batch_window=32, max_shards=8,
+        )
         obs = bench_obs_overhead(scale=args.scale)
 
     report = {
@@ -668,6 +899,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay": [replay],
         "skew": skew,
         "recovery": recovery,
+        "autoscale": autoscale,
         "obs_overhead": obs,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -13,7 +13,14 @@ is a movable :class:`PlacementMap` (rendezvous-hashed virtual-node
 buckets behind a versioned owner table), so a
 :class:`ShardRebalancer` can migrate whole buckets off a hot or
 churning shard through the live handoff path without changing a
-single output bit.  The process executor is fault tolerant: a
+single output bit.  The topology itself is elastic: the coordinator's
+``add_shard``/``remove_shard`` grow and shrink the fleet under live
+traffic (a join handshakes at the current epoch and migrates its
+rendezvous share in; a retire drains its buckets out), the
+:class:`ShardRebalancer` doubles as a watermark-driven autoscaler on a
+background control-loop thread, and pathologically hot buckets split
+(``split_buckets`` -- an epoch-bumped metadata change that moves no
+data).  The process executor is fault tolerant: a
 :class:`WorkerSupervisor` detects worker death through socket
 deadlines and v3 ping probes, re-forks the shard's worker, and
 warm-starts it from the coordinator-side replay log -- recovery is

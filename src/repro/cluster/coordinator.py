@@ -51,6 +51,7 @@ output bit.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -58,7 +59,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.executors import ShardExecutor, SerialExecutor
-from repro.cluster.placement import ShardPlacement
+from repro.cluster.placement import ShardPlacement, rendezvous_owner
 from repro.cluster.scoring import (
     ShardPartial,
     ShardSlice,
@@ -177,10 +178,22 @@ class ClusterCoordinator:
         self.batches_processed = 0
         self.jobs_processed = 0
         self.migrations = 0
+        self.shards_added = 0
+        self.shards_removed = 0
+        self.bucket_splits = 0
         #: Jobs not served exactly: degraded results plus jobs lost to
         #: a fail-fast :class:`ShardUnavailable` (surfaced in
         #: ``ServerStats.dropped_requests``).
         self.dropped_requests = 0
+        #: Serializes batches, stats reads, and topology changes when
+        #: any of them run off the serving thread (the autoscaler's
+        #: timer).  The process executor exposes its own reentrant
+        #: ops lock -- sharing it means the coordinator and executor
+        #: agree on one serialization point; in-process executors get
+        #: a coordinator-local one.
+        self._ops_lock: threading.RLock = (
+            getattr(self.executor, "ops_lock", None) or threading.RLock()
+        )
         registry = self.obs.registry
         self._batch_seconds = registry.histogram("hyrec_batch_seconds")
         self._jobs_total = registry.counter("hyrec_jobs_total")
@@ -188,21 +201,28 @@ class ClusterCoordinator:
         # Per-shard series for the *in-process* executors only: the
         # process executor's workers sample these inside their own
         # registries (polled via metrics_samples), so parent-side
-        # handles there would double-count after the merge.
+        # handles there would double-count after the merge.  Lists, not
+        # tuples: a live join appends a series for the new shard.
         if self.matrix is not None:
-            shards = [str(shard) for shard in range(self.num_shards)]
-            self._shard_jobs = tuple(
-                registry.counter("hyrec_shard_jobs_total", shard=shard)
-                for shard in shards
-            )
-            self._shard_batches = tuple(
-                registry.counter("hyrec_shard_batches_total", shard=shard)
-                for shard in shards
-            )
-            self._shard_score_seconds = tuple(
-                registry.histogram("hyrec_shard_score_seconds", shard=shard)
-                for shard in shards
-            )
+            self._shard_jobs: list = []
+            self._shard_batches: list = []
+            self._shard_score_seconds: list = []
+            for shard in range(self.num_shards):
+                self._add_shard_instruments(shard)
+
+    def _add_shard_instruments(self, shard: int) -> None:
+        """Create (or re-acquire) the in-process shard's metric series."""
+        registry = self.obs.registry
+        label = str(shard)
+        self._shard_jobs.append(
+            registry.counter("hyrec_shard_jobs_total", shard=label)
+        )
+        self._shard_batches.append(
+            registry.counter("hyrec_shard_batches_total", shard=label)
+        )
+        self._shard_score_seconds.append(
+            registry.histogram("hyrec_shard_score_seconds", shard=label)
+        )
 
     @property
     def recoveries(self) -> int:
@@ -257,16 +277,118 @@ class ClusterCoordinator:
         bit-for-bit unchanged across the move.
         """
         start = time.perf_counter()
-        if self.matrix is not None:
-            version = self.matrix.migrate_bucket(bucket, new_owner)
-        else:
-            version = self.executor.migrate_bucket(bucket, new_owner)
-        self.migrations += 1
+        with self._ops_lock:
+            if self.matrix is not None:
+                version = self.matrix.migrate_bucket(bucket, new_owner)
+            else:
+                version = self.executor.migrate_bucket(bucket, new_owner)
+            self.migrations += 1
         self._migrations_total.inc()
         self.obs.events.record(
             "bucket_migration",
             bucket=bucket,
             target=new_owner,
+            epoch=version,
+            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+        )
+        return version
+
+    # --- elastic topology ---------------------------------------------------
+
+    def add_shard(self, migrate: bool = True) -> int:
+        """Grow the cluster by one shard under live traffic.
+
+        The join itself is epoch-neutral (the new shard owns nothing);
+        with ``migrate=True`` its rendezvous share then moves in
+        *bucket by bucket*, each move its own epoch bump under its own
+        lock acquisition -- so serving threads interleave with the
+        drain instead of stalling behind it.  Returns the new shard's
+        index.
+        """
+        start = time.perf_counter()
+        with self._ops_lock:
+            if self.matrix is not None:
+                shard = self.matrix.add_shard(migrate=False)
+                self._add_shard_instruments(shard)
+            else:
+                shard = self.executor.add_shard(migrate=False)
+        moved = 0
+        if migrate:
+            placement = self.placement
+            for bucket in placement.rendezvous_share(shard).tolist():
+                if placement.owner_of(bucket) != shard:
+                    self.migrate_bucket(int(bucket), shard)
+                    moved += 1
+        self.shards_added += 1
+        self.obs.registry.counter("hyrec_shards_added_total").inc()
+        self.obs.events.record(
+            "shard_added",
+            shard=shard,
+            buckets=moved,
+            epoch=self.placement.version,
+            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+        )
+        return shard
+
+    def remove_shard(self) -> int:
+        """Drain and retire the last shard under live traffic.
+
+        Its buckets migrate out to their rendezvous winners among the
+        survivors (per-bucket epoch bumps, lock released between
+        moves), then the empty shard retires -- epoch-neutral, like
+        the join.  Returns the retired index.
+        """
+        start = time.perf_counter()
+        placement = self.placement
+        if placement.num_shards < 2:
+            raise ValueError("cannot remove the only shard")
+        shard = placement.num_shards - 1
+        survivors = placement.num_shards - 1
+        drained = 0
+        for bucket in placement.buckets_owned_by(shard).tolist():
+            self.migrate_bucket(
+                int(bucket), rendezvous_owner(int(bucket), survivors)
+            )
+            drained += 1
+        with self._ops_lock:
+            if self.matrix is not None:
+                self.matrix.remove_shard()
+                self._shard_jobs.pop()
+                self._shard_batches.pop()
+                self._shard_score_seconds.pop()
+            else:
+                self.executor.remove_shard()
+        self.shards_removed += 1
+        self.obs.registry.counter("hyrec_shards_removed_total").inc()
+        self.obs.events.record(
+            "shard_retired",
+            shard=shard,
+            buckets=drained,
+            epoch=self.placement.version,
+            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+        )
+        return shard
+
+    def split_buckets(self, factor: int = 2) -> int:
+        """Refine the bucket space by ``factor`` (epoch-bumping, no data).
+
+        The modular bucket hash is stable under multiplication of the
+        bucket count, so every user keeps its owner -- the split only
+        makes a hot bucket's cohabitants separately movable.  Returns
+        the new routing version.
+        """
+        start = time.perf_counter()
+        with self._ops_lock:
+            if self.matrix is not None:
+                version = self.matrix.split_buckets(factor)
+            else:
+                version = self.executor.split_buckets(factor)
+        self.bucket_splits += 1
+        self.obs.registry.counter("hyrec_bucket_splits_total").inc()
+        self.obs.events.record(
+            "bucket_split",
+            factor=factor,
+            num_buckets=self.placement.num_buckets,
             epoch=version,
             duration_ms=round((time.perf_counter() - start) * 1e3, 3),
         )
@@ -280,7 +402,10 @@ class ClusterCoordinator:
         already holds them.
         """
         sampler = getattr(self.executor, "metrics_samples", None)
-        return sampler() if sampler is not None else []
+        if sampler is None:
+            return []
+        with self._ops_lock:
+            return sampler()
 
     def shard_stats(self) -> tuple[ShardStats, ...]:
         """Per-shard load/churn counters (surfaced via ``ServerStats``).
@@ -290,7 +415,8 @@ class ClusterCoordinator:
         first, so the counters never lag the table), and each entry
         carries the hosting worker's ``pid``.
         """
-        return self._shards.stats()
+        with self._ops_lock:
+            return self._shards.stats()
 
     def close(self) -> None:
         """Release executor resources (threads or worker processes).
@@ -338,6 +464,17 @@ class ClusterCoordinator:
         """
         if not jobs:
             return []
+        with self._ops_lock:
+            return self._process_batch_locked(jobs)
+
+    def _process_batch_locked(
+        self, jobs: Sequence[EngineJob]
+    ) -> list[JobResult]:
+        # Scatter and score must see one placement epoch: a background
+        # migration between them would leave slices partitioned under
+        # a map the shards no longer serve.  The lock is reentrant and
+        # shared with the process executor, so per-bucket moves simply
+        # slot between batches.
         tracer = self.obs.tracer
         # A traced batch attaches to the first job's request trace; the
         # remaining jobs' roots reference the shared batch through

@@ -22,6 +22,17 @@ mutable state).  The executor decides how those tasks run:
 All three return results in shard order, so the coordinator's merges
 -- and therefore the engine's outputs -- are identical under every
 executor.
+
+Elasticity: shard count is no longer fixed at construction.  The
+in-process executors need no participation -- the coordinator's
+:class:`~repro.cluster.sharded_matrix.ShardedLikedMatrix` appends or
+drops shard matrices itself and simply hands the executor more or
+fewer tasks per batch.  The process executor hosts shard state, so it
+implements the topology surface directly (``add_shard`` spawns and
+handshakes a late joiner, ``remove_shard`` drains and retires the
+last worker, ``split_buckets`` refines the bucket space over the
+wire); the coordinator detects the surface with ``getattr``, exactly
+like ``rolling_restart``.
 """
 
 from __future__ import annotations

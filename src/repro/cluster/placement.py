@@ -111,9 +111,12 @@ class PlacementMap:
             )
         self.num_shards = num_shards
         self.num_buckets = num_buckets
-        #: Routing epoch: bumped by every :meth:`move_bucket`.  All
-        #: routing peers (coordinator, scheduler, workers) must agree
-        #: on it before exchanging placement-routed frames.
+        #: Routing epoch: bumped by every :meth:`move_bucket` and
+        #: :meth:`split_buckets` -- every change to the routing
+        #: *function* (owner table or bucket count), and nothing else:
+        #: shard joins and retires move no bucket and keep the epoch.
+        #: All routing peers (coordinator, scheduler, workers) must
+        #: agree on it before exchanging placement-routed frames.
         self.version = 0
         self._owner = np.fromiter(
             (rendezvous_owner(bucket, num_shards) for bucket in range(num_buckets)),
@@ -194,6 +197,84 @@ class PlacementMap:
         """
         self.validate_move(bucket, new_owner)
         self._owner[bucket] = new_owner
+        self.version += 1
+        return self.version
+
+    # --- elastic topology ---------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Grow the shard count by one; returns the new shard's index.
+
+        The new shard joins owning *nothing*: the owner table is
+        untouched, so routing -- and therefore the epoch -- does not
+        change.  Callers then migrate the joiner's
+        :meth:`rendezvous_share` in bucket by bucket, each move an
+        ordinary epoch-bumped :meth:`move_bucket`.
+        """
+        shard = self.num_shards
+        self.num_shards += 1
+        return shard
+
+    def remove_last_shard(self) -> int:
+        """Shrink the shard count by one; returns the removed index.
+
+        Only the *last* shard can retire (lower indices would force a
+        global renumbering), and only once it owns no buckets -- the
+        caller drains them out first, each drain an epoch-bumped move.
+        Like :meth:`add_shard` this leaves the owner table, and hence
+        the epoch, untouched.
+        """
+        if self.num_shards < 2:
+            raise ValueError("cannot remove the only shard")
+        shard = self.num_shards - 1
+        owned = self.buckets_owned_by(shard)
+        if owned.size:
+            raise ValueError(
+                f"shard {shard} still owns {owned.size} buckets; "
+                "drain them before retiring it"
+            )
+        self.num_shards -= 1
+        return shard
+
+    def rendezvous_share(self, shard: int) -> np.ndarray:
+        """Buckets ``shard`` wins under rendezvous at the current count.
+
+        The minimal-movement migration plan for a joiner: rendezvous
+        guarantees these are exactly the buckets that *would* have
+        belonged to ``shard`` had it been present at boot, and every
+        other bucket's winner is unchanged.  Ascending bucket indices.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return np.fromiter(
+            (
+                bucket
+                for bucket in range(self.num_buckets)
+                if rendezvous_owner(bucket, self.num_shards) == shard
+            ),
+            dtype=np.int64,
+        )
+
+    def split_buckets(self, factor: int = 2) -> int:
+        """Refine the bucket space by ``factor``; returns the new version.
+
+        Splitting multiplies ``num_buckets`` and replicates the owner
+        table ``factor`` times: because ``mix(uid) % (factor * N)`` is
+        congruent to ``mix(uid) % N`` mod ``N``, old bucket ``b``
+        splits into new buckets ``{b, b + N, ...}`` and duplicating
+        the owner row keeps every user's owner -- *no data moves at
+        split time*.  What changes is granularity: a pathologically
+        hot bucket's users now spread over ``factor`` independently
+        movable buckets, so the rebalancer can peel load off it.  The
+        epoch advances by exactly one, handoff-style; process workers
+        learn the new count through the v5 ``SplitBuckets`` frame.
+        """
+        if factor < 2:
+            raise ValueError(f"split factor must be >= 2, got {factor}")
+        self._owner = np.tile(self._owner, factor)
+        self.num_buckets *= factor
         self.version += 1
         return self.version
 

@@ -43,6 +43,24 @@ Parent-side responsibilities:
   (the coordinator flags those results ``degraded``).  Writes are
   never dropped while a shard is down: the table keeps them, and the
   next respawn replays them.
+* **Elastic topology** -- :meth:`~ProcessExecutor.add_shard` forks,
+  handshakes, and vocab-replicates a late joiner (an ordinary Hello at
+  the current epoch -- a join owns nothing, so it never moves the
+  routing version), then migrates its rendezvous share in bucket by
+  bucket; :meth:`~ProcessExecutor.remove_shard` drains the last
+  shard's buckets out and retires it with a clean Shutdown; and
+  :meth:`~ProcessExecutor.split_buckets` refines the bucket space in
+  place via the v5 :class:`~repro.cluster.transport.SplitBuckets`
+  frame -- zero data motion, because the modular bucket hash is
+  stable under multiplication of the bucket count.
+* **Concurrency** -- every bidirectional exchange (job dispatch,
+  stats, handoffs, topology changes) serializes on :attr:`ops_lock`,
+  taken per *step* by background movers so serving interleaves with a
+  multi-bucket drain.  Table writes never wait on it: they append to
+  the per-shard buffers under the cheap :attr:`_buffer_lock` (which
+  also makes route+append atomic against a concurrent map bump, with
+  in-flight buffered writes rerouted at the bump) and only *try* the
+  ops lock for an eager flush.
 
 The executor deliberately does *not* implement the in-process
 ``run(tasks)`` call: shard state lives in the workers, so the
@@ -54,12 +72,13 @@ from __future__ import annotations
 
 import multiprocessing
 import socket
+import threading
 import time
 from typing import Sequence
 
 import numpy as np
 
-from repro.cluster.placement import ShardPlacement
+from repro.cluster.placement import ShardPlacement, rendezvous_owner
 from repro.cluster.scoring import ShardSlice, WirePartial
 from repro.cluster.sharded_matrix import ShardStats
 from repro.cluster.supervisor import ShardUnavailable, WorkerSupervisor
@@ -77,6 +96,7 @@ from repro.cluster.transport import (
     Partials,
     Ready,
     Shutdown,
+    SplitBuckets,
     StatsReply,
     StatsRequest,
     TransportError,
@@ -194,6 +214,18 @@ class ProcessExecutor:
         self._suspect: set[int] = set()
         self._next_batch_id = 0
         self._closed = False
+        #: Serializes everything that exchanges frames bidirectionally
+        #: or mutates topology -- batch dispatch, migrations, splits,
+        #: joins/retires, stats and metrics polls.  A background
+        #: rebalancer takes it per single step, so serving interleaves
+        #: with topology work instead of waiting out a whole pass.
+        #: Table writes never block on it: they append to the buffers
+        #: below and only *try* the lock for an eager flush.
+        self.ops_lock = threading.RLock()
+        #: Guards the write buffers themselves (append vs. the swap in
+        #: ``_flush`` and the reroute in ``migrate_bucket``).  Held for
+        #: list operations only, never across socket I/O.
+        self._buffer_lock = threading.Lock()
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -277,27 +309,28 @@ class ProcessExecutor:
         SIGTERM (wedged or stopped) is killed.  Every child is reaped:
         no zombies outlive a closed executor.
         """
-        if self._closed:
-            return
-        self._closed = True
-        if self._table is not None:
-            # Detach the write router: writes recorded after close()
-            # must not buffer into (or index) the torn-down channels.
-            self._table.remove_listener(self._route_write)
-            self._table = None
-        for channel in self._channels:
-            if channel is None:
-                continue
-            try:
-                channel.send(Shutdown())
-            except (TransportError, OSError):
-                pass  # worker already gone; reap below cleans up
-            channel.close()
-        for proc in self._procs:
-            if proc is not None:
-                self._reap(proc)
-        self._channels = []
-        self._procs = []
+        with self.ops_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._table is not None:
+                # Detach the write router: writes recorded after close()
+                # must not buffer into (or index) the torn-down channels.
+                self._table.remove_listener(self._route_write)
+                self._table = None
+            for channel in self._channels:
+                if channel is None:
+                    continue
+                try:
+                    channel.send(Shutdown())
+                except (TransportError, OSError):
+                    pass  # worker already gone; reap below cleans up
+                channel.close()
+            for proc in self._procs:
+                if proc is not None:
+                    self._reap(proc)
+            self._channels = []
+            self._procs = []
 
     def _reap(self, proc: multiprocessing.process.BaseProcess) -> None:
         """Join with escalation: wait, then terminate, then kill.
@@ -427,14 +460,15 @@ class ProcessExecutor:
         attempts exactly one respawn and raises on failure; success
         books a restart and clears the shard's down/degraded state.
         """
-        if self._closed or self.placement is None:
-            raise RuntimeError("ProcessExecutor is not running")
-        if not 0 <= shard < self.num_shards:
-            raise ValueError(f"no such shard: {shard}")
-        self._respawn(shard)
-        if self.supervisor is not None:
-            self.supervisor.restarts[shard] += 1
-            self.supervisor.down.discard(shard)
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(f"no such shard: {shard}")
+            self._respawn(shard)
+            if self.supervisor is not None:
+                self.supervisor.restarts[shard] += 1
+                self.supervisor.down.discard(shard)
 
     def rolling_restart(self) -> int:
         """Cycle every worker, one at a time, under live traffic.
@@ -450,25 +484,26 @@ class ProcessExecutor:
         are bit-for-bit unchanged.  Downed shards are revived on the
         way through.  Returns the number of workers cycled.
         """
-        if self._closed or self.placement is None:
-            raise RuntimeError("ProcessExecutor is not running")
-        start = time.perf_counter()
-        for shard in range(self.num_shards):
-            channel = self._channels[shard]
-            if channel is not None and not self._shard_unhealthy(shard):
-                try:
-                    self._flush(shard)
-                    channel.send(Shutdown())
-                except (TransportError, OSError):
-                    pass  # died just now; _respawn escalates the reap
-            self.respawn(shard)
-            self._broadcast_epoch()
-        self.obs.events.record(
-            "rolling_restart",
-            workers=self.num_shards,
-            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
-        )
-        return self.num_shards
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            start = time.perf_counter()
+            for shard in range(self.num_shards):
+                channel = self._channels[shard]
+                if channel is not None and not self._shard_unhealthy(shard):
+                    try:
+                        self._flush(shard)
+                        channel.send(Shutdown())
+                    except (TransportError, OSError):
+                        pass  # died just now; _respawn escalates the reap
+                self.respawn(shard)
+                self._broadcast_epoch()
+            self.obs.events.record(
+                "rolling_restart",
+                workers=self.num_shards,
+                duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+            )
+            return self.num_shards
 
     # --- health -------------------------------------------------------------
 
@@ -512,20 +547,34 @@ class ProcessExecutor:
     def _buffer_write(self, user_id: int, item: int, value: float) -> None:
         assert self.placement is not None
         self.vocab.intern(item)  # master assigns the column in write order
-        shard = self.placement.shard_of(user_id)
-        if self.supervisor is not None and self._shard_unhealthy(shard):
-            # The table already holds the write (it IS the replay log);
-            # the recovery that brings the shard back replays it.
-            # Buffering for a channel that will be torn down anyway
-            # would only grow memory.
-            return
-        users, items, values = self._write_buffers[shard]
-        users.append(user_id)
-        items.append(item)
-        values.append(value)
-        if len(users) >= self.ipc_write_batch:
+        with self._buffer_lock:
+            # Routing and buffering are atomic against a concurrent
+            # map bump: migrate_bucket reroutes the old owner's
+            # buffered writes under this same lock, so a write can
+            # never land on the old owner *after* the reroute swept it.
+            shard = self.placement.shard_of(user_id)
+            if self.supervisor is not None and self._shard_unhealthy(shard):
+                # The table already holds the write (it IS the replay
+                # log); the recovery that brings the shard back replays
+                # it.  Buffering for a channel that will be torn down
+                # anyway would only grow memory.
+                return
+            users, items, values = self._write_buffers[shard]
+            users.append(user_id)
+            items.append(item)
+            values.append(value)
+            pending = len(users)
+        if pending >= self.ipc_write_batch:
             if self.supervisor is None:
                 self._flush(shard)  # attach-time warm start: fail loudly
+                return
+            # The eager flush is best-effort: it only *tries* the ops
+            # lock, so a write recorded while a migration or batch is
+            # in flight buffers instead of blocking (or interleaving
+            # frames into a channel mid-exchange).  The next flush
+            # point -- dispatch, stats, or the op's own drain --
+            # delivers it.
+            if not self.ops_lock.acquire(blocking=False):
                 return
             try:
                 self._flush(shard)
@@ -534,6 +583,8 @@ class ProcessExecutor:
                 # durable in the table, and marking the shard suspect
                 # forces the next read to recover (which replays it).
                 self._suspect.add(shard)
+            finally:
+                self.ops_lock.release()
 
     def _deliver(self, shard: int, msg: Message) -> None:
         """Send one frame, wrapping socket errors with the shard index."""
@@ -559,20 +610,43 @@ class ProcessExecutor:
             self._vocab_synced[shard] = total
 
     def _flush(self, shard: int) -> None:
-        """Deliver the shard's buffered writes (vocab delta first)."""
-        self._sync_vocab(shard)
-        users, items, values = self._write_buffers[shard]
-        if not users:
-            return
-        self._deliver(
-            shard,
-            WriteBatch(
-                user_ids=np.asarray(users, dtype=np.int64),
-                items=np.asarray(items, dtype=np.int64),
-                values=np.asarray(values, dtype=np.float64),
-            ),
-        )
-        self._write_buffers[shard] = ([], [], [])
+        """Deliver the shard's buffered writes (vocab delta first).
+
+        The buffers are swapped out under the buffer lock *before* the
+        vocabulary sync: any write in the taken batch interned its item
+        before appending, so syncing afterwards always covers the
+        batch's columns -- even when a concurrent writer thread appends
+        mid-flush.  A failed delivery restores the taken writes at the
+        front of the buffer (order preserved) so no flush point can
+        silently drop them.
+        """
+        with self._buffer_lock:
+            users, items, values = self._write_buffers[shard]
+            taken = bool(users)
+            if taken:
+                self._write_buffers[shard] = ([], [], [])
+        try:
+            self._sync_vocab(shard)
+            if not taken:
+                return
+            self._deliver(
+                shard,
+                WriteBatch(
+                    user_ids=np.asarray(users, dtype=np.int64),
+                    items=np.asarray(items, dtype=np.int64),
+                    values=np.asarray(values, dtype=np.float64),
+                ),
+            )
+        except BaseException:
+            if taken:
+                with self._buffer_lock:
+                    later = self._write_buffers[shard]
+                    self._write_buffers[shard] = (
+                        users + later[0],
+                        items + later[1],
+                        values + later[2],
+                    )
+            raise
 
     # --- coordinator surface ------------------------------------------------
 
@@ -614,62 +688,65 @@ class ProcessExecutor:
         into the parent tracer -- once per shard, on the successful
         receive only, so a recovery retry never duplicates spans.
         """
-        if self._closed or self.placement is None:
-            raise RuntimeError("ProcessExecutor is not running")
-        if len(shard_slices) != self.num_shards:
-            raise ValueError("one slice list per shard required")
-        batch_id = self._next_batch_id
-        self._next_batch_id += 1
-        trace_id = trace[0] if trace is not None else 0
-        trace_parent = trace[1] if trace is not None else 0
-        frames: list[JobSlices | None] = [
-            JobSlices(
-                batch_id=batch_id,
-                truncate=self.truncate_partials,
-                slices=tuple(slices),
-                map_version=self.placement.version,
-                trace_id=trace_id,
-                trace_parent=trace_parent,
-            )
-            if slices
-            else None
-            for slices in shard_slices
-        ]
-        failed: set[int] = set()
-        for shard, frame in enumerate(frames):
-            if self._shard_unhealthy(shard):
-                failed.add(shard)
-                continue
-            try:
-                self._flush(shard)
-                if frame is not None:
-                    self._deliver(shard, frame)
-            except (TransportError, OSError):
-                failed.add(shard)
-        # Drain every healthy shard's reply *before* any retry can
-        # raise: a ShardUnavailable escaping mid-drain would strand
-        # unread Partials in the surviving channels and desync them.
-        results: list[dict[int, WirePartial] | None] = [None] * len(frames)
-        for shard, frame in enumerate(frames):
-            if shard in failed:
-                continue
-            if frame is None:
-                results[shard] = {}
-                continue
-            try:
-                results[shard] = self._recv_partials(shard, batch_id, trace)
-            except (TransportError, OSError):
-                failed.add(shard)
-        degraded: list[int] = []
-        for shard in sorted(failed):
-            partials = self._retry_shard(shard, frames[shard], batch_id, trace)
-            if partials is None:
-                degraded.append(shard)
-                results[shard] = {}
-            else:
-                results[shard] = partials
-        self.last_degraded = tuple(degraded)
-        return results
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            if len(shard_slices) != self.num_shards:
+                raise ValueError("one slice list per shard required")
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            trace_id = trace[0] if trace is not None else 0
+            trace_parent = trace[1] if trace is not None else 0
+            frames: list[JobSlices | None] = [
+                JobSlices(
+                    batch_id=batch_id,
+                    truncate=self.truncate_partials,
+                    slices=tuple(slices),
+                    map_version=self.placement.version,
+                    trace_id=trace_id,
+                    trace_parent=trace_parent,
+                )
+                if slices
+                else None
+                for slices in shard_slices
+            ]
+            failed: set[int] = set()
+            for shard, frame in enumerate(frames):
+                if self._shard_unhealthy(shard):
+                    failed.add(shard)
+                    continue
+                try:
+                    self._flush(shard)
+                    if frame is not None:
+                        self._deliver(shard, frame)
+                except (TransportError, OSError):
+                    failed.add(shard)
+            # Drain every healthy shard's reply *before* any retry can
+            # raise: a ShardUnavailable escaping mid-drain would strand
+            # unread Partials in the surviving channels and desync them.
+            results: list[dict[int, WirePartial] | None] = [None] * len(frames)
+            for shard, frame in enumerate(frames):
+                if shard in failed:
+                    continue
+                if frame is None:
+                    results[shard] = {}
+                    continue
+                try:
+                    results[shard] = self._recv_partials(shard, batch_id, trace)
+                except (TransportError, OSError):
+                    failed.add(shard)
+            degraded: list[int] = []
+            for shard in sorted(failed):
+                partials = self._retry_shard(
+                    shard, frames[shard], batch_id, trace
+                )
+                if partials is None:
+                    degraded.append(shard)
+                    results[shard] = {}
+                else:
+                    results[shard] = partials
+            self.last_degraded = tuple(degraded)
+            return results
 
     def _recv_partials(
         self,
@@ -759,48 +836,244 @@ class ProcessExecutor:
         during an outage must recover first (the rebalancer simply
         pauses -- see ``ShardRebalancer``).
 
+        The whole exchange runs under :attr:`ops_lock`, so a handoff
+        driven from a background rebalancer thread serializes against
+        batch dispatch.  Concurrent table *writes* never wait: they
+        buffer (the eager flush only tries the lock), and any write
+        for the moving bucket that buffered mid-handoff is rerouted to
+        the new owner atomically with the map bump -- delivered after
+        the absorbed handoff data, in its original order, so nothing
+        is lost or applied out of order.
+
         Returns the new map version.
         """
-        if self._closed or self.placement is None:
-            raise RuntimeError("ProcessExecutor is not running")
-        placement = self.placement
-        old_owner = placement.validate_move(bucket, new_owner)
-        for shard in range(self.num_shards):
-            if self._shard_unhealthy(shard):
-                raise ShardUnavailable(
-                    shard, "cannot migrate while a shard needs recovery"
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            placement = self.placement
+            old_owner = placement.validate_move(bucket, new_owner)
+            for shard in range(self.num_shards):
+                if self._shard_unhealthy(shard):
+                    raise ShardUnavailable(
+                        shard, "cannot migrate while a shard needs recovery"
+                    )
+                self._flush(shard)
+            new_version = placement.version + 1
+            try:
+                self._deliver(
+                    old_owner,
+                    HandoffRequest(bucket=bucket, version=new_version),
                 )
-            self._flush(shard)
-        new_version = placement.version + 1
-        try:
-            self._deliver(
-                old_owner, HandoffRequest(bucket=bucket, version=new_version)
+                channel = self._channels[old_owner]
+                assert channel is not None
+                reply = channel.recv()
+            except (TransportError, OSError):
+                self._suspect.add(old_owner)
+                raise
+            if (
+                not isinstance(reply, HandoffData)
+                or reply.bucket != bucket
+                or reply.version != new_version
+            ):
+                raise TransportError(
+                    f"worker {old_owner} answered the handoff of bucket "
+                    f"{bucket} with {reply!r}"
+                )
+            try:
+                self._sync_vocab(new_owner)
+                self._deliver(new_owner, reply)
+            except TransportError:
+                self._suspect.add(new_owner)
+                raise
+            with self._buffer_lock:
+                placement.move_bucket(bucket, new_owner)
+                self._reroute_bucket_locked(bucket, old_owner, new_owner)
+            assert placement.version == new_version
+            self._broadcast_epoch()
+            return new_version
+
+    def _reroute_bucket_locked(
+        self, bucket: int, old_owner: int, new_owner: int
+    ) -> None:
+        """Move a migrated bucket's buffered writes to its new owner.
+
+        Called with the buffer lock held, atomically with the map
+        bump.  Writes recorded during the handoff (after the drain)
+        buffered under the old map; the extraction never saw them, so
+        they belong at the new owner, *after* the handoff data it just
+        absorbed -- which appending achieves, since the buffer flushes
+        later than the forwarded frame.  Per-user order is preserved
+        (the scan keeps buffer order), and cross-user order between
+        buffers is irrelevant: replay semantics are per user.
+        """
+        assert self.placement is not None
+        users, items, values = self._write_buffers[old_owner]
+        if not users:
+            return
+        bucket_of = self.placement.bucket_of
+        keep: tuple[list[int], list[int], list[float]] = ([], [], [])
+        moved: tuple[list[int], list[int], list[float]] = ([], [], [])
+        for user_id, item, value in zip(users, items, values):
+            dest = moved if bucket_of(user_id) == bucket else keep
+            dest[0].append(user_id)
+            dest[1].append(item)
+            dest[2].append(value)
+        if not moved[0]:
+            return
+        self._write_buffers[old_owner] = keep
+        target = self._write_buffers[new_owner]
+        target[0].extend(moved[0])
+        target[1].extend(moved[1])
+        target[2].extend(moved[2])
+
+    # --- elastic topology ---------------------------------------------------
+
+    def add_shard(self, migrate: bool = True) -> int:
+        """Grow the fleet by one worker; returns the new shard's index.
+
+        The joiner is spawned and handshaken at the *current* epoch
+        and bucket count (its Hello pins both), then receives the full
+        vocabulary replica -- at which point it is a first-class,
+        supervised worker that simply owns no buckets yet.  With
+        ``migrate=True`` its rendezvous share (exactly the buckets it
+        would have won at boot -- minimal movement) is then migrated
+        in, bucket by bucket, through the ordinary epoch-bumped
+        handoff.  A spawn or handshake failure rolls the topology back
+        completely and raises; the epoch never moves for the join
+        itself, only for the per-bucket migrations.
+        """
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            for shard in range(self.num_shards):
+                if self._shard_unhealthy(shard):
+                    raise ShardUnavailable(
+                        shard, "cannot grow while a shard needs recovery"
+                    )
+            placement = self.placement
+            shard = placement.add_shard()
+            with self._buffer_lock:
+                self._write_buffers.append(([], [], []))
+            self._vocab_synced.append(0)
+            self._channels.append(None)
+            self._procs.append(None)
+            try:
+                self._spawn_worker(shard)
+                self._handshake(shard)
+                self._sync_vocab(shard)
+            except BaseException:
+                channel = self._channels[shard]
+                if channel is not None:
+                    channel.close()
+                proc = self._procs[shard]
+                if proc is not None:
+                    self._reap(proc)
+                self._channels.pop()
+                self._procs.pop()
+                self._vocab_synced.pop()
+                with self._buffer_lock:
+                    self._write_buffers.pop()
+                placement.remove_last_shard()
+                raise
+            if self.supervisor is not None:
+                self.supervisor.add_shard()
+        if migrate:
+            for bucket in placement.rendezvous_share(shard).tolist():
+                if placement.owner_of(bucket) != shard:
+                    self.migrate_bucket(int(bucket), shard)
+        return shard
+
+    def remove_shard(self) -> int:
+        """Retire the last shard's worker; returns the retired index.
+
+        Only the last index can retire (lower ones would renumber the
+        fleet).  Its buckets are first drained out to their rendezvous
+        winners among the survivors -- each drain an ordinary
+        epoch-bumped handoff -- then the empty worker gets a clean
+        :class:`Shutdown` and is reaped, and the topology shrinks.
+        Like a join, the retire itself never moves the epoch.
+        """
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            placement = self.placement
+            if placement.num_shards < 2:
+                raise ValueError("cannot remove the only shard")
+            shard = placement.num_shards - 1
+            for other in range(self.num_shards):
+                if self._shard_unhealthy(other):
+                    raise ShardUnavailable(
+                        other, "cannot shrink while a shard needs recovery"
+                    )
+        survivors = placement.num_shards - 1
+        for bucket in placement.buckets_owned_by(shard).tolist():
+            self.migrate_bucket(
+                int(bucket), rendezvous_owner(int(bucket), survivors)
             )
-            channel = self._channels[old_owner]
-            assert channel is not None
-            reply = channel.recv()
-        except (TransportError, OSError):
-            self._suspect.add(old_owner)
-            raise
-        if (
-            not isinstance(reply, HandoffData)
-            or reply.bucket != bucket
-            or reply.version != new_version
-        ):
-            raise TransportError(
-                f"worker {old_owner} answered the handoff of bucket "
-                f"{bucket} with {reply!r}"
-            )
-        try:
-            self._sync_vocab(new_owner)
-            self._deliver(new_owner, reply)
-        except TransportError:
-            self._suspect.add(new_owner)
-            raise
-        placement.move_bucket(bucket, new_owner)
-        assert placement.version == new_version
-        self._broadcast_epoch()
-        return new_version
+        with self.ops_lock:
+            assert placement.buckets_owned_by(shard).size == 0
+            channel = self._channels[shard]
+            if channel is not None:
+                try:
+                    self._flush(shard)  # vocab cursor tidiness only
+                    channel.send(Shutdown())
+                except (TransportError, OSError):
+                    pass  # died just now; the reap below still collects
+                channel.close()
+            proc = self._procs[shard]
+            self._channels.pop()
+            self._procs.pop()
+            self._vocab_synced.pop()
+            with self._buffer_lock:
+                self._write_buffers.pop()
+            self._suspect.discard(shard)
+            if self.supervisor is not None:
+                self.supervisor.remove_last_shard()
+            placement.remove_last_shard()
+            if proc is not None:
+                self._reap(proc)
+        return shard
+
+    def split_buckets(self, factor: int = 2) -> int:
+        """Refine the bucket space by ``factor``; returns the new version.
+
+        No data moves (see ``ShardPlacement.split_buckets``): every
+        worker just learns the new bucket count and the epoch the
+        split creates through a v5 :class:`SplitBuckets` frame.  The
+        split commits on the parent even if a worker fails the
+        delivery -- that worker is marked suspect and its respawn
+        Hello carries the post-split count, so it can never serve
+        under the stale numbering.
+        """
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            if factor < 2:
+                raise ValueError(f"split factor must be >= 2, got {factor}")
+            placement = self.placement
+            for shard in range(self.num_shards):
+                if self._shard_unhealthy(shard):
+                    raise ShardUnavailable(
+                        shard, "cannot split while a shard needs recovery"
+                    )
+                self._flush(shard)
+            new_version = placement.version + 1
+            new_count = placement.num_buckets * factor
+            for shard in range(self.num_shards):
+                try:
+                    self._deliver(
+                        shard,
+                        SplitBuckets(
+                            num_buckets=new_count, version=new_version
+                        ),
+                    )
+                except TransportError:
+                    self._suspect.add(shard)
+            with self._buffer_lock:
+                placement.split_buckets(factor)
+            assert placement.version == new_version
+            assert placement.num_buckets == new_count
+            return new_version
 
     def metrics_samples(self) -> list[MetricSample]:
         """Pull every live worker's metrics snapshot over the wire.
@@ -814,32 +1087,35 @@ class ProcessExecutor:
         Returns ``[]`` when metrics are disabled or the executor is
         not running.
         """
-        if self._closed or self.placement is None:
-            return []
-        if not self.obs.registry.enabled:
-            return []
-        samples: list[MetricSample] = []
-        for shard in range(self.num_shards):
-            if self._shard_unhealthy(shard):
-                continue
-            try:
-                self._flush(shard)
-                self._deliver(shard, MetricsRequest())
-                channel = self._channels[shard]
-                assert channel is not None
-                reply = channel.recv()
-                if (
-                    not isinstance(reply, MetricsSnapshot)
-                    or reply.shard != shard
-                ):
-                    raise TransportError(
-                        f"worker {shard} answered metrics with {reply!r}"
-                    )
-            except (TransportError, OSError):
-                self._suspect.add(shard)
-                continue
-            samples.extend(sample_from_wire(wire) for wire in reply.samples)
-        return samples
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                return []
+            if not self.obs.registry.enabled:
+                return []
+            samples: list[MetricSample] = []
+            for shard in range(self.num_shards):
+                if self._shard_unhealthy(shard):
+                    continue
+                try:
+                    self._flush(shard)
+                    self._deliver(shard, MetricsRequest())
+                    channel = self._channels[shard]
+                    assert channel is not None
+                    reply = channel.recv()
+                    if (
+                        not isinstance(reply, MetricsSnapshot)
+                        or reply.shard != shard
+                    ):
+                        raise TransportError(
+                            f"worker {shard} answered metrics with {reply!r}"
+                        )
+                except (TransportError, OSError):
+                    self._suspect.add(shard)
+                    continue
+                samples.extend(
+                    sample_from_wire(wire) for wire in reply.samples
+                )
+            return samples
 
     def stats(self) -> tuple[ShardStats, ...]:
         """Per-worker load/churn counters, via a stats round trip.
@@ -850,11 +1126,12 @@ class ProcessExecutor:
         (``alive=False``) rather than failing the whole read --
         liveness is exactly what stats exist to surface.
         """
-        if self._closed or self.placement is None:
-            raise RuntimeError("ProcessExecutor is not running")
-        return tuple(
-            self._stat_shard(shard) for shard in range(self.num_shards)
-        )
+        with self.ops_lock:
+            if self._closed or self.placement is None:
+                raise RuntimeError("ProcessExecutor is not running")
+            return tuple(
+                self._stat_shard(shard) for shard in range(self.num_shards)
+            )
 
     def _stat_shard(self, shard: int) -> ShardStats:
         supervisor = self.supervisor

@@ -1,4 +1,4 @@
-"""Churn-driven shard rebalancing over the movable placement map.
+"""Churn-driven rebalancing and autoscaling over the movable placement map.
 
 :class:`ShardRebalancer` closes the elasticity loop the cluster layer
 was missing: placement used to be a pure hash, so a hot or churning
@@ -20,31 +20,59 @@ histogram follows the bucket across migrations, so repeated
 rebalances see consistent history (worker-side ``writes`` counters,
 by contrast, double-count handoff replays).
 
-Exactness: migrations never change results -- parity before, during,
-and after any move is enforced by ``tests/test_rebalance.py`` for
-every shard count and executor.  The rebalancer therefore only ever
-trades *where* work happens, never *what* is computed.
+On top of move proposals the rebalancer is the cluster's
+**autoscaler**: per control-loop pass it compares the mean writes per
+shard accumulated since the previous pass against watermarks --
+growing the fleet one shard past ``high_water`` (up to
+``max_shards``) and shrinking it below ``low_water`` (down to
+``min_shards``), each step an ordinary
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.add_shard` /
+``remove_shard`` whose bucket migrations ride the live handoff path.
+And when the spread is pathological but no move can help -- one viral
+bucket dominating its donor (``split_ratio``) -- it **splits the
+bucket space** (:meth:`ClusterCoordinator.split_buckets`): the
+modular bucket hash is stable under multiplication of the bucket
+count, so the split moves no data, it only makes the hot bucket's
+cohabitants separately movable on the next proposal.
 
-Runs in two modes, both driven by ``HyRecConfig.rebalance_*`` knobs:
-manually (call :meth:`rebalance` from an operator loop) or on a
-write-count cadence (``rebalance_interval`` writes between checks,
-evaluated inside the write listener -- the in-process stand-in for a
-periodic control loop).
+Exactness: migrations, joins, retires, and splits never change
+results -- parity before, during, and after any topology change is
+enforced by ``tests/test_rebalance.py`` and
+``tests/test_elasticity.py`` for every shard count and executor.  The
+control loop therefore only ever trades *where* work happens, never
+*what* is computed.
+
+Cadence: the control loop runs on a **background timer thread**, so a
+multi-bucket handoff overlaps live serving instead of stalling the
+write that tripped it.  ``interval`` (routed writes between checks)
+*signals* the thread; ``autoscale_interval`` (seconds) caps how long
+it sleeps without a signal.  The write listener itself only bumps the
+histogram and sets an event -- it never migrates, so recording a
+profile write never blocks behind a handoff.  Operators (and tests)
+can also drive the loop synchronously via :meth:`run_once` /
+:meth:`quiesce`.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.placement import bucket_of_id
 
 if TYPE_CHECKING:
     from repro.cluster.scheduler import BatchScheduler
 
 __all__ = ["BucketMove", "ShardRebalancer"]
+
+#: Hard ceiling on bucket-space refinement: splits double the owner
+#: table, and past this the per-bucket resolution is far finer than
+#: any load signal -- further splits only cost memory.
+MAX_BUCKETS = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -59,7 +87,7 @@ class BucketMove:
 
 
 class ShardRebalancer:
-    """Threshold-driven bucket migration off the hottest shard."""
+    """Watermark autoscaler + threshold-driven bucket migration."""
 
     def __init__(
         self,
@@ -69,23 +97,45 @@ class ShardRebalancer:
         max_moves: int = 4,
         interval: int = 0,
         scheduler: "BatchScheduler | None" = None,
+        autoscale_interval: float = 0.0,
+        min_shards: int = 1,
+        max_shards: int = 0,
+        high_water: float = 0.0,
+        low_water: float = 0.0,
+        split_ratio: float = 0.0,
     ) -> None:
         """
         Args:
             coordinator: The cluster to balance; the rebalancer reads
                 its placement map and shared table and applies moves
-                through its ``migrate_bucket``.
+                through its ``migrate_bucket`` (and topology changes
+                through ``add_shard``/``remove_shard``/``split_buckets``).
             threshold: Max/min per-shard write-load ratio above which
                 a rebalance proposes moves (must exceed 1.0; the
                 coldest shard's load is floored at one write so a
                 zero-load shard triggers, not divides by zero).
             max_moves: Migration budget per :meth:`rebalance` call --
                 a control-loop safety valve, not a correctness knob.
-            interval: Routed writes between automatic rebalance
-                checks; ``0`` disables the cadence (manual only).
+            interval: Routed writes between automatic control-loop
+                passes; ``0`` disables the write-count cadence.  The
+                pass runs on the background thread -- the triggering
+                write returns immediately.
             scheduler: Optional request-coalescing window to drain
                 before migrating, so no admitted-but-undispatched job
                 spans a map change.
+            autoscale_interval: Seconds between timer-driven passes of
+                the control loop; ``0`` disables the timer (the loop
+                then only runs on write-count kicks or explicit
+                :meth:`run_once` calls).
+            min_shards: Floor the autoscaler will never shrink below.
+            max_shards: Ceiling for growth; ``0`` disables growing.
+            high_water: Mean writes/shard per pass above which the
+                fleet grows by one; ``0`` disables growing.
+            low_water: Mean writes/shard per pass below which the
+                fleet shrinks by one; ``0`` disables shrinking.
+            split_ratio: Fraction of the donor's load one bucket must
+                carry -- when no move can improve the spread -- to
+                trigger a bucket-space split; ``0`` disables splits.
         """
         if threshold <= 1.0:
             raise ValueError(
@@ -97,10 +147,45 @@ class ShardRebalancer:
             )
         if interval < 0:
             raise ValueError(f"interval cannot be negative, got {interval}")
+        if autoscale_interval < 0:
+            raise ValueError(
+                f"autoscale_interval cannot be negative, got "
+                f"{autoscale_interval}"
+            )
+        if min_shards < 1:
+            raise ValueError(
+                f"min_shards must be at least 1, got {min_shards}"
+            )
+        if max_shards < 0:
+            raise ValueError(
+                f"max_shards cannot be negative, got {max_shards}"
+            )
+        if max_shards and max_shards < min_shards:
+            raise ValueError(
+                f"max_shards ({max_shards}) cannot undercut min_shards "
+                f"({min_shards})"
+            )
+        if low_water < 0 or high_water < 0:
+            raise ValueError("watermarks cannot be negative")
+        if high_water and low_water and low_water >= high_water:
+            raise ValueError(
+                f"low_water ({low_water}) must stay below high_water "
+                f"({high_water})"
+            )
+        if not 0.0 <= split_ratio <= 1.0:
+            raise ValueError(
+                f"split_ratio must be in [0, 1], got {split_ratio}"
+            )
         self.coordinator = coordinator
         self.threshold = threshold
         self.max_moves = max_moves
         self.interval = interval
+        self.autoscale_interval = autoscale_interval
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.high_water = high_water
+        self.low_water = low_water
+        self.split_ratio = split_ratio
         #: Drained (flushed) before any migration; assignable after
         #: construction because the scheduler is typically built on
         #: top of the coordinator later.
@@ -110,13 +195,75 @@ class ShardRebalancer:
         )
         self.writes_seen = 0
         self._next_check = interval
+        self._window_cursor = 0  # writes_seen at the last autoscale pass
         self.moves_applied: list[BucketMove] = []
-        self._rebalancing = False
+        #: ``("grow" | "shrink", resulting shard count)`` per action.
+        self.scale_actions: list[tuple[str, int]] = []
+        self.splits_applied = 0
+        # One lock serializes every control-loop pass, whether it runs
+        # on the timer thread or synchronously via run_once()/quiesce();
+        # reentrant so rebalance() nests inside run_once().
+        self._run_lock = threading.RLock()
+        self._kick = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
         coordinator.table.add_listener(self._on_write)
+        if interval > 0 or autoscale_interval > 0:
+            self._thread = threading.Thread(
+                target=self._loop, name="hyrec-autoscaler", daemon=True
+            )
+            self._thread.start()
 
     def close(self) -> None:
-        """Detach the write listener (idempotent)."""
+        """Stop the control-loop thread, detach the listener (idempotent)."""
         self.coordinator.table.remove_listener(self._on_write)
+        self._stop.set()
+        self._kick.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+            self._thread = None
+
+    # --- the control-loop thread --------------------------------------------
+
+    def _loop(self) -> None:
+        timeout = (
+            self.autoscale_interval if self.autoscale_interval > 0 else None
+        )
+        while not self._stop.is_set():
+            self._kick.wait(timeout=timeout)
+            if self._stop.is_set():
+                return
+            self._kick.clear()
+            try:
+                self.run_once()
+            except Exception as exc:  # noqa: BLE001 - loop must survive
+                # A failed pass (e.g. a handoff participant died mid
+                # move) marks the culprit suspect for recovery; the
+                # control loop itself carries on with the next tick.
+                self.coordinator.obs.events.record(
+                    "autoscale_error", error=repr(exc)
+                )
+
+    def run_once(self) -> list[BucketMove]:
+        """One synchronous control-loop pass: autoscale, then rebalance.
+
+        Safe to call from any thread (it takes the pass lock the
+        timer thread uses); tests and the autoscale benchmark drive
+        the loop deterministically through this.
+        """
+        with self._run_lock:
+            self.autoscale()
+            return self.rebalance()
+
+    def quiesce(self) -> list[BucketMove]:
+        """Run a full pass on the calling thread and wait for it.
+
+        Because the pass lock serializes with the timer thread, the
+        caller's own pass observes every write recorded before the
+        call -- after this returns, the control loop is caught up.
+        """
+        return self.run_once()
 
     # --- the load signal ----------------------------------------------------
 
@@ -125,26 +272,48 @@ class ShardRebalancer:
     ) -> None:
         """ProfileTable hook: account the write to its bucket.
 
-        Registered after the engine's own write router (the server
-        constructs the cluster first), so by the time a cadence check
-        migrates anything, the triggering write has already been
-        routed/buffered under the old map and the drain delivers it.
+        Never migrates (and never blocks on a migration): the
+        write-count cadence only *signals* the control-loop thread.
+        The bucket index uses the histogram's own length as the
+        modulus, not the live map's -- after a concurrent split the
+        old resolution stays exact (an old bucket is the union of the
+        new buckets congruent to it), and the histogram is re-tiled
+        lazily on the control thread (:meth:`_sync_histogram`).
         """
         del item, value, previous
-        placement = self.coordinator.placement
-        self._bucket_writes[placement.bucket_of(user_id)] += 1
+        hist = self._bucket_writes
+        hist[bucket_of_id(user_id, hist.shape[0])] += 1
         self.writes_seen += 1
-        if (
-            self.interval > 0
-            and self.writes_seen >= self._next_check
-            and not self._rebalancing
-        ):
+        if self.interval > 0 and self.writes_seen >= self._next_check:
             self._next_check = self.writes_seen + self.interval
-            self.rebalance()
+            self._kick.set()
+
+    def _sync_histogram(self) -> None:
+        """Re-tile the per-bucket histogram after a bucket-space split.
+
+        ``new[b] = old[b % old_n] // factor`` (remainder to the low
+        copy): a deterministic estimate that preserves the per-shard
+        totals -- the split itself moved nothing, so the owner-table
+        grouping must not jump.  Fresh writes then re-accumulate at
+        the fine resolution, which is what the next split/move
+        decisions should key on anyway.
+        """
+        placement = self.coordinator.placement
+        old = self._bucket_writes
+        old_n = old.shape[0]
+        new_n = placement.num_buckets
+        if new_n == old_n:
+            return
+        factor = new_n // old_n
+        shares = old // factor
+        new_hist = np.tile(shares, factor)
+        new_hist[:old_n] += old - shares * factor
+        self._bucket_writes = new_hist
 
     def shard_loads(self) -> np.ndarray:
         """Routed writes per shard under the *current* owner table."""
         placement = self.coordinator.placement
+        self._sync_histogram()
         return np.bincount(
             placement.owners(),
             weights=self._bucket_writes,
@@ -155,6 +324,80 @@ class ShardRebalancer:
         """Max/min per-shard write-load ratio (min floored at 1)."""
         loads = self.shard_loads()
         return float(loads.max()) / float(max(int(loads.min()), 1))
+
+    # --- autoscaling ---------------------------------------------------------
+
+    def autoscale(self) -> str | None:
+        """One watermark step: grow, shrink, or hold the fleet.
+
+        Compares the mean writes per shard accumulated since the last
+        pass against the watermarks and applies at most one topology
+        action -- single-stepping keeps each pass short (the next tick
+        takes the next step), so serving interleaves with a scale-out.
+        Returns ``"grow"``/``"shrink"`` or ``None``.
+        """
+        with self._run_lock:
+            window = self.writes_seen - self._window_cursor
+            self._window_cursor = self.writes_seen
+            if (not self.high_water and not self.low_water) or window < 0:
+                return None
+            if not self._cluster_healthy():
+                return None
+            coordinator = self.coordinator
+            shards = coordinator.num_shards
+            mean = window / max(shards, 1)
+            if (
+                self.high_water > 0
+                and self.max_shards > 0
+                and mean > self.high_water
+                and shards < self.max_shards
+            ):
+                coordinator.add_shard()
+                self.scale_actions.append(("grow", coordinator.num_shards))
+                return "grow"
+            if (
+                self.low_water > 0
+                and mean < self.low_water
+                and shards > self.min_shards
+            ):
+                coordinator.remove_shard()
+                self.scale_actions.append(("shrink", coordinator.num_shards))
+                return "shrink"
+            return None
+
+    def _maybe_split(self) -> bool:
+        """Split the bucket space when one viral bucket blocks all moves.
+
+        Called when the spread exceeds the threshold but no owned
+        bucket can improve it -- which means the donor's load is
+        concentrated in buckets at least as heavy as the whole gap.
+        If the hottest such bucket carries ``split_ratio`` of the
+        donor's load, doubling the bucket count makes its cohabitants
+        separately movable (the split itself moves nothing).  At most
+        one split per pass: fresh writes must confirm the hot spot at
+        the finer resolution before the next one.
+        """
+        if self.split_ratio <= 0.0:
+            return False
+        placement = self.coordinator.placement
+        if placement.num_buckets * 2 > MAX_BUCKETS:
+            return False
+        loads = self.shard_loads()
+        donor = int(loads.argmax())
+        donor_load = int(loads[donor])
+        if donor_load <= 0:
+            return False
+        if self.imbalance() <= self.threshold:
+            return False
+        buckets = placement.buckets_owned_by(donor)
+        weights = self._bucket_writes[buckets]
+        hottest = int(weights.max()) if weights.size else 0
+        if hottest < self.split_ratio * donor_load:
+            return False
+        self.coordinator.split_buckets(2)
+        self._sync_histogram()
+        self.splits_applied += 1
+        return True
 
     # --- proposing and applying moves ---------------------------------------
 
@@ -215,20 +458,26 @@ class ShardRebalancer:
         drained, so every admitted job dispatches under the epoch it
         was scattered for.  The per-worker counters surfaced by
         ``ServerStats.shards`` remain the operator's live view; this
-        method's return value records what actually moved.
+        method's return value records what actually moved.  When the
+        spread is hot but unmovable (a single viral bucket), a
+        bucket-space split (:meth:`_maybe_split`) unblocks the next
+        proposal.
 
         Pauses (returns no moves) while any worker is down or a
         recovery is in flight; see :meth:`_cluster_healthy`.
         """
-        if not self._cluster_healthy():
-            return []
-        applied: list[BucketMove] = []
-        self._rebalancing = True
-        try:
+        with self._run_lock:
+            if not self._cluster_healthy():
+                return []
+            applied: list[BucketMove] = []
+            split_this_pass = False
             while len(applied) < self.max_moves:
                 move = self.propose()
                 if move is None:
-                    break
+                    if split_this_pass or not self._maybe_split():
+                        break
+                    split_this_pass = True
+                    continue
                 if self.scheduler is not None:
                     self.scheduler.flush()
                 version = self.coordinator.migrate_bucket(
@@ -243,6 +492,4 @@ class ShardRebalancer:
                 )
                 applied.append(move)
                 self.moves_applied.append(move)
-        finally:
-            self._rebalancing = False
-        return applied
+            return applied

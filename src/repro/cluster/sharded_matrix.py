@@ -25,12 +25,13 @@ entries, routed writes, and compaction count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.cluster.placement import ShardPlacement
+from repro.cluster.placement import ShardPlacement, rendezvous_owner
 from repro.core.tables import ProfileTable
 from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
 
@@ -93,6 +94,11 @@ class ShardedLikedMatrix:
             )
             for shard in range(num_shards)
         ]
+        #: Serializes write routing against topology changes (grow,
+        #: shrink, migrate, split) when those run off-thread.  Held
+        #: only for the row-local apply/refresh work -- microseconds,
+        #: never across anything blocking.
+        self._lock = threading.RLock()
         table.add_listener(self._route_write)
 
     def _owner_filter(self, shard: int):
@@ -109,9 +115,10 @@ class ShardedLikedMatrix:
         self, user_id: int, item: int, value: float, previous: float | None
     ) -> None:
         """ProfileTable hook: deliver the write to the owning shard."""
-        self.shards[self.placement.shard_of(user_id)].apply_write(
-            user_id, item, value, previous
-        )
+        with self._lock:
+            self.shards[self.placement.shard_of(user_id)].apply_write(
+                user_id, item, value, previous
+            )
 
     # --- rebalancing --------------------------------------------------------
 
@@ -128,20 +135,83 @@ class ShardedLikedMatrix:
         therefore bit-for-bit unchanged across the move; only *which*
         shard answers for the bucket changes.
         """
-        old_owner = self.placement.validate_move(bucket, new_owner)
-        user_ids = np.fromiter(self._table, dtype=np.int64, count=len(self._table))
-        moved = user_ids[
-            self.placement.buckets_of(user_ids) == bucket
-        ].tolist()
-        version = self.placement.move_bucket(bucket, new_owner)
-        for user_id in moved:
-            # Old shard: drop the row and dirty the postings (they
-            # contain the moved users).  New shard: nothing was
-            # materialized, but its postings must also rebuild to
-            # include the arrivals under the live owner filter.
-            self.shards[old_owner].refresh(user_id)
-            self.shards[new_owner].refresh(user_id)
-        return version
+        with self._lock:
+            old_owner = self.placement.validate_move(bucket, new_owner)
+            user_ids = np.fromiter(
+                self._table, dtype=np.int64, count=len(self._table)
+            )
+            moved = user_ids[
+                self.placement.buckets_of(user_ids) == bucket
+            ].tolist()
+            version = self.placement.move_bucket(bucket, new_owner)
+            for user_id in moved:
+                # Old shard: drop the row and dirty the postings (they
+                # contain the moved users).  New shard: nothing was
+                # materialized, but its postings must also rebuild to
+                # include the arrivals under the live owner filter.
+                self.shards[old_owner].refresh(user_id)
+                self.shards[new_owner].refresh(user_id)
+            return version
+
+    # --- elastic topology ---------------------------------------------------
+
+    def add_shard(self, migrate: bool = True) -> int:
+        """Grow by one shard; returns the new shard's index.
+
+        The in-process join is free: the new :class:`LikedMatrix`
+        shares the table and vocabulary and materializes rows lazily,
+        so it starts empty *and correct* -- it owns no buckets until
+        migrations hand it some.  With ``migrate=True`` its rendezvous
+        share moves in immediately (each move an epoch-bumped
+        :meth:`migrate_bucket`).
+        """
+        with self._lock:
+            shard = self.placement.add_shard()
+            self.shards.append(
+                LikedMatrix(
+                    self._table,
+                    subscribe=False,
+                    row_filter=self._owner_filter(shard),
+                    vocab=self.vocab,
+                )
+            )
+        if migrate:
+            for bucket in self.placement.rendezvous_share(shard).tolist():
+                if self.placement.owner_of(bucket) != shard:
+                    self.migrate_bucket(int(bucket), shard)
+        return shard
+
+    def remove_shard(self) -> int:
+        """Drain and retire the last shard; returns the retired index.
+
+        Every bucket it owns is first migrated to its rendezvous
+        winner among the survivors, then the (now rowless) matrix is
+        dropped and the placement shrinks.
+        """
+        if self.placement.num_shards < 2:
+            raise ValueError("cannot remove the only shard")
+        shard = self.placement.num_shards - 1
+        survivors = self.placement.num_shards - 1
+        for bucket in self.placement.buckets_owned_by(shard).tolist():
+            self.migrate_bucket(
+                int(bucket), rendezvous_owner(int(bucket), survivors)
+            )
+        with self._lock:
+            self.placement.remove_last_shard()
+            self.shards.pop()
+        return shard
+
+    def split_buckets(self, factor: int = 2) -> int:
+        """Refine the bucket space by ``factor``; returns the version.
+
+        Pure metadata for the in-process matrix: the modular bucket
+        hash keeps every user's owner across the split (see
+        ``ShardPlacement.split_buckets``), so no row or posting needs
+        a refresh -- the hot bucket's cohabitants merely become
+        separately movable from here on.
+        """
+        with self._lock:
+            return self.placement.split_buckets(factor)
 
     # --- partitioning -------------------------------------------------------
 

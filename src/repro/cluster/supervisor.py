@@ -147,6 +147,29 @@ class WorkerSupervisor:
         self.last_ping_ms[shard] = elapsed_ms
         return elapsed_ms
 
+    # --- elastic topology ---------------------------------------------------
+
+    def add_shard(self) -> None:
+        """Start supervising a late-joining worker (one new last index).
+
+        Called by ``ProcessExecutor.add_shard`` once the joiner has
+        handshaken: from here on the new shard is probed, budgeted, and
+        recovered exactly like a boot-time worker.
+        """
+        self.restarts.append(0)
+        self.last_ping_ms.append(-1.0)
+
+    def remove_last_shard(self) -> None:
+        """Stop supervising the retired last shard.
+
+        Its counters leave with it; a retire is deliberate, so nothing
+        is booked as a recovery or a down-mark.
+        """
+        shard = len(self.restarts) - 1
+        self.restarts.pop()
+        self.last_ping_ms.pop()
+        self.down.discard(shard)
+
     # --- recovery ----------------------------------------------------------
 
     def recover(self, shard: int) -> bool:

@@ -45,6 +45,14 @@ Message flow (parent ``->`` worker unless noted):
   the parent forwards verbatim to the new owner.  Both frames carry
   the epoch the move creates; workers insist it advances their local
   epoch by exactly one (a skipped epoch means a lost frame).
+* :class:`SplitBuckets` -- v5 elastic topology: refine the bucket
+  space to a multiple of its current size.  Splitting relies on the
+  modulo stability of the bucket hash (``mix(uid) % kN`` is congruent
+  to ``mix(uid) % N`` mod ``N``), so no user changes owner at split
+  time and no data moves; the frame carries the new bucket count plus
+  the epoch the split creates, validated handoff-style (advance by
+  exactly one).  Shard joins and retires need no frame: a join is an
+  ordinary :class:`Hello`, a retire an ordinary :class:`Shutdown`.
 * :class:`Ping` / :class:`Pong` (worker ``->`` parent) -- liveness
   probe: the worker echoes the parent's nonce along with its shard
   index and pid.  The :class:`~repro.cluster.supervisor.WorkerSupervisor`
@@ -86,7 +94,11 @@ PROTOCOL_MAGIC = b"HY"
 #: supervisor drives.  v4 added the observability layer: Hello's
 #: ``flags`` (metrics enable), JobSlices' trace context, Partials'
 #: measured worker spans, and the MetricsRequest/MetricsSnapshot pull.
-PROTOCOL_VERSION = 4
+#: v5 added the elastic-topology frame: SplitBuckets refines the
+#: bucket space live (shard joins and retires need no frame of their
+#: own -- a join is an ordinary Hello, a retire an ordinary Shutdown,
+#: and every byte of data motion rides the existing handoff family).
+PROTOCOL_VERSION = 5
 
 #: Hello ``flags`` bit: the worker should run a live metrics registry
 #: and answer :class:`MetricsRequest` with non-empty snapshots.
@@ -134,6 +146,7 @@ class FrameType(enum.IntEnum):
     PONG = 14
     METRICS_REQUEST = 15
     METRICS_SNAPSHOT = 16
+    SPLIT_BUCKETS = 17
 
 
 # --- payload primitives -----------------------------------------------------
@@ -658,6 +671,35 @@ class HandoffData:
 
 
 @dataclass(frozen=True)
+class SplitBuckets:
+    """Parent -> worker: refine the bucket space in place (v5).
+
+    ``num_buckets`` is the *new* bucket count -- an exact multiple of
+    the worker's current one, because bucket refinement relies on
+    modulo stability: ``mix(uid) % kN`` is congruent to
+    ``mix(uid) % N`` mod ``N``, so old bucket ``b`` splits into the
+    ``k`` new buckets ``{b, b + N, ..., b + (k-1)N}`` and no user
+    changes owner at split time.  ``version`` is the routing epoch the
+    split creates; like a handoff, the worker insists it advances its
+    local epoch by exactly one, so a worker that misses the split can
+    never silently select users under a stale bucket numbering -- the
+    next epoch-stamped frame fails loudly instead.
+    """
+
+    num_buckets: int
+    version: int
+
+    def _pack(self) -> bytes:
+        return _pack_scalar(self.num_buckets) + _pack_scalar(self.version)
+
+    @classmethod
+    def _unpack(cls, buf: bytes) -> tuple["SplitBuckets", int]:
+        num_buckets, offset = _unpack_scalar(buf, 0)
+        version, offset = _unpack_scalar(buf, offset)
+        return cls(num_buckets=num_buckets, version=version), offset
+
+
+@dataclass(frozen=True)
 class Ping:
     """Parent -> worker: liveness probe (v3).
 
@@ -819,6 +861,7 @@ Message = (
     | Pong
     | MetricsRequest
     | MetricsSnapshot
+    | SplitBuckets
 )
 
 _MESSAGE_TYPES: dict[FrameType, type] = {
@@ -838,6 +881,7 @@ _MESSAGE_TYPES: dict[FrameType, type] = {
     FrameType.PONG: Pong,
     FrameType.METRICS_REQUEST: MetricsRequest,
     FrameType.METRICS_SNAPSHOT: MetricsSnapshot,
+    FrameType.SPLIT_BUCKETS: SplitBuckets,
 }
 _FRAME_OF_TYPE = {cls: frame for frame, cls in _MESSAGE_TYPES.items()}
 

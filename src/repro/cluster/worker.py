@@ -54,6 +54,7 @@ from repro.cluster.transport import (
     Pong,
     Ready,
     Shutdown,
+    SplitBuckets,
     StatsReply,
     StatsRequest,
     TransportError,
@@ -85,6 +86,7 @@ class ShardHost:
         self.map_version = 0
         self.handoffs_out = 0
         self.handoffs_in = 0
+        self.splits_applied = 0
         self._handshaken = False
         #: Shard-local metrics; off until the Hello handshake raises
         #: :data:`~repro.cluster.transport.HELLO_FLAG_METRICS` (bare
@@ -142,6 +144,9 @@ class ShardHost:
             return self._extract_bucket(msg)
         if isinstance(msg, HandoffData):
             self._absorb_bucket(msg)
+            return None
+        if isinstance(msg, SplitBuckets):
+            self._apply_split(msg)
             return None
         if isinstance(msg, Hello):
             if msg.shard != self.shard:
@@ -225,6 +230,32 @@ class ShardHost:
                 f"{what} for epoch {version} does not advance this "
                 f"worker's epoch {self.map_version} by one"
             )
+
+    def _apply_split(self, msg: SplitBuckets) -> None:
+        """Refine the local bucket count (v5 elastic topology).
+
+        The new count must be an exact multiple of the current one --
+        that is the modulo-stability precondition under which no user
+        changes owner at split time -- and the epoch must advance by
+        exactly one, handoff-style.  A worker that misses a split would
+        select users under a stale bucket numbering on its next
+        handoff; the epoch discipline turns that into a loud
+        ``TransportError`` instead.
+        """
+        if self.num_buckets < 1:
+            raise TransportError("bucket split before the Hello handshake")
+        if (
+            msg.num_buckets <= self.num_buckets
+            or msg.num_buckets % self.num_buckets
+        ):
+            raise TransportError(
+                f"bucket split to {msg.num_buckets} is not a proper "
+                f"multiple of the current {self.num_buckets}"
+            )
+        self._require_epoch_advance(msg.version, "bucket split")
+        self.num_buckets = msg.num_buckets
+        self.map_version = msg.version
+        self.splits_applied += 1
 
     def _extract_bucket(self, msg: HandoffRequest) -> HandoffData:
         """Old-owner side of a migration: replay out, then evict.

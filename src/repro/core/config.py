@@ -75,6 +75,33 @@ class HyRecConfig:
             the cadence, leaving the rebalancer manual-only.
         rebalance_max_moves: Sharded engine only: bucket-migration
             budget per rebalance pass (a control-loop safety valve).
+        autoscale_interval: Sharded engine only: seconds between
+            timer-driven passes of the rebalancer's control loop
+            (autoscale check + rebalance), run on a background thread
+            so handoffs overlap live serving; ``0`` (the default)
+            disables the timer.  Write-count kicks
+            (``rebalance_interval``) signal the same thread.
+        autoscale_min_shards: Sharded engine only: floor the
+            autoscaler will never shrink the fleet below.
+        autoscale_max_shards: Sharded engine only: ceiling for
+            autoscaler growth; ``0`` (the default) disables growing.
+        autoscale_high_water: Sharded engine only: mean writes per
+            shard accumulated between control-loop passes above which
+            the fleet grows by one shard (live join + rendezvous-share
+            migration); ``0`` (the default) disables growing.
+        autoscale_low_water: Sharded engine only: mean writes per
+            shard per pass below which the fleet shrinks by one shard
+            (drain + retire); ``0`` (the default) disables shrinking.
+            Must stay below ``autoscale_high_water`` when both are
+            set.
+        split_hot_bucket_ratio: Sharded engine only: fraction of the
+            hottest shard's write load a single placement bucket must
+            carry -- while the spread exceeds
+            ``rebalance_threshold`` yet no bucket move can improve it
+            -- for the rebalancer to split the bucket space in two
+            (an epoch-bumped metadata change that moves no data but
+            makes the viral bucket's cohabitants separately movable).
+            ``0`` (the default) disables splitting.
         worker_timeout: Process executor only: deadline in seconds on
             every parent<->worker socket operation (and the per-stage
             join timeout of shutdown escalation).  A worker that stays
@@ -153,6 +180,12 @@ class HyRecConfig:
     rebalance_threshold: float = 2.0
     rebalance_interval: int = 0
     rebalance_max_moves: int = 4
+    autoscale_interval: float = 0.0
+    autoscale_min_shards: int = 1
+    autoscale_max_shards: int = 0
+    autoscale_high_water: float = 0.0
+    autoscale_low_water: float = 0.0
+    split_hot_bucket_ratio: float = 0.0
     worker_timeout: float = 5.0
     max_respawns: int = 3
     retry_backoff: float = 0.05
@@ -212,6 +245,53 @@ class HyRecConfig:
             raise ValueError(
                 "rebalance_max_moves must be at least 1, got "
                 f"{self.rebalance_max_moves}"
+            )
+        if self.autoscale_interval < 0:
+            raise ValueError(
+                "autoscale_interval cannot be negative, got "
+                f"{self.autoscale_interval}"
+            )
+        if self.autoscale_min_shards < 1:
+            raise ValueError(
+                "autoscale_min_shards must be at least 1, got "
+                f"{self.autoscale_min_shards}"
+            )
+        if self.autoscale_max_shards < 0:
+            raise ValueError(
+                "autoscale_max_shards cannot be negative, got "
+                f"{self.autoscale_max_shards}"
+            )
+        if (
+            self.autoscale_max_shards
+            and self.autoscale_max_shards < self.autoscale_min_shards
+        ):
+            raise ValueError(
+                f"autoscale_max_shards ({self.autoscale_max_shards}) cannot "
+                f"undercut autoscale_min_shards ({self.autoscale_min_shards})"
+            )
+        if self.autoscale_high_water < 0:
+            raise ValueError(
+                "autoscale_high_water cannot be negative, got "
+                f"{self.autoscale_high_water}"
+            )
+        if self.autoscale_low_water < 0:
+            raise ValueError(
+                "autoscale_low_water cannot be negative, got "
+                f"{self.autoscale_low_water}"
+            )
+        if (
+            self.autoscale_high_water
+            and self.autoscale_low_water
+            and self.autoscale_low_water >= self.autoscale_high_water
+        ):
+            raise ValueError(
+                f"autoscale_low_water ({self.autoscale_low_water}) must stay "
+                f"below autoscale_high_water ({self.autoscale_high_water})"
+            )
+        if not 0.0 <= self.split_hot_bucket_ratio <= 1.0:
+            raise ValueError(
+                "split_hot_bucket_ratio must be in [0, 1], got "
+                f"{self.split_hot_bucket_ratio}"
             )
         if self.worker_timeout <= 0:
             raise ValueError(

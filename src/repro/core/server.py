@@ -77,6 +77,14 @@ class ServerStats:
     #: Successful automatic worker recoveries (supervisor respawns);
     #: ``0`` unless ``executor="process"``.
     recoveries: int = 0
+    #: Live shard joins applied so far (autoscaler or operator);
+    #: ``0`` unless ``engine="sharded"``.
+    shards_added: int = 0
+    #: Live shard retires applied so far; ``0`` unless ``engine="sharded"``.
+    shards_removed: int = 0
+    #: Bucket-space splits applied so far (each doubles-or-more the
+    #: placement's bucket count); ``0`` unless ``engine="sharded"``.
+    bucket_splits: int = 0
 
 
 class HyRecServer:
@@ -107,10 +115,13 @@ class HyRecServer:
         #: behind a scatter/gather coordinator.  Only materialized for
         #: ``engine="sharded"``.
         self.cluster: "ClusterCoordinator | None" = None
-        #: Churn-driven bucket migrator over the cluster's movable
-        #: placement map; only materialized for ``engine="sharded"``.
-        #: Runs manually (``rebalancer.rebalance()``) and, when
-        #: ``rebalance_interval > 0``, on a write-count cadence.
+        #: Churn-driven bucket migrator *and autoscaler* over the
+        #: cluster's movable placement map; only materialized for
+        #: ``engine="sharded"``.  Runs manually
+        #: (``rebalancer.run_once()``) and, when ``rebalance_interval``
+        #: or ``autoscale_interval`` is set, on a background
+        #: control-loop thread -- write-count kicks and the timer both
+        #: signal it, so handoffs overlap live serving.
         self.rebalancer: "ShardRebalancer | None" = None
         #: The deployment's shared observability: metrics registry,
         #: request tracer, and event log -- one instance threaded
@@ -154,6 +165,12 @@ class HyRecServer:
                 threshold=self.config.rebalance_threshold,
                 max_moves=self.config.rebalance_max_moves,
                 interval=self.config.rebalance_interval,
+                autoscale_interval=self.config.autoscale_interval,
+                min_shards=self.config.autoscale_min_shards,
+                max_shards=self.config.autoscale_max_shards,
+                high_water=self.config.autoscale_high_water,
+                low_water=self.config.autoscale_low_water,
+                split_ratio=self.config.split_hot_bucket_ratio,
             )
         self.meter = MessageMeter()
         #: Per-user write observers: called with the user id after any
@@ -176,6 +193,9 @@ class HyRecServer:
             "migrations": 0,
             "dropped_requests": 0,
             "recoveries": 0,
+            "shards_added": 0,
+            "shards_removed": 0,
+            "bucket_splits": 0,
         }
         if self.obs.registry.enabled:
             # Collector pattern: exposition reads the existing
@@ -547,6 +567,21 @@ class HyRecServer:
                 if self.cluster is not None
                 else 0
             ),
+            shards_added=(
+                self.cluster.shards_added - base["shards_added"]
+                if self.cluster is not None
+                else 0
+            ),
+            shards_removed=(
+                self.cluster.shards_removed - base["shards_removed"]
+                if self.cluster is not None
+                else 0
+            ),
+            bucket_splits=(
+                self.cluster.bucket_splits - base["bucket_splits"]
+                if self.cluster is not None
+                else 0
+            ),
         )
 
     def reset_stats(self) -> None:
@@ -574,6 +609,15 @@ class HyRecServer:
             ),
             "recoveries": (
                 self.cluster.recoveries if self.cluster is not None else 0
+            ),
+            "shards_added": (
+                self.cluster.shards_added if self.cluster is not None else 0
+            ),
+            "shards_removed": (
+                self.cluster.shards_removed if self.cluster is not None else 0
+            ),
+            "bucket_splits": (
+                self.cluster.bucket_splits if self.cluster is not None else 0
             ),
         }
 

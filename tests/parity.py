@@ -1,0 +1,130 @@
+"""Shared parity fixtures: the byte-level acceptance bar of the cluster.
+
+Every cluster suite (``test_cluster_parity``, ``test_rebalance``,
+``test_fault_tolerance``, ``test_elasticity``) asserts the same
+contract: whatever the topology does -- sharding, migrating, killing
+workers, growing, shrinking, splitting buckets -- the engine's
+outputs are **bit-for-bit** the unsharded vectorized engine's.  The
+helpers here are that contract's single definition:
+
+* :func:`random_trace` / :func:`random_table` / :func:`random_job` --
+  the deterministic random workloads the suites replay (same RNG seed
+  => same trace, so a sharded system and its unsharded oracle replay
+  identical inputs in lockstep).
+* :func:`replay_digest` -- the full observable surface of a replay:
+  every request's neighbors, *bit-pattern* float64 scores,
+  recommendations, the final KNN table, and the byte-exact wire-meter
+  readings (the Figure-10 metering both directions).
+* :func:`assert_scores_bitwise` -- scores are not approximately
+  equal; they are the same float64 bit patterns (``==`` plus the
+  ``repr`` round trip, which distinguishes ``-0.0``/``0.0`` and every
+  ULP).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.datasets.schema import Rating, Trace
+from repro.engine import EngineJob
+
+__all__ = [
+    "assert_scores_bitwise",
+    "random_job",
+    "random_table",
+    "random_trace",
+    "replay_digest",
+]
+
+
+def random_trace(
+    rng: random.Random,
+    users: int,
+    items: int,
+    n: int,
+    name: str = "parity",
+) -> Trace:
+    """An ML-style random trace: mostly likes, re-rates included."""
+    ratings = []
+    now = 0.0
+    for _ in range(n):
+        now += rng.random() * 50
+        ratings.append(
+            Rating(
+                timestamp=now,
+                user=rng.randrange(users),
+                item=rng.randrange(items),
+                value=float(rng.random() < 0.75),
+            )
+        )
+    return Trace(name, ratings)
+
+
+def random_table(rng: random.Random, users: int, items: int) -> ProfileTable:
+    """A pre-populated profile table (empty profiles included)."""
+    table = ProfileTable()
+    for uid in range(users):
+        table.get_or_create(uid)  # empty profiles are a legal edge case
+        for item in rng.sample(range(items), rng.randrange(0, 25)):
+            table.record(uid, item, 1.0 if rng.random() < 0.7 else 0.0)
+        if rng.random() < 0.1:
+            table.record(uid, rng.randrange(items), 1.0)  # re-rate
+    return table
+
+
+def random_job(rng: random.Random, users: int, metric: str) -> EngineJob:
+    """One engine job with a random candidate set in token order."""
+    user_id = rng.randrange(users)
+    population = [uid for uid in range(users) if uid != user_id]
+    candidates = rng.sample(population, rng.randrange(0, len(population)))
+    # Duplicate-profile ties happen naturally (profiles are random and
+    # small); token order is the deterministic engine order.
+    pairs = sorted((f"u0_{uid:04x}", uid) for uid in candidates)
+    return EngineJob(
+        user_id=user_id,
+        user_token=f"u0_{user_id:04x}",
+        candidate_ids=tuple(uid for _, uid in pairs),
+        candidate_tokens=tuple(token for token, _ in pairs),
+        k=rng.choice([1, 3, 10, 100]),  # 100 > |candidates| always
+        r=rng.choice([1, 5, 20]),
+        metric=metric,
+    )
+
+
+def replay_digest(system: HyRecSystem, trace: Trace) -> dict:
+    """Replay a trace and capture everything the client could observe.
+
+    Two systems replaying the same trace must produce ``==`` digests:
+    per-request results (neighbors, float64 scores, recommendations),
+    the final KNN table, and the byte counts both metered directions
+    -- the bit-for-bit contract including Figure-10 wire metering.
+    """
+    outcomes: list = []
+    system.replay(trace, on_request=outcomes.append)
+    return {
+        "results": [
+            (
+                o.result.neighbor_tokens,
+                o.result.neighbor_scores,
+                o.result.recommended_items,
+                o.recommendations,
+            )
+            for o in outcomes
+        ],
+        "knn": system.server.knn_table.as_dict(),
+        "wire": {
+            channel: system.server.meter.reading(channel)
+            for channel in ("server->client", "client->server")
+        },
+    }
+
+
+def assert_scores_bitwise(
+    expected: Iterable[float], got: Iterable[float]
+) -> None:
+    """Scores must be the same float64 bit patterns, not just close."""
+    for a, b in zip(expected, got, strict=True):
+        assert a == b and str(a) == str(b), f"score bits diverge: {a!r} {b!r}"

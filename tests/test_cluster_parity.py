@@ -26,54 +26,16 @@ from repro.core.config import HyRecConfig
 from repro.core.system import HyRecSystem
 from repro.core.tables import ProfileTable
 from repro.datasets.schema import Rating, Trace
-from repro.engine import EngineJob, LikedMatrix, VectorizedWidget
+from repro.engine import LikedMatrix, VectorizedWidget
+from parity import (
+    assert_scores_bitwise,
+    random_job as _random_job,
+    random_table as _random_table,
+    random_trace,
+    replay_digest,
+)
 
 SHARD_COUNTS = (1, 2, 4, 8)
-
-
-def _random_trace(rng: random.Random, users: int, items: int, n: int) -> Trace:
-    ratings = []
-    now = 0.0
-    for _ in range(n):
-        now += rng.random() * 50
-        ratings.append(
-            Rating(
-                timestamp=now,
-                user=rng.randrange(users),
-                item=rng.randrange(items),
-                value=float(rng.random() < 0.75),
-            )
-        )
-    return Trace("cluster-parity", ratings)
-
-
-def _random_table(rng: random.Random, users: int, items: int) -> ProfileTable:
-    table = ProfileTable()
-    for uid in range(users):
-        table.get_or_create(uid)  # empty profiles are a legal edge case
-        for item in rng.sample(range(items), rng.randrange(0, 25)):
-            table.record(uid, item, 1.0 if rng.random() < 0.7 else 0.0)
-        if rng.random() < 0.1:
-            table.record(uid, rng.randrange(items), 1.0)  # re-rate
-    return table
-
-
-def _random_job(rng: random.Random, users: int, metric: str) -> EngineJob:
-    user_id = rng.randrange(users)
-    population = [uid for uid in range(users) if uid != user_id]
-    candidates = rng.sample(population, rng.randrange(0, len(population)))
-    # Duplicate-profile ties happen naturally (profiles are random and
-    # small); token order is the deterministic engine order.
-    pairs = sorted((f"u0_{uid:04x}", uid) for uid in candidates)
-    return EngineJob(
-        user_id=user_id,
-        user_token=f"u0_{user_id:04x}",
-        candidate_ids=tuple(uid for _, uid in pairs),
-        candidate_tokens=tuple(token for token, _ in pairs),
-        k=rng.choice([1, 3, 10, 100]),  # 100 > |candidates| always
-        r=rng.choice([1, 5, 20]),
-        metric=metric,
-    )
 
 
 class TestWidgetLevelParity:
@@ -93,8 +55,7 @@ class TestWidgetLevelParity:
             assert got == expected, f"trial {trial} diverged"
             # Scores are not approximately equal -- they are the same
             # float64 bit patterns.
-            for a, b in zip(expected.neighbor_scores, got.neighbor_scores):
-                assert a == b and str(a) == str(b)
+            assert_scores_bitwise(expected.neighbor_scores, got.neighbor_scores)
 
     def test_batched_jobs_match_single_matrix(self):
         rng = random.Random(91)
@@ -128,8 +89,9 @@ class TestWidgetLevelParity:
                 expected = widget.process_engine_job(job, matrix)
                 got = coordinator.process_engine_job(job)
                 assert got == expected, f"trial {trial} diverged"
-                for a, b in zip(expected.neighbor_scores, got.neighbor_scores):
-                    assert a == b and str(a) == str(b)
+                assert_scores_bitwise(
+                    expected.neighbor_scores, got.neighbor_scores
+                )
         finally:
             coordinator.close()
 
@@ -154,7 +116,7 @@ class TestWidgetLevelParity:
 class TestReplayLevelParity:
     @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
     def test_replay_identical_across_engines(self, num_shards):
-        trace = _random_trace(random.Random(29), users=30, items=90, n=350)
+        trace = random_trace(random.Random(29), users=30, items=90, n=350, name="cluster-parity")
         reference: dict | None = None
         for engine in ("python", "vectorized", "sharded"):
             system = HyRecSystem(
@@ -163,31 +125,14 @@ class TestReplayLevelParity:
                 ),
                 seed=23,
             )
-            outcomes: list = []
-            system.replay(trace, on_request=outcomes.append)
-            digest = {
-                "results": [
-                    (
-                        o.result.neighbor_tokens,
-                        o.result.neighbor_scores,
-                        o.result.recommended_items,
-                        o.recommendations,
-                    )
-                    for o in outcomes
-                ],
-                "knn": system.server.knn_table.as_dict(),
-                "wire": {
-                    channel: system.server.meter.reading(channel)
-                    for channel in ("server->client", "client->server")
-                },
-            }
+            digest = replay_digest(system, trace)
             if reference is None:
                 reference = digest
             else:
                 assert digest == reference, f"{engine} @ {num_shards} diverged"
 
     def test_thread_executor_replay_matches_serial(self):
-        trace = _random_trace(random.Random(31), users=25, items=70, n=250)
+        trace = random_trace(random.Random(31), users=25, items=70, n=250, name="cluster-parity")
         digests = []
         for executor in ("serial", "thread"):
             system = HyRecSystem(
@@ -212,7 +157,7 @@ class TestReplayLevelParity:
         # The acceptance bar for the cross-process transport: full
         # replays (results, KNN table, *and* wire metering) identical
         # to the serial executor at every shard count.
-        trace = _random_trace(random.Random(37), users=25, items=70, n=250)
+        trace = random_trace(random.Random(37), users=25, items=70, n=250, name="cluster-parity")
         digests = []
         for executor in ("serial", "process"):
             system = HyRecSystem(

@@ -1,0 +1,588 @@
+"""Elastic topology: live grow/shrink, hot-bucket splits, chaos parity.
+
+The acceptance bar for the elastic cluster: *no topology change may
+ever change a result or lose a write*.  Three layers of evidence:
+
+* A hypothesis-driven **stateful chaos machine** interleaving shard
+  joins, retires, bucket splits, SIGKILLs, profile writes, and
+  personalization requests against an unsharded vectorized oracle in
+  RNG lockstep -- asserting bit-for-bit result parity, byte-exact
+  wire metering, and zero lost writes after every step.
+* A deterministic **2 -> 4 -> 8 grow and 8 -> 4 shrink** under live
+  request waves (the ISSUE's acceptance scenario): every wave's
+  outcomes equal the oracle's, zero requests dropped.
+* Unit tests for the **watermark autoscaler** and **hot-bucket
+  split** control loop (grow/shrink stepping, histogram re-tiling
+  across splits, the viral-bucket trigger) and the new config knobs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from parity import assert_scores_bitwise, random_trace, replay_digest
+from repro.cluster import ClusterCoordinator, ShardRebalancer
+from repro.cluster.placement import bucket_of_id
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+
+USERS = 24
+ITEMS = 40
+MAX_SHARDS = 5
+MAX_BUCKETS = 512  # chaos cap: keeps per-join migration loops short
+
+
+def _sharded_config() -> HyRecConfig:
+    return HyRecConfig(
+        k=4,
+        r=5,
+        engine="sharded",
+        num_shards=2,
+        executor="process",
+        ipc_write_batch=4,  # small: exercise buffering + eager flush
+        worker_timeout=10.0,
+        max_respawns=50,  # chaos kills the same shard repeatedly
+        retry_backoff=0.01,
+    )
+
+
+def _oracle_config() -> HyRecConfig:
+    return HyRecConfig(k=4, r=5, engine="vectorized")
+
+
+def _outcome_digest(outcome) -> tuple:
+    result = outcome.result
+    return (
+        result.neighbor_tokens,
+        result.neighbor_scores,
+        result.recommended_items,
+        tuple(outcome.recommendations),
+    )
+
+
+def _wire_digest(system: HyRecSystem) -> dict:
+    return {
+        channel: system.server.meter.reading(channel)
+        for channel in ("server->client", "client->server")
+    }
+
+
+class ElasticChaosMachine(RuleBasedStateMachine):
+    """Random op interleavings; the oracle must never notice.
+
+    Both systems share a seed, so their samplers run in RNG lockstep:
+    identical write/request sequences produce identical outcomes on
+    the unsharded vectorized engine and the process-executor cluster
+    -- no matter what the topology does in between.
+    """
+
+    @initialize()
+    def build(self) -> None:
+        self.sharded = HyRecSystem(_sharded_config(), seed=71)
+        self.oracle = HyRecSystem(_oracle_config(), seed=71)
+        self.cluster = self.sharded.server.cluster
+        assert self.cluster is not None
+        self.executor = self.cluster.executor
+        self.written: set[int] = set()
+
+    def teardown(self) -> None:
+        self.sharded.close()
+        self.oracle.close()
+
+    def _recover_kills(self) -> None:
+        """Operator step before topology changes: surface dead workers.
+
+        A SIGKILL is invisible until the next exchange; the stats
+        round trip both detects it and runs the budgeted recovery, so
+        the topology op that follows starts from a healthy fleet.
+        """
+        self.cluster.shard_stats()
+
+    # --- chaos ops ----------------------------------------------------------
+
+    @rule(
+        user=st.integers(0, USERS - 1),
+        item=st.integers(0, ITEMS - 1),
+        like=st.booleans(),
+    )
+    def write(self, user: int, item: int, like: bool) -> None:
+        value = 1.0 if like else 0.0
+        self.sharded.record_rating(user, item, value)
+        self.oracle.record_rating(user, item, value)
+        self.written.add(user)
+
+    @rule(user=st.integers(0, USERS - 1))
+    def request(self, user: int) -> None:
+        got = self.sharded.request(user)
+        expected = self.oracle.request(user)
+        assert _outcome_digest(got) == _outcome_digest(expected)
+        assert_scores_bitwise(
+            expected.result.neighbor_scores, got.result.neighbor_scores
+        )
+        assert _wire_digest(self.sharded) == _wire_digest(self.oracle)
+
+    @rule(users=st.lists(st.integers(0, USERS - 1), min_size=1, max_size=4))
+    def request_wave(self, users: list[int]) -> None:
+        got = self.sharded.request_batch(users)
+        expected = self.oracle.request_batch(users)
+        assert list(map(_outcome_digest, got)) == list(
+            map(_outcome_digest, expected)
+        )
+        assert _wire_digest(self.sharded) == _wire_digest(self.oracle)
+
+    @precondition(lambda self: self.cluster.num_shards < MAX_SHARDS)
+    @rule()
+    def add_shard(self) -> None:
+        self._recover_kills()
+        before = self.cluster.num_shards
+        self.cluster.add_shard()
+        assert self.cluster.num_shards == before + 1
+
+    @precondition(lambda self: self.cluster.num_shards >= 2)
+    @rule()
+    def remove_shard(self) -> None:
+        self._recover_kills()
+        before = self.cluster.num_shards
+        self.cluster.remove_shard()
+        assert self.cluster.num_shards == before - 1
+
+    @precondition(
+        lambda self: self.cluster.placement.num_buckets * 2 <= MAX_BUCKETS
+    )
+    @rule()
+    def split_buckets(self) -> None:
+        self._recover_kills()
+        before = self.cluster.placement.num_buckets
+        version = self.cluster.split_buckets(2)
+        assert self.cluster.placement.num_buckets == before * 2
+        assert self.cluster.placement.version == version
+
+    @rule(pick=st.integers(0, 7))
+    def kill_worker(self, pick: int) -> None:
+        shard = pick % self.cluster.num_shards
+        proc = self.executor._procs[shard]
+        if proc is None or not proc.is_alive():
+            return
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join()
+
+    # --- invariants ---------------------------------------------------------
+
+    @invariant()
+    def zero_lost_writes(self) -> None:
+        """Every write survives every topology change, by serving it.
+
+        Counters cannot witness this (rows materialize lazily on
+        reads; retires collapse replayed histories), so the check goes
+        through the read path: after any step, the stats round trip
+        flushes and leaves no write stuck in a buffer, and a probe
+        request for a written user -- whose score depends on the liked
+        sets of every sampled candidate -- must still serve the
+        oracle's exact answer.  The probe advances both systems in
+        lockstep, so it never perturbs parity itself.
+        """
+        stats = self.cluster.shard_stats()
+        assert all(stat.alive for stat in stats)
+        assert all(
+            not users for users, _, _ in self.executor._write_buffers
+        )
+        assert len(self.sharded.server.profiles) == len(
+            self.oracle.server.profiles
+        )
+        if self.written:
+            probe = min(self.written)
+            got = self.sharded.request(probe)
+            expected = self.oracle.request(probe)
+            assert _outcome_digest(got) == _outcome_digest(expected)
+
+    @invariant()
+    def meters_in_lockstep(self) -> None:
+        assert _wire_digest(self.sharded) == _wire_digest(self.oracle)
+
+
+ElasticChaosMachine.TestCase.settings = settings(
+    max_examples=6,
+    stateful_step_count=25,
+    deadline=None,
+    print_blob=True,
+)
+TestElasticChaos = ElasticChaosMachine.TestCase
+
+
+class TestLiveGrowShrink:
+    """The ISSUE acceptance scenario: 2 -> 4 -> 8 grow, 8 -> 4 shrink."""
+
+    def test_grow_and_shrink_under_live_waves(self):
+        sharded = HyRecSystem(_sharded_config(), seed=13)
+        oracle = HyRecSystem(_oracle_config(), seed=13)
+        try:
+            cluster = sharded.server.cluster
+            assert cluster is not None
+            rng = random.Random(99)
+            trace = random_trace(
+                rng, users=USERS, items=ITEMS, n=150, name="elastic-seed"
+            )
+            for rating in trace.ratings:
+                sharded.record_rating(rating.user, rating.item, rating.value)
+                oracle.record_rating(rating.user, rating.item, rating.value)
+
+            def wave() -> None:
+                users = [rng.randrange(USERS) for _ in range(6)]
+                got = sharded.request_batch(users)
+                expected = oracle.request_batch(users)
+                assert list(map(_outcome_digest, got)) == list(
+                    map(_outcome_digest, expected)
+                )
+                for g, e in zip(got, expected):
+                    assert not g.result.degraded
+                    assert_scores_bitwise(
+                        e.result.neighbor_scores, g.result.neighbor_scores
+                    )
+
+            wave()
+            for target in (3, 4, 5, 6, 7, 8):  # 2 -> 4 -> 8, serving between
+                cluster.add_shard()
+                assert cluster.num_shards == target
+                user = rng.randrange(USERS)
+                sharded.record_rating(user, 1, 1.0)
+                oracle.record_rating(user, 1, 1.0)
+                wave()
+            for target in (7, 6, 5, 4):  # 8 -> 4
+                cluster.remove_shard()
+                assert cluster.num_shards == target
+                wave()
+            stats = sharded.server.stats
+            assert stats.dropped_requests == 0
+            assert stats.shards_added == 6
+            assert stats.shards_removed == 4
+            assert len(stats.shards) == 4
+            assert _wire_digest(sharded) == _wire_digest(oracle)
+        finally:
+            sharded.close()
+            oracle.close()
+
+    def test_full_replay_digest_with_elastic_topology(self):
+        # End-to-end: a trace replayed on the oracle vs the same trace
+        # replayed while the topology churns (grow + split + shrink via
+        # a listener) -- full digests (results, KNN, wire) equal.
+        trace = random_trace(
+            random.Random(3), users=20, items=50, n=200, name="elastic-churn"
+        )
+        oracle = HyRecSystem(_oracle_config(), seed=29)
+        expected = replay_digest(oracle, trace)
+        oracle.close()
+
+        sharded = HyRecSystem(_sharded_config(), seed=29)
+        cluster = sharded.server.cluster
+        assert cluster is not None
+        actions = iter(
+            [
+                lambda: cluster.add_shard(),
+                lambda: cluster.split_buckets(2),
+                lambda: cluster.add_shard(),
+                lambda: cluster.remove_shard(),
+            ]
+        )
+        state = {"writes": 0}
+
+        def churn(user_id, item, value, previous) -> None:
+            state["writes"] += 1
+            if state["writes"] % 40 == 0:
+                action = next(actions, None)
+                if action is not None:
+                    action()
+
+        sharded.server.profiles.add_listener(churn)
+        try:
+            got = replay_digest(sharded, trace)
+        finally:
+            sharded.server.profiles.remove_listener(churn)
+        stats = sharded.server.stats
+        sharded.close()
+        assert got == expected
+        assert stats.shards_added == 2
+        assert stats.shards_removed == 1
+        assert stats.bucket_splits == 1
+        assert stats.dropped_requests == 0
+
+
+class TestAutoscaler:
+    def test_grows_past_high_water_one_step_per_pass(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 1)
+        rebalancer = ShardRebalancer(
+            coordinator,
+            threshold=1.5,
+            max_shards=3,
+            high_water=10.0,
+            low_water=1.0,
+        )
+        try:
+            for uid in range(40):
+                table.record(uid, 1, 1.0)
+            rebalancer.run_once()
+            assert coordinator.num_shards == 2  # one step, not a leap
+            for uid in range(40):
+                table.record(uid, 2, 1.0)
+            rebalancer.run_once()
+            assert coordinator.num_shards == 3
+            for uid in range(40):
+                table.record(uid, 3, 1.0)
+            rebalancer.run_once()
+            assert coordinator.num_shards == 3  # capped at max_shards
+            assert [kind for kind, _ in rebalancer.scale_actions] == [
+                "grow",
+                "grow",
+            ]
+        finally:
+            rebalancer.close()
+
+    def test_shrinks_below_low_water_to_the_floor(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 3)
+        rebalancer = ShardRebalancer(
+            coordinator,
+            threshold=1.5,
+            min_shards=2,
+            high_water=1000.0,
+            low_water=5.0,
+            max_shards=3,
+        )
+        try:
+            table.record(1, 1, 1.0)  # well under low water
+            rebalancer.run_once()
+            assert coordinator.num_shards == 2
+            rebalancer.run_once()
+            assert coordinator.num_shards == 2  # floored at min_shards
+            assert rebalancer.scale_actions == [("shrink", 2)]
+        finally:
+            rebalancer.close()
+
+    def test_window_resets_between_passes(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 1)
+        rebalancer = ShardRebalancer(
+            coordinator, max_shards=4, high_water=50.0
+        )
+        try:
+            for i in range(30):
+                table.record(i, 1, 1.0)
+            rebalancer.run_once()  # 30 < 50: hold, but consume window
+            assert coordinator.num_shards == 1
+            for i in range(30):
+                table.record(i, 2, 1.0)
+            rebalancer.run_once()  # another 30 < 50: no carry-over
+            assert coordinator.num_shards == 1
+        finally:
+            rebalancer.close()
+
+    def test_hot_bucket_split_unblocks_the_rebalance(self):
+        # All load in ONE bucket on one shard: no move can improve the
+        # spread (moving the bucket just swaps donor and receiver), so
+        # the rebalancer used to be stuck.  With split_ratio set it
+        # splits the bucket space -- cohabitants land in different
+        # sub-buckets -- and the follow-up proposal moves load.
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 2)
+        rebalancer = ShardRebalancer(
+            coordinator, threshold=1.5, max_moves=4, split_ratio=0.5
+        )
+        try:
+            placement = coordinator.placement
+            hot_bucket = int(placement.buckets_owned_by(0)[0])
+            cohabitants = []
+            uid = 0
+            while len(cohabitants) < 6:
+                if placement.bucket_of(uid) == hot_bucket:
+                    cohabitants.append(uid)
+                uid += 1
+            for user in cohabitants:
+                for item in range(10):
+                    table.record(user, item, 1.0)
+            assert rebalancer.propose() is None  # stuck without a split
+            before_buckets = placement.num_buckets
+            moves = rebalancer.rebalance()
+            assert rebalancer.splits_applied == 1
+            assert placement.num_buckets == before_buckets * 2
+            assert moves, "the split must unblock a move"
+            assert rebalancer.imbalance() < 60.0
+        finally:
+            rebalancer.close()
+
+    def test_histogram_retile_preserves_shard_loads(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 2)
+        rebalancer = ShardRebalancer(coordinator, threshold=2.0)
+        try:
+            for uid in range(50):
+                table.record(uid, 1, 1.0)
+            before = rebalancer.shard_loads().tolist()
+            coordinator.split_buckets(2)
+            after = rebalancer.shard_loads().tolist()
+            assert after == before  # the split moved no data
+            # Fresh writes land at the fine resolution, still exact.
+            table.record(1, 2, 1.0)
+            shard = coordinator.placement.shard_of(1)
+            assert rebalancer.shard_loads()[shard] == before[shard] + 1
+        finally:
+            rebalancer.close()
+
+    def test_split_keeps_every_owner(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 3)
+        placement = coordinator.placement
+        owners_before = {
+            uid: placement.shard_of(uid) for uid in range(2000)
+        }
+        coordinator.split_buckets(4)
+        assert all(
+            placement.shard_of(uid) == shard
+            for uid, shard in owners_before.items()
+        )
+
+    def test_timer_thread_runs_the_loop(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 1)
+        rebalancer = ShardRebalancer(
+            coordinator,
+            autoscale_interval=0.02,
+            max_shards=2,
+            high_water=5.0,
+        )
+        try:
+            assert rebalancer._thread is not None
+            for uid in range(40):
+                table.record(uid, 1, 1.0)
+            grown = threading.Event()
+
+            def poll():
+                import time
+
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if coordinator.num_shards == 2:
+                        grown.set()
+                        return
+                    time.sleep(0.01)
+
+            poller = threading.Thread(target=poll)
+            poller.start()
+            poller.join()
+            assert grown.is_set(), "timer pass must have grown the fleet"
+        finally:
+            rebalancer.close()
+        assert rebalancer._thread is None  # close joins the loop
+
+    def test_rebalancer_knob_validation(self):
+        table = ProfileTable()
+        coordinator = ClusterCoordinator(table, 2)
+        with pytest.raises(ValueError, match="autoscale_interval"):
+            ShardRebalancer(coordinator, autoscale_interval=-1.0)
+        with pytest.raises(ValueError, match="min_shards"):
+            ShardRebalancer(coordinator, min_shards=0)
+        with pytest.raises(ValueError, match="max_shards"):
+            ShardRebalancer(coordinator, max_shards=-1)
+        with pytest.raises(ValueError, match="undercut"):
+            ShardRebalancer(coordinator, min_shards=4, max_shards=2)
+        with pytest.raises(ValueError, match="low_water"):
+            ShardRebalancer(coordinator, high_water=1.0, low_water=2.0)
+        with pytest.raises(ValueError, match="split_ratio"):
+            ShardRebalancer(coordinator, split_ratio=1.5)
+
+    def test_config_knob_validation(self):
+        with pytest.raises(ValueError, match="autoscale_interval"):
+            HyRecConfig(autoscale_interval=-0.5)
+        with pytest.raises(ValueError, match="autoscale_min_shards"):
+            HyRecConfig(autoscale_min_shards=0)
+        with pytest.raises(ValueError, match="autoscale_max_shards"):
+            HyRecConfig(autoscale_max_shards=-1)
+        with pytest.raises(ValueError, match="undercut"):
+            HyRecConfig(autoscale_min_shards=3, autoscale_max_shards=2)
+        with pytest.raises(ValueError, match="autoscale_low_water"):
+            HyRecConfig(autoscale_high_water=1.0, autoscale_low_water=2.0)
+        with pytest.raises(ValueError, match="split_hot_bucket_ratio"):
+            HyRecConfig(split_hot_bucket_ratio=2.0)
+
+    def test_server_wires_the_autoscaler_knobs(self):
+        system = HyRecSystem(
+            HyRecConfig(
+                engine="sharded",
+                num_shards=2,
+                autoscale_min_shards=2,
+                autoscale_max_shards=4,
+                autoscale_high_water=100.0,
+                autoscale_low_water=1.0,
+                split_hot_bucket_ratio=0.8,
+            ),
+            seed=0,
+        )
+        try:
+            rebalancer = system.server.rebalancer
+            assert rebalancer is not None
+            assert rebalancer.min_shards == 2
+            assert rebalancer.max_shards == 4
+            assert rebalancer.high_water == 100.0
+            assert rebalancer.low_water == 1.0
+            assert rebalancer.split_ratio == 0.8
+        finally:
+            system.close()
+
+
+class TestPlacementElasticity:
+    def test_rendezvous_share_is_what_a_boot_time_shard_owns(self):
+        from repro.cluster import PlacementMap
+
+        grown = PlacementMap(3, 256)
+        booted = PlacementMap(4, 256)
+        grown.add_shard()
+        share = grown.rendezvous_share(3)
+        np.testing.assert_array_equal(share, booted.buckets_owned_by(3))
+
+    def test_join_and_retire_never_bump_the_epoch(self):
+        from repro.cluster import PlacementMap
+
+        placement = PlacementMap(2)
+        shard = placement.add_shard()
+        assert placement.version == 0  # the join owns nothing
+        assert placement.buckets_owned_by(shard).size == 0
+        placement.remove_last_shard()
+        assert placement.version == 0  # the retire owned nothing
+
+    def test_retire_refuses_an_undrained_shard(self):
+        from repro.cluster import PlacementMap
+
+        placement = PlacementMap(2)
+        with pytest.raises(ValueError, match="drain"):
+            placement.remove_last_shard()
+
+    def test_split_is_modularly_stable(self):
+        # mix(uid) % kN === mix(uid) % N (mod N): tiling the owner
+        # table across the refined bucket space keeps every user's
+        # bucket congruent to its old one, hence its owner.
+        from repro.cluster import PlacementMap
+
+        placement = PlacementMap(4)
+        old_n = placement.num_buckets
+        before = {uid: placement.bucket_of(uid) for uid in range(500)}
+        placement.split_buckets(2)
+        for uid, bucket in before.items():
+            assert placement.bucket_of(uid) % old_n == bucket
+        assert bucket_of_id(12345, old_n * 2) % old_n == bucket_of_id(
+            12345, old_n
+        )

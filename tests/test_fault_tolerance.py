@@ -29,47 +29,10 @@ from repro.cluster import (
 from repro.core.config import HyRecConfig
 from repro.core.system import HyRecSystem
 from repro.core.tables import ProfileTable
-from repro.datasets.schema import Rating, Trace
+from parity import random_trace, replay_digest as _replay_digest
 from repro.engine import LikedMatrix, VectorizedWidget
 from repro.engine.jobs import EngineJob
 from repro.sim.loadgen import ClusterLoadGenerator
-
-
-def _random_trace(rng: random.Random, users: int, items: int, n: int) -> Trace:
-    ratings = []
-    now = 0.0
-    for _ in range(n):
-        now += rng.random() * 50
-        ratings.append(
-            Rating(
-                timestamp=now,
-                user=rng.randrange(users),
-                item=rng.randrange(items),
-                value=float(rng.random() < 0.75),
-            )
-        )
-    return Trace("fault-tolerance", ratings)
-
-
-def _replay_digest(system: HyRecSystem, trace: Trace) -> dict:
-    outcomes: list = []
-    system.replay(trace, on_request=outcomes.append)
-    return {
-        "results": [
-            (
-                o.result.neighbor_tokens,
-                o.result.neighbor_scores,
-                o.result.recommended_items,
-                o.recommendations,
-            )
-            for o in outcomes
-        ],
-        "knn": system.server.knn_table.as_dict(),
-        "wire": {
-            channel: system.server.meter.reading(channel)
-            for channel in ("server->client", "client->server")
-        },
-    }
 
 
 def _populate(rng: random.Random, table: ProfileTable, users: int, items: int):
@@ -143,7 +106,7 @@ class TestKillRecoveryParity:
 
     @pytest.fixture(scope="class")
     def trace(self):
-        return _random_trace(random.Random(53), users=30, items=90, n=300)
+        return random_trace(random.Random(53), users=30, items=90, n=300, name="fault-tolerance")
 
     @pytest.fixture(scope="class")
     def reference(self, trace):

@@ -31,47 +31,10 @@ from repro.cluster.placement import bucket_of_id, rendezvous_owner
 from repro.core.config import HyRecConfig
 from repro.core.system import HyRecSystem
 from repro.core.tables import ProfileTable
-from repro.datasets.schema import Rating, Trace
+from parity import random_trace, replay_digest as _replay_digest
 
 SHARD_COUNTS = (1, 2, 4, 8)
 EXECUTORS = ("serial", "thread", "process")
-
-
-def _random_trace(rng: random.Random, users: int, items: int, n: int) -> Trace:
-    ratings = []
-    now = 0.0
-    for _ in range(n):
-        now += rng.random() * 50
-        ratings.append(
-            Rating(
-                timestamp=now,
-                user=rng.randrange(users),
-                item=rng.randrange(items),
-                value=float(rng.random() < 0.75),
-            )
-        )
-    return Trace("rebalance-churn", ratings)
-
-
-def _replay_digest(system: HyRecSystem, trace: Trace) -> dict:
-    outcomes: list = []
-    system.replay(trace, on_request=outcomes.append)
-    return {
-        "results": [
-            (
-                o.result.neighbor_tokens,
-                o.result.neighbor_scores,
-                o.result.recommended_items,
-                o.recommendations,
-            )
-            for o in outcomes
-        ],
-        "knn": system.server.knn_table.as_dict(),
-        "wire": {
-            channel: system.server.meter.reading(channel)
-            for channel in ("server->client", "client->server")
-        },
-    }
 
 
 class ChurnDriver:
@@ -113,7 +76,7 @@ class TestChurnParity:
 
     @pytest.fixture(scope="class")
     def trace(self):
-        return _random_trace(random.Random(41), users=30, items=90, n=300)
+        return random_trace(random.Random(41), users=30, items=90, n=300, name="rebalance-churn")
 
     @pytest.fixture(scope="class")
     def reference(self, trace):
@@ -428,19 +391,74 @@ class TestShardRebalancer:
         assert rebalancer.propose() is None
         rebalancer.close()
 
-    def test_cadence_triggers_inside_the_write_stream(self):
-        # The cadence check runs inside the write listener: with an
-        # interval of 30, the 60-write skew crosses a check boundary
-        # while fully loaded, and the rebalancer migrates mid-stream.
+    def test_cadence_signals_the_background_thread(self):
+        # The write-count cadence no longer migrates inside the write
+        # listener: with an interval of 30, the 60-write skew crosses
+        # a check boundary and *signals* the control-loop thread,
+        # which applies the moves off the write path.  quiesce()
+        # serializes with that thread, so after it returns the moves
+        # are visible deterministically.
         table = ProfileTable()
         coordinator = ClusterCoordinator(table, 4)
         cadence = ShardRebalancer(
             coordinator, threshold=1.5, max_moves=4, interval=30
         )
-        _load_skew(table, coordinator.placement)
-        assert cadence.moves_applied, "cadence check must have fired"
-        assert coordinator.placement.version > 0
-        cadence.close()
+        try:
+            assert cadence._thread is not None, "cadence must start the loop"
+            _load_skew(table, coordinator.placement)
+            cadence.quiesce()
+            assert cadence.moves_applied, "cadence check must have fired"
+            assert coordinator.placement.version > 0
+        finally:
+            cadence.close()
+
+    def test_writes_never_block_behind_a_handoff(self):
+        # Satellite regression: a handoff driven from the background
+        # control loop must overlap in-flight serving without blocking
+        # table writes.  We hold the executor's ops lock (exactly what
+        # a long handoff holds) from another thread and assert a
+        # profile write still completes immediately -- the write path
+        # only ever takes the cheap buffer lock.
+        import threading
+
+        table = ProfileTable()
+        executor = ProcessExecutor(ipc_write_batch=4)
+        coordinator = ClusterCoordinator(table, 2, executor=executor)
+        try:
+            table.record(1, 1, 1.0)
+            locked = threading.Event()
+            release = threading.Event()
+
+            def hold_ops_lock():
+                with executor.ops_lock:
+                    locked.set()
+                    release.wait(timeout=10.0)
+
+            holder = threading.Thread(target=hold_ops_lock)
+            holder.start()
+            assert locked.wait(timeout=5.0)
+            done = threading.Event()
+
+            def write():
+                # More writes than ipc_write_batch: the eager flush
+                # must *skip* (try-lock) rather than wait for the
+                # holder, or this thread wedges until release.
+                for item in range(10):
+                    table.record(2, item, 1.0)
+                done.set()
+
+            writer = threading.Thread(target=write)
+            writer.start()
+            assert done.wait(timeout=2.0), "writes blocked behind ops lock"
+            release.set()
+            holder.join()
+            writer.join()
+            # Nothing was lost: once the lock frees, the buffered
+            # writes flush on the next read and results include them.
+            stats = coordinator.shard_stats()
+            assert sum(stat.writes for stat in stats) == 11
+        finally:
+            coordinator.close()
 
     def test_close_detaches_the_listener(self):
         table, _, rebalancer, _ = _skewed_cluster()

@@ -401,15 +401,16 @@ class TestRejection:
 class TestLivenessFrames:
     """Ping/Pong (protocol v3): the supervisor's active health probe."""
 
-    def test_protocol_version_is_4(self):
-        # v3 added Ping/Pong; v4 added the observability frames.  A
-        # bump without new frames (or new frames without a bump) is a
-        # protocol bug.
-        assert PROTOCOL_VERSION == 4
+    def test_protocol_version_is_5(self):
+        # v3 added Ping/Pong; v4 added the observability frames; v5
+        # added the bucket-space split.  A bump without new frames (or
+        # new frames without a bump) is a protocol bug.
+        assert PROTOCOL_VERSION == 5
         assert FrameType.PING in FrameType
         assert FrameType.PONG in FrameType
         assert FrameType.METRICS_REQUEST in FrameType
         assert FrameType.METRICS_SNAPSHOT in FrameType
+        assert FrameType.SPLIT_BUCKETS in FrameType
 
     @given(nonce=ids64)
     def test_ping_round_trip(self, nonce):
