@@ -60,14 +60,29 @@ Two measurements:
    with an unsharded run of the identical sequence.
    ``--autoscale-smoke`` re-runs just this scenario and merges it
    into the existing report (the CI elasticity smoke).
+
+6. **Memory** (the million-user shape): zipf-distributed synthetic
+   populations (:mod:`repro.datasets.synthetic`) stream through the
+   constant-memory loader into the engine -- 100k users with and
+   without the bounded-memory policy (row eviction + int32
+   narrowing), and 1M users under the policy in the full run.  Each
+   case runs in a forked child so ``ru_maxrss`` is a per-case peak;
+   the report records peak RSS, sustained write throughput, serve-
+   wave RPS, and the engine's own arena accounting
+   (``memory_stats``).  ``--memory-smoke`` runs the 100k pair only,
+   asserts the policy run's peak RSS stays under a fixed ceiling,
+   and merges the section into the existing report (the CI
+   memory-scale smoke).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import pathlib
+import resource
 import signal
 import sys
 import time
@@ -76,9 +91,12 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+import numpy as np
+
 from repro.core.config import HyRecConfig
 from repro.core.system import HyRecSystem
 from repro.datasets import load_dataset
+from repro.datasets.synthetic import StreamingLoader, SyntheticSpec
 from repro.sim.loadgen import ClusterLoadGenerator
 from repro.sim.randomness import derive_rng
 
@@ -775,6 +793,176 @@ def bench_autoscale(
     return entry
 
 
+def _memory_case(
+    name: str,
+    num_users: int,
+    catalog: int,
+    total_writes: int,
+    engine: str = "vectorized",
+    num_shards: int = 1,
+    evict_max_rows: int = 0,
+    narrow: bool = False,
+    requests: int = 256,
+    batch_window: int = 32,
+    chunk_size: int = 65_536,
+    seed: int = 0,
+) -> dict:
+    """One memory/write-path measurement (meant to run in a fork).
+
+    Streams a zipf population into a fresh system through the
+    constant-memory loader, then serves measured request waves against
+    provably-active users, and reads back the engine's own arena
+    accounting.  Peak RSS is stamped on by the fork wrapper.
+    """
+    spec = SyntheticSpec(
+        num_users=num_users,
+        catalog=catalog,
+        total_writes=total_writes,
+        user_exponent=1.05,
+        seed=seed,
+    )
+    config = HyRecConfig(
+        k=10,
+        r=10,
+        compress=False,
+        engine=engine,
+        num_shards=num_shards,
+        batch_window=batch_window,
+        evict_max_rows=evict_max_rows,
+        narrow_dtypes=narrow,
+    )
+    system = HyRecSystem(config, seed=seed)
+    loader = StreamingLoader(spec, chunk_size=chunk_size)
+
+    start = time.perf_counter()
+    written = loader.load_into(system)
+    write_s = time.perf_counter() - start
+
+    # Serve against users the stream's head definitely touched (the
+    # zipf tail of a million-user population is mostly never seen).
+    head_users = np.unique(next(iter(loader.chunks()))[0])[:2048].tolist()
+    loadgen = ClusterLoadGenerator(system, head_users)
+    result = loadgen.run(requests=requests, concurrency=batch_window)
+
+    matrix = system.server.liked_matrix
+    if matrix is None and system.server.cluster is not None:
+        matrix = system.server.cluster.matrix  # in-process sharding only
+    memory = matrix.memory_stats() if matrix is not None else None
+    entry = {
+        "name": name,
+        "population": {
+            "users": num_users,
+            "catalog": catalog,
+            "total_writes": total_writes,
+            "user_exponent": spec.user_exponent,
+        },
+        "engine": engine,
+        "num_shards": num_shards,
+        "evict_max_rows": evict_max_rows,
+        "narrow_dtypes": narrow,
+        "users_seen": len(system.server.profiles),
+        "write_s": round(write_s, 3),
+        "writes_per_s": round(written / write_s, 1),
+        "serve_rps": round(result.throughput_rps, 1),
+        "serve_p95_ms": round(result.p95_response_s * 1e3, 3),
+        "memory_stats": memory,
+    }
+    system.close()
+    return entry
+
+
+def _memory_case_child(kwargs: dict, conn) -> None:
+    try:
+        entry = _memory_case(**kwargs)
+        entry["peak_rss_mb"] = round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        )
+        conn.send(entry)
+    except BaseException as exc:  # ship the failure to the parent
+        conn.send({"name": kwargs.get("name"), "error": repr(exc)})
+    finally:
+        conn.close()
+
+
+def _run_memory_case(**kwargs) -> dict:
+    """Fork one measurement so ``ru_maxrss`` is a per-case peak."""
+    receiver, sender = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.get_context("fork").Process(
+        target=_memory_case_child, args=(kwargs, sender)
+    )
+    proc.start()
+    sender.close()
+    entry = receiver.recv()
+    proc.join()
+    receiver.close()
+    if "error" in entry:
+        raise SystemExit(f"memory case {entry['name']} failed: {entry['error']}")
+    print(
+        f"memory {entry['name']:<22s}: {entry['users_seen']:>9,} users seen, "
+        f"{entry['writes_per_s']:>9,.0f} writes/s, "
+        f"{entry['serve_rps']:>7.1f} rps, "
+        f"peak RSS {entry['peak_rss_mb']:>8.1f} MB"
+    )
+    return entry
+
+
+#: Peak-RSS ceiling (MB) for the 100k-user policy case in the CI
+#: smoke.  Measured ~330 MB on the reference box (the Profile Table
+#: dominates; the arena itself is a few MB); the ceiling leaves ~2x
+#: headroom for allocator and platform variance without letting a
+#: quadratic write path or an eviction regression slip through.
+MEMORY_SMOKE_RSS_CEILING_MB = 640.0
+
+
+def bench_memory(full: bool, seed: int = 0) -> dict:
+    """Peak RSS + write throughput at 100k (and, full mode, 1M) users.
+
+    The 100k pair isolates what the bounded-memory policy buys at
+    constant workload; the 1M case is the tentpole standup -- the
+    population the paper's front-end claims to face, streamed through
+    the loader and served, with peak RSS as the documented budget.
+    """
+    cases = [
+        dict(
+            name="100k-baseline",
+            num_users=100_000,
+            catalog=50_000,
+            total_writes=1_000_000,
+            seed=seed,
+        ),
+        dict(
+            name="100k-evict-narrow",
+            num_users=100_000,
+            catalog=50_000,
+            total_writes=1_000_000,
+            evict_max_rows=20_000,
+            narrow=True,
+            seed=seed,
+        ),
+    ]
+    if full:
+        cases.append(
+            dict(
+                name="1M-evict-narrow",
+                num_users=1_000_000,
+                catalog=200_000,
+                total_writes=3_000_000,
+                evict_max_rows=100_000,
+                narrow=True,
+                seed=seed,
+            )
+        )
+    entries = [_run_memory_case(**case) for case in cases]
+    baseline, policied = entries[0], entries[1]
+    return {
+        "rss_ceiling_mb": MEMORY_SMOKE_RSS_CEILING_MB,
+        "policy_rss_saving_mb": round(
+            baseline["peak_rss_mb"] - policied["peak_rss_mb"], 1
+        ),
+        "cases": entries,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -802,12 +990,37 @@ def main(argv: list[str] | None = None) -> int:
         "merge it into an existing report (the CI observability smoke)",
     )
     parser.add_argument(
+        "--memory-smoke",
+        action="store_true",
+        help="run only the 100k-user memory pair, assert the policy "
+        "run's peak RSS stays under the ceiling, and merge it into an "
+        "existing report (the CI memory-scale smoke)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=REPO_ROOT / "BENCH_cluster.json",
         help="where to write the JSON report",
     )
     args = parser.parse_args(argv)
+
+    if args.memory_smoke:
+        memory = bench_memory(full=False)
+        policied = memory["cases"][1]
+        if policied["peak_rss_mb"] > MEMORY_SMOKE_RSS_CEILING_MB:
+            raise SystemExit(
+                f"memory smoke: peak RSS {policied['peak_rss_mb']} MB "
+                f"exceeds the {MEMORY_SMOKE_RSS_CEILING_MB} MB ceiling"
+            )
+        report = (
+            json.loads(args.output.read_text())
+            if args.output.exists()
+            else {}
+        )
+        report["memory"] = memory
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"updated memory section of {args.output}")
+        return 0
 
     if args.obs_overhead:
         obs = bench_obs_overhead(
@@ -881,6 +1094,7 @@ def main(argv: list[str] | None = None) -> int:
             requests=96, batch_window=16, max_shards=4,
         )
         obs = bench_obs_overhead(scale=min(args.scale, 0.03))
+        memory = bench_memory(full=False)
     else:
         sweep = bench_sweep(
             num_users=800, profile_size=200, catalog=2500, k=20,
@@ -893,6 +1107,7 @@ def main(argv: list[str] | None = None) -> int:
             requests=256, batch_window=32, max_shards=8,
         )
         obs = bench_obs_overhead(scale=args.scale)
+        memory = bench_memory(full=True)
 
     report = {
         "sweep": sweep,
@@ -901,6 +1116,7 @@ def main(argv: list[str] | None = None) -> int:
         "recovery": recovery,
         "autoscale": autoscale,
         "obs_overhead": obs,
+        "memory": memory,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

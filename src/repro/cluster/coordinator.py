@@ -154,6 +154,7 @@ class ClusterCoordinator:
         executor: ShardExecutor | None = None,
         placement: ShardPlacement | None = None,
         obs: Observability | None = None,
+        memory=None,
     ) -> None:
         self._table = table
         self.executor = executor if executor is not None else SerialExecutor()
@@ -171,9 +172,14 @@ class ClusterCoordinator:
             # table's pre-existing profiles, and subscribes to the
             # write stream; the executor then exposes the same
             # vocab/partition/stats surface the in-process matrix does.
+            # The memory policy ships to each worker in its Hello, so
+            # the executor carries it (set via make_executor) rather
+            # than taking it here.
             self._shards = self.executor.attach(table, num_shards, placement)
         else:
-            self.matrix = ShardedLikedMatrix(table, num_shards, placement)
+            self.matrix = ShardedLikedMatrix(
+                table, num_shards, placement, memory=memory
+            )
             self._shards = self.matrix
         self.batches_processed = 0
         self.jobs_processed = 0

@@ -84,6 +84,7 @@ from repro.cluster.sharded_matrix import ShardStats
 from repro.cluster.supervisor import ShardUnavailable, WorkerSupervisor
 from repro.cluster.transport import (
     HELLO_FLAG_METRICS,
+    HELLO_FLAG_NARROW,
     Channel,
     HandoffData,
     HandoffRequest,
@@ -131,6 +132,7 @@ class ProcessExecutor:
         retry_backoff: float = 0.05,
         degraded_reads: bool = False,
         obs: Observability | None = None,
+        memory=None,
     ) -> None:
         """
         Args:
@@ -166,6 +168,10 @@ class ProcessExecutor:
                 polled by :meth:`metrics_samples`; with tracing
                 enabled, traced batches stitch worker score spans into
                 the parent's traces.  Defaults to a disabled instance.
+            memory: :class:`~repro.engine.liked_matrix.MemoryPolicy`
+                each worker applies to its shard matrix, shipped in
+                the v6 Hello of every handshake (respawns included).
+                ``None`` keeps the classic unbounded int64 matrices.
         """
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
@@ -197,6 +203,7 @@ class ProcessExecutor:
         self.retry_backoff = retry_backoff
         self.degraded_reads = degraded_reads
         self.obs = obs if obs is not None else Observability.disabled()
+        self.memory = memory
         self.vocab = ItemVocabulary()
         self.placement: ShardPlacement | None = None
         self.supervisor: WorkerSupervisor | None = None
@@ -376,6 +383,14 @@ class ProcessExecutor:
         assert self.placement is not None
         channel = self._channels[shard]
         assert channel is not None
+        flags = HELLO_FLAG_METRICS if self.obs.registry.enabled else 0
+        evict_max_rows = 0
+        evict_ttl_ms = 0
+        if self.memory is not None:
+            if self.memory.narrow_dtypes:
+                flags |= HELLO_FLAG_NARROW
+            evict_max_rows = self.memory.max_resident_rows
+            evict_ttl_ms = int(round(self.memory.ttl_seconds * 1000))
         try:
             channel.send(
                 Hello(
@@ -383,11 +398,9 @@ class ProcessExecutor:
                     num_shards=self.num_shards,
                     num_buckets=self.placement.num_buckets,
                     map_version=self.placement.version,
-                    flags=(
-                        HELLO_FLAG_METRICS
-                        if self.obs.registry.enabled
-                        else 0
-                    ),
+                    flags=flags,
+                    evict_max_rows=evict_max_rows,
+                    evict_ttl_ms=evict_ttl_ms,
                 )
             )
             ready = channel.recv()
@@ -1166,6 +1179,8 @@ class ProcessExecutor:
                 last_ping_ms=(
                     supervisor.last_ping_ms[shard] if supervisor else -1.0
                 ),
+                evictions=reply.evictions,
+                arena_capacity=reply.arena_capacity,
             )
         return ShardStats(
             shard=shard,

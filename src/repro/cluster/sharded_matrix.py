@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.cluster.placement import ShardPlacement, rendezvous_owner
 from repro.core.tables import ProfileTable
-from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
+from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix, MemoryPolicy
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,8 @@ class ShardStats:
     alive: bool = True  # worker answering (always True in-process)
     restarts: int = 0  # respawns of this shard's worker
     last_ping_ms: float = -1.0  # last liveness probe RTT (-1: never)
+    evictions: int = 0  # rows dropped by the memory policy
+    arena_capacity: int = 0  # allocated arena cells (0: not reported)
 
 
 class ShardedLikedMatrix:
@@ -74,6 +76,7 @@ class ShardedLikedMatrix:
         table: ProfileTable,
         num_shards: int,
         placement: ShardPlacement | None = None,
+        memory: MemoryPolicy | None = None,
     ) -> None:
         self._table = table
         self.placement = (
@@ -81,6 +84,11 @@ class ShardedLikedMatrix:
         )
         if self.placement.num_shards != num_shards:
             raise ValueError("placement and num_shards disagree")
+        #: Bounded-memory policy applied to every shard.  The row cap
+        #: is *per shard* (each shard evicts its own LRU tail); an
+        #: evicted row warm-rebuilds from the shared table on its next
+        #: read, which also covers rows arriving via bucket migration.
+        self.memory = memory
         #: One vocabulary for all shards: column indices agree across
         #: the cluster, so queries map to columns once per request and
         #: per-shard popularity counts merge with a single histogram.
@@ -91,6 +99,7 @@ class ShardedLikedMatrix:
                 subscribe=False,
                 row_filter=self._owner_filter(shard),
                 vocab=self.vocab,
+                memory=memory,
             )
             for shard in range(num_shards)
         ]
@@ -173,6 +182,7 @@ class ShardedLikedMatrix:
                     subscribe=False,
                     row_filter=self._owner_filter(shard),
                     vocab=self.vocab,
+                    memory=self.memory,
                 )
             )
         if migrate:
@@ -242,6 +252,19 @@ class ShardedLikedMatrix:
                 arena_garbage=matrix.arena_garbage,
                 writes=matrix.writes_applied,
                 compactions=matrix.compactions,
+                evictions=matrix.evictions,
+                arena_capacity=matrix.arena_capacity,
             )
             for index, matrix in enumerate(self.shards)
         )
+
+    def memory_stats(self) -> dict[str, int | str]:
+        """Cluster-wide memory accounting, summed over the shards."""
+        totals: dict[str, int | str] = {}
+        for matrix in self.shards:
+            for key, value in matrix.memory_stats().items():
+                if isinstance(value, str):
+                    totals[key] = value
+                else:
+                    totals[key] = int(totals.get(key, 0)) + value
+        return totals

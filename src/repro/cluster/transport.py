@@ -98,11 +98,19 @@ PROTOCOL_MAGIC = b"HY"
 #: bucket space live (shard joins and retires need no frame of their
 #: own -- a join is an ordinary Hello, a retire an ordinary Shutdown,
 #: and every byte of data motion rides the existing handoff family).
-PROTOCOL_VERSION = 5
+#: v6 added the bounded-memory policy: Hello ships the eviction knobs
+#: (row cap + TTL) and the int32-narrowing flag so every worker runs
+#: the coordinator's exact :class:`~repro.engine.liked_matrix.MemoryPolicy`,
+#: and StatsReply grew eviction/arena-capacity counters.
+PROTOCOL_VERSION = 6
 
 #: Hello ``flags`` bit: the worker should run a live metrics registry
 #: and answer :class:`MetricsRequest` with non-empty snapshots.
 HELLO_FLAG_METRICS = 1
+
+#: Hello ``flags`` bit (v6): store the shard matrix's arena, postings
+#: and rated rows as int32 (see ``MemoryPolicy.narrow_dtypes``).
+HELLO_FLAG_NARROW = 2
 
 #: Upper bound on one frame's payload (a sanity valve against corrupt
 #: length fields, not a protocol feature): 1 GiB.
@@ -228,8 +236,15 @@ class Hello:
     movable placement map: the bucket count lets it select a handed-off
     bucket's users locally, and the version is the routing epoch all
     subsequent stamped frames are validated against.  ``flags`` (v4)
-    carries feature bits -- currently only :data:`HELLO_FLAG_METRICS`,
-    which turns the worker's metrics registry on.
+    carries feature bits -- :data:`HELLO_FLAG_METRICS` turns the
+    worker's metrics registry on, :data:`HELLO_FLAG_NARROW` (v6)
+    narrows its matrix storage to int32.
+
+    ``evict_max_rows`` / ``evict_ttl_ms`` (v6) ship the coordinator's
+    row-eviction policy: the worker applies them to its shard matrix
+    before acknowledging Ready, so a warm-started *or respawned*
+    worker always serves under the configured memory bounds.  The TTL
+    travels as integer milliseconds to keep the frame scalar-only.
     """
 
     shard: int
@@ -237,6 +252,8 @@ class Hello:
     num_buckets: int = 0
     map_version: int = 0
     flags: int = 0
+    evict_max_rows: int = 0
+    evict_ttl_ms: int = 0
 
     def _pack(self) -> bytes:
         return (
@@ -245,6 +262,8 @@ class Hello:
             + _pack_scalar(self.num_buckets)
             + _pack_scalar(self.map_version)
             + _pack_scalar(self.flags)
+            + _pack_scalar(self.evict_max_rows)
+            + _pack_scalar(self.evict_ttl_ms)
         )
 
     @classmethod
@@ -254,6 +273,8 @@ class Hello:
         num_buckets, offset = _unpack_scalar(buf, offset)
         map_version, offset = _unpack_scalar(buf, offset)
         flags, offset = _unpack_scalar(buf, offset)
+        evict_max_rows, offset = _unpack_scalar(buf, offset)
+        evict_ttl_ms, offset = _unpack_scalar(buf, offset)
         return (
             cls(
                 shard=shard,
@@ -261,6 +282,8 @@ class Hello:
                 num_buckets=num_buckets,
                 map_version=map_version,
                 flags=flags,
+                evict_max_rows=evict_max_rows,
+                evict_ttl_ms=evict_ttl_ms,
             ),
             offset,
         )
@@ -547,7 +570,14 @@ class StatsRequest:
 
 @dataclass(frozen=True)
 class StatsReply:
-    """Worker -> parent: one shard's ``ShardStats`` fields."""
+    """Worker -> parent: one shard's ``ShardStats`` fields.
+
+    ``evictions`` / ``arena_capacity`` (v6) surface the worker-side
+    memory picture: rows dropped by the shard's
+    :class:`~repro.engine.liked_matrix.MemoryPolicy` and the allocated
+    arena cells (capacity, not just live entries -- the number that
+    actually bounds resident bytes).
+    """
 
     users: int
     arena_live: int
@@ -555,6 +585,8 @@ class StatsReply:
     writes: int
     compactions: int
     pid: int
+    evictions: int = 0
+    arena_capacity: int = 0
 
     def _pack(self) -> bytes:
         return b"".join(
@@ -566,6 +598,8 @@ class StatsReply:
                 self.writes,
                 self.compactions,
                 self.pid,
+                self.evictions,
+                self.arena_capacity,
             )
         )
 
@@ -573,7 +607,7 @@ class StatsReply:
     def _unpack(cls, buf: bytes) -> tuple["StatsReply", int]:
         values = []
         offset = 0
-        for _ in range(6):
+        for _ in range(8):
             value, offset = _unpack_scalar(buf, offset)
             values.append(value)
         return cls(*values), offset

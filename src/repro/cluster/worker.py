@@ -39,6 +39,7 @@ from repro.cluster.placement import bucket_of_id
 from repro.cluster.scoring import score_slices, to_wire_partial
 from repro.cluster.transport import (
     HELLO_FLAG_METRICS,
+    HELLO_FLAG_NARROW,
     Channel,
     ConnectionClosedError,
     HandoffData,
@@ -64,7 +65,7 @@ from repro.cluster.transport import (
     WriteBatch,
 )
 from repro.core.tables import ProfileTable
-from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix
+from repro.engine.liked_matrix import ItemVocabulary, LikedMatrix, MemoryPolicy
 from repro.obs.exposition import sample_to_wire_parts
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import salted_id
@@ -167,6 +168,18 @@ class ShardHost:
                 enabled=bool(msg.flags & HELLO_FLAG_METRICS)
             )
             self._bind_metrics()
+            # Apply the coordinator's memory policy (v6) before Ready:
+            # warm-start replay and every subsequent write then run
+            # under the configured bounds, respawns included.
+            narrow = bool(msg.flags & HELLO_FLAG_NARROW)
+            if msg.evict_max_rows or msg.evict_ttl_ms or narrow:
+                self.matrix.set_memory_policy(
+                    MemoryPolicy(
+                        max_resident_rows=msg.evict_max_rows,
+                        ttl_seconds=msg.evict_ttl_ms / 1000.0,
+                        narrow_dtypes=narrow,
+                    )
+                )
             return Ready(shard=self.shard, pid=os.getpid())
         if isinstance(msg, Shutdown):
             return None
@@ -423,6 +436,8 @@ class ShardHost:
             writes=matrix.writes_applied,
             compactions=matrix.compactions,
             pid=os.getpid(),
+            evictions=matrix.evictions,
+            arena_capacity=matrix.arena_capacity,
         )
 
 

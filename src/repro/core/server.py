@@ -30,7 +30,7 @@ from repro.core.profiles import Profile
 from repro.core.sampler import HyRecSampler
 from repro.core.tables import KnnTable, ProfileTable
 from repro.engine.jobs import EngineJob
-from repro.engine.liked_matrix import LikedMatrix
+from repro.engine.liked_matrix import LikedMatrix, MemoryPolicy
 from repro.messages import MessageMeter
 from repro.obs import Observability
 from repro.obs.registry import MetricSample
@@ -103,11 +103,26 @@ class HyRecServer:
             num_random=self.config.num_random,
         )
         self.anonymizer = AnonymousMapping(seed=derive_seed_for_anonymizer(seed))
+        #: Bounded-memory policy for the array engines, built from the
+        #: eviction/narrowing config knobs; ``None`` when every knob is
+        #: at its (bit-for-bit-parity) default.
+        memory_policy = None
+        if (
+            self.config.evict_max_rows
+            or self.config.evict_ttl_s
+            or self.config.narrow_dtypes
+        ):
+            memory_policy = MemoryPolicy(
+                max_resident_rows=self.config.evict_max_rows,
+                ttl_seconds=self.config.evict_ttl_s,
+                narrow_dtypes=self.config.narrow_dtypes,
+            )
+        self.memory_policy = memory_policy
         #: CSR-style integer mirror of the profile table, maintained
         #: incrementally from ProfileTable writes.  Only materialized
         #: for the vectorized engine; ``None`` on the other engines.
         self.liked_matrix: LikedMatrix | None = (
-            LikedMatrix(self.profiles)
+            LikedMatrix(self.profiles, memory=memory_policy)
             if self.config.engine == "vectorized"
             else None
         )
@@ -153,8 +168,10 @@ class HyRecServer:
                     retry_backoff=self.config.retry_backoff,
                     degraded_reads=self.config.degraded_reads,
                     obs=self.obs,
+                    memory=memory_policy,
                 ),
                 obs=self.obs,
+                memory=memory_policy,
             )
             # Constructed after the coordinator so its write listener
             # fires after the engine's own router: by the time a

@@ -31,6 +31,11 @@ from repro.datasets.movielens import (
 )
 from repro.datasets.digg import DIGG, DiggSpec, generate_digg
 from repro.datasets.split import time_split
+from repro.datasets.synthetic import (
+    StreamingLoader,
+    SyntheticSpec,
+    generate_synthetic,
+)
 from repro.datasets.loader import DATASETS, dataset_names, load_dataset
 from repro.datasets.io import load_trace, save_trace
 
@@ -50,6 +55,9 @@ __all__ = [
     "DiggSpec",
     "generate_digg",
     "time_split",
+    "StreamingLoader",
+    "SyntheticSpec",
+    "generate_synthetic",
     "DATASETS",
     "dataset_names",
     "load_dataset",

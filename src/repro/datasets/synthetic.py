@@ -1,0 +1,228 @@
+"""Million-user synthetic zipf populations and the streaming loader.
+
+The Table 2 generators (:mod:`repro.datasets.movielens`,
+:mod:`repro.datasets.digg`) materialize a full
+:class:`~repro.datasets.schema.Trace` in memory -- fine at 10**5
+ratings, hopeless at the 10**6-user scale the memory benchmarks need,
+where the trace itself would dwarf the engine state being measured.
+This module provides the scale path:
+
+* :class:`SyntheticSpec` -- a zipf-distributed population: user
+  activity and item popularity both follow power laws (exponents per
+  axis), likes are a Bernoulli coin, and a seeded permutation
+  decorrelates a user's id from their activity rank so hot users
+  spread across placement buckets instead of clustering at low ids.
+* :class:`StreamingLoader` -- generates the write stream in bounded
+  numpy chunks and feeds them straight into any sink exposing
+  ``record_rating(user, item, value, timestamp)`` (servers, systems)
+  or ``record(...)`` (a bare :class:`~repro.core.tables.ProfileTable`).
+  Memory is O(chunk), never O(total_writes), and the stream is
+  bit-identical for any chunk size (numpy ``Generator`` draws are
+  sequential, so splitting ``random(n)`` across chunks does not change
+  the values).
+* :func:`generate_synthetic` -- the small-scale escape hatch: the same
+  stream materialized as a ``Trace`` for tests and parity checks.
+
+Determinism: all randomness derives from ``(seed, label)`` via
+:func:`repro.sim.randomness.derive_seed`, so two runs with the same
+spec replay identically regardless of what other components draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.schema import Rating, Trace
+from repro.sim.randomness import derive_seed
+
+__all__ = [
+    "SyntheticSpec",
+    "StreamingLoader",
+    "generate_synthetic",
+    "zipf_cdf",
+]
+
+#: Materializing more than this many writes as ``Rating`` objects is
+#: almost certainly a mistake -- each one costs ~100x its array form.
+_MATERIALIZE_CEILING = 2_000_000
+
+
+def zipf_cdf(n: int, exponent: float) -> np.ndarray:
+    """Cumulative distribution of a zipf law over ranks ``0..n-1``.
+
+    Rank ``r`` has unnormalized mass ``1 / (r + 1) ** exponent``; the
+    returned float64 array is the normalized cumulative sum, with the
+    final entry pinned to exactly 1.0 so ``searchsorted`` can never
+    fall off the end.
+    """
+    if n < 1:
+        raise ValueError("zipf support must have at least one rank")
+    if exponent < 0:
+        raise ValueError("zipf exponent cannot be negative")
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** -exponent
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    cdf[-1] = 1.0
+    return cdf
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Shape of a synthetic zipf population.
+
+    ``num_users`` / ``catalog`` size the id spaces; ``total_writes``
+    is the length of the rating stream.  ``user_exponent`` skews how
+    writes concentrate on active users (0 = uniform), and
+    ``item_exponent`` skews item popularity the same way.
+    ``like_rate`` is the probability that a write is a like (value
+    1.0) rather than a dislike (0.0).  All randomness descends from
+    ``seed``.
+    """
+
+    num_users: int = 100_000
+    catalog: int = 50_000
+    total_writes: int = 1_000_000
+    user_exponent: float = 1.1
+    item_exponent: float = 1.0
+    like_rate: float = 0.8
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ValueError("need at least one user")
+        if self.catalog < 1:
+            raise ValueError("need at least one catalog item")
+        if self.total_writes < 1:
+            raise ValueError("need at least one write")
+        if self.user_exponent < 0 or self.item_exponent < 0:
+            raise ValueError("zipf exponents cannot be negative")
+        if not 0.0 <= self.like_rate <= 1.0:
+            raise ValueError("like_rate must be a probability")
+
+    def scaled(self, factor: float) -> "SyntheticSpec":
+        """A proportionally smaller (or larger) population."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            num_users=max(1, int(self.num_users * factor)),
+            catalog=max(1, int(self.catalog * factor)),
+            total_writes=max(1, int(self.total_writes * factor)),
+        )
+
+
+class StreamingLoader:
+    """Generate a spec's write stream in bounded chunks and feed sinks.
+
+    One loader instance describes one deterministic stream; its
+    generator methods can be consumed any number of times and always
+    replay the same writes.  Nothing proportional to
+    ``spec.total_writes`` is ever allocated -- peak footprint is the
+    two rank->id permutations (one int64 entry per user/item) plus one
+    chunk of draw arrays.
+    """
+
+    def __init__(self, spec: SyntheticSpec, chunk_size: int = 65_536) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk size must be positive")
+        self.spec = spec
+        self.chunk_size = chunk_size
+        self._user_cdf = zipf_cdf(spec.num_users, spec.user_exponent)
+        self._item_cdf = zipf_cdf(spec.catalog, spec.item_exponent)
+        # Activity rank -> public id.  Without this shuffle the most
+        # active user would always be uid 0 and the population's heat
+        # would be a function of id order -- invisible to hash-bucket
+        # placement but misleading everywhere ids are eyeballed.
+        self._user_ids = np.random.default_rng(
+            derive_seed(spec.seed, "synthetic:user-ids")
+        ).permutation(spec.num_users)
+        self._item_ids = np.random.default_rng(
+            derive_seed(spec.seed, "synthetic:item-ids")
+        ).permutation(spec.catalog)
+
+    def chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(user_ids, items, values, timestamps)`` arrays.
+
+        Timestamps are the write's stream position in seconds, so the
+        stream is already in replay order and any materialized subset
+        sorts back into it.
+        """
+        spec = self.spec
+        # One generator per draw stream: each stream is consumed
+        # strictly sequentially, so chunk boundaries cannot change the
+        # values (a single shared generator would interleave the three
+        # streams differently per chunk size).
+        user_rng = np.random.default_rng(derive_seed(spec.seed, "synthetic:users"))
+        item_rng = np.random.default_rng(derive_seed(spec.seed, "synthetic:items"))
+        like_rng = np.random.default_rng(derive_seed(spec.seed, "synthetic:likes"))
+        position = 0
+        while position < spec.total_writes:
+            n = min(self.chunk_size, spec.total_writes - position)
+            user_ranks = np.searchsorted(
+                self._user_cdf, user_rng.random(n), side="right"
+            )
+            item_ranks = np.searchsorted(
+                self._item_cdf, item_rng.random(n), side="right"
+            )
+            values = (like_rng.random(n) < spec.like_rate).astype(np.float64)
+            timestamps = np.arange(position, position + n, dtype=np.float64)
+            yield (
+                self._user_ids[user_ranks],
+                self._item_ids[item_ranks],
+                values,
+                timestamps,
+            )
+            position += n
+
+    def load_into(self, sink: object) -> int:
+        """Stream every write into ``sink``; returns the write count.
+
+        ``sink`` may be anything exposing ``record_rating`` (a
+        :class:`~repro.core.server.HyRecServer`,
+        :class:`~repro.core.system.HyRecSystem`, ...) or ``record``
+        (a bare :class:`~repro.core.tables.ProfileTable`); both take
+        ``(user_id, item, value, timestamp)``.
+        """
+        record = getattr(sink, "record_rating", None)
+        if record is None:
+            record = getattr(sink, "record", None)
+        if record is None:
+            raise TypeError(
+                f"sink {type(sink).__name__} has neither record_rating nor record"
+            )
+        written = 0
+        for users, items, values, timestamps in self.chunks():
+            for user, item, value, ts in zip(
+                users.tolist(), items.tolist(), values.tolist(), timestamps.tolist()
+            ):
+                record(user, item, value, ts)
+            written += users.size
+        return written
+
+
+def generate_synthetic(
+    spec: SyntheticSpec, chunk_size: int = 65_536
+) -> Trace:
+    """Materialize the stream as a :class:`Trace` (small scales only).
+
+    Produces exactly the writes :class:`StreamingLoader` would stream
+    for the same spec -- the parity tests lean on that equivalence.
+    Refuses specs past ``2e6`` writes; use the loader at scale.
+    """
+    if spec.total_writes > _MATERIALIZE_CEILING:
+        raise ValueError(
+            f"refusing to materialize {spec.total_writes:,} writes as objects; "
+            "use StreamingLoader at this scale"
+        )
+    ratings = []
+    for users, items, values, timestamps in StreamingLoader(spec, chunk_size).chunks():
+        ratings.extend(
+            Rating(timestamp=ts, user=user, item=item, value=value)
+            for user, item, value, ts in zip(
+                users.tolist(), items.tolist(), values.tolist(), timestamps.tolist()
+            )
+        )
+    return Trace(f"synthetic-{spec.num_users}u", ratings)

@@ -1,7 +1,7 @@
 """An incrementally-maintained CSR-style view of the Profile Table.
 
 :class:`LikedMatrix` mirrors every user's liked-item set as a segment
-of one contiguous int64 *arena* of column indices over a dynamically
+of one contiguous integer *arena* of column indices over a dynamically
 interned item vocabulary -- row storage is CSR, but rows are
 addressable individually so single-user updates stay O(|row|).
 
@@ -30,11 +30,44 @@ into one ``bincount`` over the query items' posting lists -- the
 inverted-index formulation production recommenders use (cf. Agarwal
 et al.'s item-item serving stack) -- whose cost scales with the query
 profile's popularity mass instead of the candidate count.
+
+Memory model
+------------
+The matrix is a *cache* over the table, and at million-user scale it
+must behave like one.  A :class:`MemoryPolicy` (off by default -- the
+default configuration is bit-for-bit identical to the uncapped matrix)
+adds three bounded-memory levers:
+
+* **Row eviction.**  With ``max_resident_rows`` and/or ``ttl_seconds``
+  set, materialized rows carry a recency stamp (last write, direct
+  row read, or materialization) in an ordered LRU dict.  Rows over the
+  cap -- or idle past the TTL -- are dropped back to garbage; the
+  :class:`~repro.core.tables.ProfileTable` remains the source of
+  truth, so an evicted row *warm-rebuilds* lazily on its next read via
+  :meth:`_materialize`.  Eviction never runs while a gather loop is
+  mid-flight (``_gather_depth``), so CSR offsets handed to numpy are
+  never invalidated under a caller.
+* **Shrinking compaction.**  :meth:`_compact` releases capacity when
+  the live footprint drops well below it (2x hysteresis over the
+  usual 2x-live target), so evicting rows actually returns memory
+  instead of leaving a high-water-mark arena behind.
+* **Dtype narrowing.**  ``narrow_dtypes`` stores the arena, postings
+  and rated rows as int32 (half the footprint).  Column indices are
+  dense interned ints and user ids are checked against the int32
+  range on the write path, so values are exactly representable and
+  every kernel result -- and the int64 wire encoding -- is bit-for-bit
+  unchanged.
+
+Postings are deliberately *not* evicted: they mirror live table state
+(not resident rows), so the CSC kernel stays exact while CSR rows come
+and go.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -43,6 +76,56 @@ from repro.core.tables import ProfileTable
 from repro.engine.kernels import segment_sums
 
 _EMPTY = np.zeros(0, dtype=np.int64)
+
+#: Largest value an int32 cell can hold; user ids must stay under this
+#: for ``narrow_dtypes`` to be sound (checked on the write path).
+_INT32_MAX = 2**31 - 1
+
+#: Dense-id threshold for the CSC bincount: a dense count array is
+#: allowed when the id span is at most ``max(65536, 8 * n)`` for ``n``
+#: participating ids -- i.e. a fixed 512 KiB floor, beyond which the
+#: span may only exceed the data size 8-fold.  Sparser id spaces use
+#: the compressed (unique + searchsorted) counting path instead.
+_DENSE_ID_FLOOR = 1 << 16
+
+
+def _dense_id_ok(span: int, participants: int) -> bool:
+    """True if a length-``span`` dense count array is proportionate."""
+    return span <= max(_DENSE_ID_FLOOR, 8 * participants)
+
+
+@dataclass(frozen=True)
+class MemoryPolicy:
+    """Bounded-memory levers for a :class:`LikedMatrix`.
+
+    The zero policy (all defaults) is behaviourally identical to no
+    policy at all; parity suites run with eviction off and narrowing
+    off, and every lever is individually opt-in.
+
+    Attributes:
+        max_resident_rows: Evict least-recently-used rows beyond this
+            many resident users (0 = uncapped).
+        ttl_seconds: Evict rows idle longer than this (0 = no TTL).
+            Idleness is measured against the injected ``clock`` --
+            recency refreshes on writes, direct row reads, and
+            (re)materializations.
+        narrow_dtypes: Store arena / postings / rated rows as int32
+            instead of int64.  Exact while user ids and column counts
+            fit int32 (enforced on the write path).
+    """
+
+    max_resident_rows: int = 0
+    ttl_seconds: float = 0.0
+    narrow_dtypes: bool = False
+
+    @property
+    def evicts(self) -> bool:
+        """Whether this policy ever drops resident rows."""
+        return self.max_resident_rows > 0 or self.ttl_seconds > 0.0
+
+    def dtype(self) -> np.dtype:
+        """Storage dtype this policy selects for row/posting arrays."""
+        return np.dtype(np.int32 if self.narrow_dtypes else np.int64)
 
 
 class ItemVocabulary:
@@ -148,6 +231,8 @@ class LikedMatrix:
         subscribe: bool = True,
         row_filter: Callable[[int], bool] | None = None,
         vocab: ItemVocabulary | None = None,
+        memory: MemoryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """
         Args:
@@ -166,19 +251,38 @@ class LikedMatrix:
             vocab: Item vocabulary to intern columns in.  Defaults to
                 a private one; the sharded engine passes one shared
                 instance to all shards so columns agree across them.
+            memory: Bounded-memory policy (eviction + narrowing); see
+                :class:`MemoryPolicy`.  ``None`` keeps the classic
+                unbounded, int64 behaviour bit-for-bit.
+            clock: Monotonic time source for TTL recency stamps
+                (injectable for deterministic tests).
         """
         self._table = table
         self._row_filter = row_filter
         self.vocab = vocab if vocab is not None else ItemVocabulary()
+        self._memory = memory
+        self._clock = clock
+        self._dtype = (
+            memory.dtype() if memory is not None else np.dtype(np.int64)
+        )
+        self._evict_enabled = memory is not None and memory.evicts
+        # Recency (LRU) order over resident users: dict insertion order
+        # is eviction order, values are last-touch clock stamps for the
+        # TTL sweep.  Empty -- and never touched -- when eviction is off.
+        self._lru: dict[int, float] = {}
+        self._gather_depth = 0
         # CSR arena: row segments are arena[start : start + length].
-        self._arena = np.zeros(max(16, initial_capacity), dtype=np.int64)
+        self._arena = np.zeros(max(16, initial_capacity), dtype=self._dtype)
         self._used = 0
         self._garbage = 0
         self._start: dict[int, int] = {}
         self._length: dict[int, int] = {}
         # Rated rows are only read one user at a time (the requester's
-        # exclusion set), so plain per-user arrays suffice.
+        # exclusion set), so plain per-user arrays suffice.  Arrays are
+        # amortized-doubling capacity buffers; _rated_len holds the
+        # filled prefix length.
         self._rated_rows: dict[int, np.ndarray] = {}
+        self._rated_len: dict[int, int] = {}
         self._scratch = np.zeros(0, dtype=np.int64)
         self._stamp = 0
         # CSC postings: per-column array of users currently liking the
@@ -188,6 +292,7 @@ class LikedMatrix:
         self._post_len: list[int] = []
         self._postings_dirty = True
         self.compactions = 0
+        self.evictions = 0
         self.writes_applied = 0
         if subscribe:
             table.add_listener(self._on_record)
@@ -217,6 +322,16 @@ class LikedMatrix:
         """Superseded index entries awaiting compaction."""
         return self._garbage
 
+    @property
+    def arena_capacity(self) -> int:
+        """Allocated arena cells (live + garbage + free tail)."""
+        return self._arena.size
+
+    @property
+    def memory_policy(self) -> MemoryPolicy | None:
+        """The active bounded-memory policy, if any."""
+        return self._memory
+
     def column_of(self, item: int) -> int:
         """Column index of ``item``, interning it on first sight."""
         return self.vocab.intern(item)
@@ -237,8 +352,112 @@ class LikedMatrix:
         (correctly) empty postings here.
         """
         while len(self._postings) < len(self.vocab):
-            self._postings.append(np.zeros(4, dtype=np.int64))
+            self._postings.append(np.zeros(4, dtype=self._dtype))
             self._post_len.append(0)
+
+    # --- memory policy ------------------------------------------------------
+
+    def set_memory_policy(self, memory: MemoryPolicy | None) -> None:
+        """Install (or clear) the bounded-memory policy at runtime.
+
+        Used by shard workers, which construct their matrix before the
+        coordinator's Hello delivers the configured policy.  Switching
+        the storage dtype converts the arena, postings and rated rows
+        in place; narrowing verifies every stored id fits int32 first.
+        """
+        new_dtype = (
+            memory.dtype() if memory is not None else np.dtype(np.int64)
+        )
+        if new_dtype != self._dtype:
+            if new_dtype == np.int32:
+                self._check_narrowable()
+            self._arena = self._arena.astype(new_dtype)
+            self._postings = [p.astype(new_dtype) for p in self._postings]
+            self._rated_rows = {
+                uid: row.astype(new_dtype)
+                for uid, row in self._rated_rows.items()
+            }
+            self._dtype = new_dtype
+        self._memory = memory
+        self._evict_enabled = memory is not None and memory.evicts
+        if self._evict_enabled:
+            # Adopt already-resident rows into the recency order so the
+            # cap applies to them too (stamped "now": they were alive
+            # the moment the policy arrived).
+            now = self._clock()
+            for uid in self._start:
+                self._lru.setdefault(uid, now)
+            for uid in self._rated_rows:
+                self._lru.setdefault(uid, now)
+            self._enforce_memory()
+        else:
+            self._lru.clear()
+
+    def _check_narrowable(self) -> None:
+        """Raise unless every stored id/column fits in int32."""
+        if self._used and int(self._arena[: self._used].max()) > _INT32_MAX:
+            raise ValueError("arena columns exceed the int32 range")
+        for col, posting in enumerate(self._postings):
+            length = self._post_len[col]
+            if length and int(posting[:length].max()) > _INT32_MAX:
+                raise ValueError("posting user ids exceed the int32 range")
+
+    def _touch(self, user_id: int) -> None:
+        """Move ``user_id`` to the back of the recency order."""
+        lru = self._lru
+        lru.pop(user_id, None)
+        lru[user_id] = self._clock()
+
+    def _evict_row(self, user_id: int) -> None:
+        """Drop a resident row; it warm-rebuilds from the table on read."""
+        self._invalidate(user_id)
+        self.evictions += 1
+
+    def _enforce_memory(self) -> None:
+        """Apply TTL + cap eviction, then reclaim arena garbage.
+
+        Never runs mid-gather (``_gather_depth``): evicting or
+        compacting there would invalidate arena offsets already
+        collected for the numpy fancy index.  The most recently touched
+        row always survives (cap >= 1, and a fresh stamp beats any
+        TTL cutoff), so callers may touch-then-enforce around a row
+        they are about to return.
+        """
+        if not self._evict_enabled or self._gather_depth:
+            return
+        policy = self._memory
+        lru = self._lru
+        if policy.ttl_seconds > 0.0 and lru:
+            cutoff = self._clock() - policy.ttl_seconds
+            while lru:
+                user_id = next(iter(lru))
+                if lru[user_id] > cutoff:
+                    break
+                self._evict_row(user_id)
+        cap = policy.max_resident_rows
+        if cap > 0:
+            while len(lru) > cap:
+                self._evict_row(next(iter(lru)))
+        if self._garbage > max(1024, self._used - self._garbage):
+            self._compact(0)
+
+    def memory_stats(self) -> dict[str, int | str]:
+        """Point-in-time memory accounting for benchmarks and /stats."""
+        postings_bytes = sum(p.nbytes for p in self._postings)
+        rated_bytes = sum(r.nbytes for r in self._rated_rows.values())
+        return {
+            "rows_resident": len(self._start),
+            "arena_entries": self._used,
+            "arena_capacity": self._arena.size,
+            "arena_live": self.arena_live,
+            "arena_garbage": self._garbage,
+            "arena_bytes": int(self._arena.nbytes),
+            "postings_bytes": int(postings_bytes),
+            "rated_bytes": int(rated_bytes),
+            "evictions": self.evictions,
+            "compactions": self.compactions,
+            "dtype": str(self._dtype),
+        }
 
     # --- write propagation --------------------------------------------------
 
@@ -262,12 +481,22 @@ class LikedMatrix:
             self._row_remove(user_id, col)
         rated = self._rated_rows.get(user_id)
         if rated is not None and previous is None:
-            self._rated_rows[user_id] = np.append(rated, col)
+            length = self._rated_len[user_id]
+            if length == rated.size:
+                grown = np.zeros(max(4, 2 * rated.size), dtype=self._dtype)
+                grown[:length] = rated[:length]
+                self._rated_rows[user_id] = rated = grown
+            rated[length] = col
+            self._rated_len[user_id] = length + 1
         if not self._postings_dirty:
             if liked_now and not liked_before:
                 self._posting_append(col, user_id)
             elif liked_before and not liked_now:
                 self._posting_remove(col, user_id)
+        if self._evict_enabled:
+            if user_id in self._length or user_id in self._rated_rows:
+                self._touch(user_id)
+            self._enforce_memory()
 
     def apply_write(
         self, user_id: int, item: int, value: float, previous: float | None
@@ -297,6 +526,8 @@ class LikedMatrix:
             self._start.pop(user_id)
             self._garbage += length
         self._rated_rows.pop(user_id, None)
+        self._rated_len.pop(user_id, None)
+        self._lru.pop(user_id, None)
 
     def _row_append(self, user_id: int, col: int) -> None:
         """Re-slice the user's liked row with ``col`` appended."""
@@ -335,10 +566,20 @@ class LikedMatrix:
     # --- arena management ---------------------------------------------------
 
     def _compact(self, extra: int) -> None:
-        """Drop garbage segments and ensure room for ``extra`` more."""
+        """Drop garbage segments, ensure room for ``extra``, return slack.
+
+        Capacity targets 2x the live footprint.  It never shrinks by
+        less than half the current allocation (hysteresis), so steady
+        workloads keep the classic grow-only behaviour while bulk
+        eviction actually hands memory back.
+        """
         live = self._used - self._garbage
-        capacity = max(self._arena.size, 2 * (live + extra), 16)
-        fresh = np.zeros(capacity, dtype=np.int64)
+        target = max(2 * (live + extra), 16)
+        if 2 * target <= self._arena.size:
+            capacity = target
+        else:
+            capacity = max(self._arena.size, target)
+        fresh = np.zeros(capacity, dtype=self._dtype)
         cursor = 0
         for uid, start in self._start.items():
             length = self._length[uid]
@@ -366,15 +607,21 @@ class LikedMatrix:
         self._used += length
         self._start[user_id] = start
         self._length[user_id] = length
+        if self._evict_enabled:
+            self._touch(user_id)
 
     # --- rows ---------------------------------------------------------------
 
     def liked_row(self, user_id: int) -> np.ndarray:
         """Column indices of the user's liked items (an arena view)."""
-        start = self._start.get(user_id)
-        if start is None:
+        if user_id not in self._start:
             self._materialize(user_id)
-            start = self._start[user_id]
+        if self._evict_enabled:
+            # Refresh recency, then let eviction/compaction settle
+            # *before* slicing -- the just-touched row survives both.
+            self._touch(user_id)
+            self._enforce_memory()
+        start = self._start[user_id]
         return self._arena[start : start + self._length[user_id]]
 
     def rated_row(self, user_id: int) -> np.ndarray:
@@ -384,11 +631,16 @@ class LikedMatrix:
             rated = self._table.get(user_id).rated_items()
             row = np.fromiter(
                 (self.column_of(item) for item in rated),
-                dtype=np.int64,
+                dtype=self._dtype,
                 count=len(rated),
             )
             self._rated_rows[user_id] = row
-        return row
+            self._rated_len[user_id] = row.size
+            if self._evict_enabled:
+                self._touch(user_id)
+                self._enforce_memory()
+                row = self._rated_rows[user_id]
+        return row[: self._rated_len[user_id]]
 
     def known_columns(self, items: Sequence[int]) -> np.ndarray:
         """Columns of the given items, *skipping* un-interned ones."""
@@ -408,38 +660,53 @@ class LikedMatrix:
         sizes = np.empty(count, dtype=np.int64)
         start_of = self._start
         arena_before = self._arena
-        for i, uid in enumerate(user_ids):
-            start = start_of.get(uid)
-            if start is None:
-                self._materialize(uid)
-                start = start_of[uid]
-            starts[i] = start
-            sizes[i] = self._length[uid]
-        if self._arena is not arena_before:
-            # A materialization compacted the arena mid-gather, moving
-            # earlier segments; re-read the (now stable) offsets.
+        self._gather_depth += 1
+        try:
             for i, uid in enumerate(user_ids):
-                starts[i] = start_of[uid]
-        indptr = np.zeros(count + 1, dtype=np.int64)
-        np.cumsum(sizes, out=indptr[1:])
-        total = int(indptr[-1])
-        if total == 0:
-            return _EMPTY, indptr, sizes
-        positions = np.arange(total, dtype=np.int64)
-        positions += np.repeat(starts - indptr[:-1], sizes)
-        return self._arena[positions], indptr, sizes
+                start = start_of.get(uid)
+                if start is None:
+                    self._materialize(uid)
+                    start = start_of[uid]
+                starts[i] = start
+                sizes[i] = self._length[uid]
+            if self._arena is not arena_before:
+                # A materialization compacted the arena mid-gather,
+                # moving earlier segments; re-read the (now stable)
+                # offsets.
+                for i, uid in enumerate(user_ids):
+                    starts[i] = start_of[uid]
+            indptr = np.zeros(count + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            total = int(indptr[-1])
+            if total == 0:
+                indices = _EMPTY
+            else:
+                positions = np.arange(total, dtype=np.int64)
+                positions += np.repeat(starts - indptr[:-1], sizes)
+                indices = self._arena[positions]  # fancy index: a copy
+        finally:
+            self._gather_depth -= 1
+        if self._evict_enabled:
+            self._enforce_memory()
+        return indices, indptr, sizes
 
     def liked_sizes(self, user_ids: Sequence[int]) -> np.ndarray:
         """``|L_u|`` per user, without assembling the CSR indices."""
         count = len(user_ids)
         sizes = np.empty(count, dtype=np.int64)
         length_of = self._length
-        for i, uid in enumerate(user_ids):
-            length = length_of.get(uid)
-            if length is None:
-                self._materialize(uid)
-                length = length_of[uid]
-            sizes[i] = length
+        self._gather_depth += 1
+        try:
+            for i, uid in enumerate(user_ids):
+                length = length_of.get(uid)
+                if length is None:
+                    self._materialize(uid)
+                    length = length_of[uid]
+                sizes[i] = length
+        finally:
+            self._gather_depth -= 1
+        if self._evict_enabled:
+            self._enforce_memory()
         return sizes
 
     # --- batched membership -------------------------------------------------
@@ -491,12 +758,17 @@ class LikedMatrix:
     # --- postings (CSC) -----------------------------------------------------
 
     def _posting_append(self, col: int, user_id: int) -> None:
+        if self._dtype.itemsize == 4 and user_id > _INT32_MAX:
+            raise ValueError(
+                f"user id {user_id} exceeds the int32 range; "
+                "narrow_dtypes requires ids below 2**31"
+            )
         if col >= len(self._postings):
             self._sync_postings()
         posting = self._postings[col]
         length = self._post_len[col]
         if length == posting.size:
-            grown = np.zeros(2 * posting.size, dtype=np.int64)
+            grown = np.zeros(2 * posting.size, dtype=self._dtype)
             grown[:length] = posting
             self._postings[col] = posting = grown
         posting[length] = user_id
@@ -556,7 +828,9 @@ class LikedMatrix:
         One shared decision for both adaptive entry points: the CSC
         bincount costs O(query posting mass) and requires non-negative
         user ids; the CSR scan costs O(candidate nnz).  Small jobs
-        never bother building postings at all.
+        never bother building postings at all, and sparse id spaces
+        (max id far beyond the candidate count) stay on CSR so the
+        dense count array cannot dominate memory.
         """
         if nnz < 4096 or not query_cols.size:
             return None
@@ -564,7 +838,11 @@ class LikedMatrix:
         post_len = self._post_len
         posting_mass = sum(post_len[col] for col in query_cols.tolist())
         ids = np.asarray(candidate_ids, dtype=np.int64)
-        if posting_mass < nnz and int(ids.min()) >= 0:
+        if (
+            posting_mass < nnz
+            and int(ids.min()) >= 0
+            and _dense_id_ok(int(ids.max()) + 1, ids.size)
+        ):
             return ids
         return None
 
@@ -624,6 +902,15 @@ class LikedMatrix:
         when a job scores most of the user base (user ids must be
         non-negative, which every workload in this repo satisfies).
         Results are identical to :meth:`batch_intersections`.
+
+        Dense counting allocates O(max id) cells, which is fine for the
+        dense sequential id spaces the synthetic workloads use but
+        explodes for sparse ones (a handful of 10-digit ids would ask
+        for gigabytes).  When the id span fails the density check the
+        counts are taken over the *compressed* id space instead --
+        ``unique`` + ``searchsorted`` + a bincount over candidate
+        ranks -- which is exact for duplicate likers and duplicate
+        candidates alike and allocates O(n log n) work, O(n) memory.
         """
         self._postings_ready()
         candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
@@ -638,5 +925,13 @@ class LikedMatrix:
         likers = np.concatenate(parts) if parts else _EMPTY
         if likers.size == 0:
             return np.zeros(candidate_ids.size, dtype=np.int64)
-        per_user = np.bincount(likers, minlength=int(candidate_ids.max()) + 1)
-        return per_user[candidate_ids]
+        span = max(int(likers.max()), int(candidate_ids.max())) + 1
+        if _dense_id_ok(span, likers.size + candidate_ids.size):
+            per_user = np.bincount(likers, minlength=span)
+            return per_user[candidate_ids]
+        uniq, inverse = np.unique(candidate_ids, return_inverse=True)
+        ranks = np.searchsorted(uniq, likers)
+        ranks = np.minimum(ranks, uniq.size - 1)
+        hits = uniq[ranks] == likers
+        counts = np.bincount(ranks[hits], minlength=uniq.size)
+        return counts[inverse]

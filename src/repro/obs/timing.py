@@ -14,11 +14,29 @@ lists where exact percentiles are wanted.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["LatencySummary", "summarize_latencies"]
+__all__ = ["LatencySummary", "nearest_rank", "summarize_latencies"]
+
+
+def nearest_rank(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    Returns the smallest sample value such that at least ``fraction``
+    of the sample is at or below it: index ``ceil(fraction * n) - 1``.
+    The previously used ``int(fraction * n)`` lands one past the
+    nearest rank whenever ``fraction * n`` is an integer -- for 20
+    samples it reported the maximum as the p95 instead of the 19th
+    value.  Empty samples summarize to 0.0.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    index = max(math.ceil(fraction * n) - 1, 0)
+    return sorted_values[min(index, n - 1)]
 
 
 @dataclass(frozen=True)
@@ -45,11 +63,10 @@ def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
     if not samples:
         raise ValueError("cannot summarize an empty latency sample")
     ordered = sorted(samples)
-    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
     return LatencySummary(
         count=len(ordered),
         mean=statistics.fmean(ordered),
         median=ordered[len(ordered) // 2],
-        p95=ordered[p95_index],
+        p95=nearest_rank(ordered, 0.95),
         maximum=ordered[-1],
     )

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.obs.timing import nearest_rank
 from repro.sim.queueing import QueueingServer, RequestStats
 
 if TYPE_CHECKING:
@@ -131,7 +132,7 @@ class ClusterLoadGenerator:
         per_request = sorted(
             elapsed for elapsed, size in wave_times for _ in range(size)
         )
-        p95 = per_request[min(len(per_request) - 1, int(0.95 * len(per_request)))]
+        p95 = nearest_rank(per_request, 0.95)
         return LoadResult(
             concurrency=concurrency,
             requests=served,

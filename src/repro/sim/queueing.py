@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.timing import nearest_rank
 from repro.sim.events import Simulator
 
 
@@ -42,9 +43,7 @@ class RequestStats:
         """95th-percentile response time in seconds."""
         if not self.response_times:
             return 0.0
-        ordered = sorted(self.response_times)
-        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
-        return ordered[index]
+        return nearest_rank(sorted(self.response_times), 0.95)
 
     @property
     def throughput(self) -> float:

@@ -37,6 +37,7 @@ from typing import Sequence
 from urllib.parse import urlparse
 
 from repro.messages import decode_json
+from repro.obs.timing import nearest_rank
 
 
 @dataclass(frozen=True)
@@ -64,10 +65,7 @@ class HttpLoadResult:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
-    return sorted_values[index]
+    return nearest_rank(sorted_values, fraction)
 
 
 def _summarize(

@@ -1,0 +1,337 @@
+"""Bounded-memory levers: row eviction, TTL, dtype narrowing.
+
+The contract under test is the memory model of
+:mod:`repro.engine.liked_matrix`: with a :class:`MemoryPolicy`
+installed the matrix becomes a bounded cache over the
+:class:`~repro.core.tables.ProfileTable` -- rows evict and
+warm-rebuild, the arena hands capacity back after bulk eviction, int32
+narrowing halves the footprint -- while every observable output
+(rows, intersection counts, full replay digests, wire metering) stays
+bit-for-bit identical to the unbounded matrix.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.engine.liked_matrix import LikedMatrix, MemoryPolicy
+
+from tests.parity import random_trace, replay_digest
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _liked_items(matrix: LikedMatrix, user: int) -> list[int]:
+    row = np.asarray(matrix.liked_row(user), dtype=np.int64)
+    return sorted(matrix.item_array()[row].tolist())
+
+
+class TestMemoryPolicy:
+    def test_zero_policy_is_inert(self):
+        policy = MemoryPolicy()
+        assert not policy.evicts
+        assert policy.dtype() == np.dtype(np.int64)
+
+    def test_config_rejects_negative_knobs(self):
+        with pytest.raises(ValueError):
+            HyRecConfig(evict_max_rows=-1)
+        with pytest.raises(ValueError):
+            HyRecConfig(evict_ttl_s=-0.5)
+
+    def test_config_defaults_build_no_policy(self):
+        system = HyRecSystem(HyRecConfig(engine="vectorized"), seed=1)
+        assert system.server.memory_policy is None
+        assert system.server.liked_matrix.memory_policy is None
+
+
+class TestRowEviction:
+    def _matrix(self, policy: MemoryPolicy, clock: FakeClock | None = None):
+        table = ProfileTable()
+        matrix = LikedMatrix(
+            table, memory=policy, clock=clock if clock else FakeClock()
+        )
+        return table, matrix
+
+    def test_lru_cap_bounds_resident_rows(self):
+        table, matrix = self._matrix(MemoryPolicy(max_resident_rows=2))
+        for uid in range(5):
+            for item in range(uid + 1):
+                table.record(uid, item, 1.0)
+        for uid in range(5):
+            matrix.liked_row(uid)
+        stats = matrix.memory_stats()
+        assert stats["rows_resident"] <= 2
+        assert matrix.evictions >= 3
+
+    def test_evicted_row_warm_rebuilds_from_table(self):
+        table, matrix = self._matrix(MemoryPolicy(max_resident_rows=1))
+        table.record(0, 10, 1.0)
+        table.record(1, 20, 1.0)
+        assert _liked_items(matrix, 0) == [10]
+        assert _liked_items(matrix, 1) == [20]  # evicts row 0
+        assert matrix.evictions >= 1
+        # Writes to the evicted user hit only the table; the rebuild
+        # must still see them.
+        table.record(0, 11, 1.0)
+        assert _liked_items(matrix, 0) == [10, 11]
+
+    def test_most_recently_read_row_survives(self):
+        table, matrix = self._matrix(MemoryPolicy(max_resident_rows=1))
+        table.record(0, 1, 1.0)
+        table.record(1, 2, 1.0)
+        matrix.liked_row(0)
+        matrix.liked_row(1)
+        stats = matrix.memory_stats()
+        assert stats["rows_resident"] == 1
+        # The survivor is the row just handed out: reading it again
+        # must not count another rebuild-triggering eviction.
+        before = matrix.evictions
+        assert _liked_items(matrix, 1) == [2]
+        assert matrix.evictions == before
+
+    def test_ttl_evicts_idle_rows(self):
+        clock = FakeClock()
+        table, matrix = self._matrix(MemoryPolicy(ttl_seconds=10.0), clock)
+        table.record(0, 1, 1.0)
+        table.record(1, 2, 1.0)
+        matrix.liked_row(0)
+        matrix.liked_row(1)
+        clock.advance(11.0)
+        table.record(2, 3, 1.0)  # any write runs the TTL sweep
+        stats = matrix.memory_stats()
+        assert matrix.evictions == 2
+        assert stats["rows_resident"] == 0
+
+    def test_read_refreshes_ttl(self):
+        clock = FakeClock()
+        table, matrix = self._matrix(MemoryPolicy(ttl_seconds=10.0), clock)
+        table.record(0, 1, 1.0)
+        matrix.liked_row(0)
+        clock.advance(6.0)
+        matrix.liked_row(0)  # re-stamped at t=6
+        clock.advance(6.0)  # t=12: stamp 6 > cutoff 2
+        table.record(1, 2, 1.0)
+        assert matrix.evictions == 0
+        assert matrix.memory_stats()["rows_resident"] == 1
+
+    def test_gather_sees_consistent_rows_under_tiny_cap(self):
+        table, matrix = self._matrix(MemoryPolicy(max_resident_rows=2))
+        expected = {}
+        rng = random.Random(11)
+        for uid in range(12):
+            items = rng.sample(range(40), rng.randrange(1, 9))
+            expected[uid] = sorted(items)
+            for item in items:
+                table.record(uid, item, 1.0)
+        users = list(range(12))
+        indices, indptr, sizes = matrix.gather_liked(users)
+        item_of = matrix.item_array()
+        for i, uid in enumerate(users):
+            segment = indices[indptr[i] : indptr[i + 1]]
+            assert sorted(item_of[segment].tolist()) == expected[uid]
+            assert sizes[i] == len(expected[uid])
+        # Enforcement was deferred past the gather, then applied.
+        assert matrix.memory_stats()["rows_resident"] <= 2
+
+    def test_bulk_eviction_returns_arena_capacity(self):
+        table = ProfileTable()
+        matrix = LikedMatrix(table, clock=FakeClock())
+        for uid in range(200):
+            for item in range(20):
+                table.record(uid, item, 1.0)
+        for uid in range(200):
+            matrix.liked_row(uid)
+        before = matrix.arena_capacity
+        assert before >= 4000
+        matrix.set_memory_policy(MemoryPolicy(max_resident_rows=4))
+        after = matrix.memory_stats()
+        assert after["rows_resident"] <= 4
+        assert after["arena_capacity"] < before
+        assert after["arena_garbage"] == 0  # eviction triggered a compact
+        # Shrinking never lost data: evicted rows rebuild correctly.
+        assert _liked_items(matrix, 0) == list(range(20))
+
+
+class TestNarrowDtypes:
+    def test_narrow_rows_match_int64(self):
+        rng = random.Random(3)
+        ratings = [
+            (rng.randrange(50), rng.randrange(80), float(rng.random() < 0.8))
+            for _ in range(600)
+        ]
+        wide_table, narrow_table = ProfileTable(), ProfileTable()
+        wide = LikedMatrix(wide_table)
+        narrow = LikedMatrix(
+            narrow_table, memory=MemoryPolicy(narrow_dtypes=True)
+        )
+        for user, item, value in ratings:
+            wide_table.record(user, item, value)
+            narrow_table.record(user, item, value)
+        assert narrow.memory_stats()["dtype"] == "int32"
+        for uid in range(50):
+            wide_table.get_or_create(uid)
+            narrow_table.get_or_create(uid)
+            assert _liked_items(narrow, uid) == _liked_items(wide, uid)
+        query = wide.known_columns(list(range(0, 80, 3)))
+        users = list(range(50))
+        w_ind, w_ptr, _ = wide.gather_liked(users)
+        n_ind, n_ptr, _ = narrow.gather_liked(users)
+        assert np.array_equal(
+            wide.batch_intersections(query, w_ind, w_ptr),
+            narrow.batch_intersections(
+                narrow.known_columns(list(range(0, 80, 3))), n_ind, n_ptr
+            ),
+        )
+
+    def test_narrow_halves_arena_bytes(self):
+        table = ProfileTable()
+        matrix = LikedMatrix(table, memory=MemoryPolicy(narrow_dtypes=True))
+        stats = matrix.memory_stats()
+        assert stats["arena_bytes"] == 4 * stats["arena_capacity"]
+
+    def test_posting_rejects_user_ids_past_int32(self):
+        table = ProfileTable()
+        matrix = LikedMatrix(table, memory=MemoryPolicy(narrow_dtypes=True))
+        table.record(2**31 + 5, 1, 1.0)
+        with pytest.raises(ValueError, match="int32"):
+            matrix.posting(1)  # posting rebuild must refuse to truncate
+
+    def test_set_memory_policy_narrows_existing_state(self):
+        table = ProfileTable()
+        matrix = LikedMatrix(table, clock=FakeClock())
+        for uid in range(10):
+            table.record(uid, uid % 4, 1.0)
+        for uid in range(10):
+            matrix.liked_row(uid)
+        matrix.posting(0)  # force postings to exist pre-conversion
+        matrix.set_memory_policy(MemoryPolicy(narrow_dtypes=True))
+        assert matrix.memory_stats()["dtype"] == "int32"
+        for uid in range(10):
+            assert _liked_items(matrix, uid) == [uid % 4]
+        assert sorted(matrix.posting(0).tolist()) == [0, 4, 8]
+
+    def test_set_memory_policy_refuses_unrepresentable_state(self):
+        table = ProfileTable()
+        matrix = LikedMatrix(table, clock=FakeClock())
+        table.record(2**31 + 7, 3, 1.0)
+        matrix.posting(3)  # postings now hold the wide id
+        with pytest.raises(ValueError, match="int32"):
+            matrix.set_memory_policy(MemoryPolicy(narrow_dtypes=True))
+
+
+class TestEvictionParity:
+    """Eviction/narrowing must never change what the engine computes."""
+
+    def _digest(self, **overrides):
+        config = HyRecConfig(k=5, r=6, **overrides)
+        system = HyRecSystem(config, seed=23)
+        trace = random_trace(
+            random.Random(29), users=30, items=90, n=350, name="memory-parity"
+        )
+        digest = replay_digest(system, trace)
+        stats = system.server.stats
+        system.close()
+        return digest, stats
+
+    def test_vectorized_replay_identical_under_eviction(self):
+        baseline, _ = self._digest(engine="vectorized")
+        evicting, _ = self._digest(engine="vectorized", evict_max_rows=4)
+        narrow, _ = self._digest(engine="vectorized", narrow_dtypes=True)
+        both, _ = self._digest(
+            engine="vectorized", evict_max_rows=4, narrow_dtypes=True
+        )
+        assert evicting == baseline
+        assert narrow == baseline
+        assert both == baseline
+
+    def test_sharded_replay_identical_under_eviction(self):
+        baseline, _ = self._digest(engine="vectorized")
+        evicting, stats = self._digest(
+            engine="sharded",
+            num_shards=4,
+            evict_max_rows=2,
+            narrow_dtypes=True,
+        )
+        assert evicting == baseline
+        assert sum(s.evictions for s in stats.shards) > 0
+
+    def test_process_executor_replay_identical_under_eviction(self):
+        # End-to-end over the wire: the v6 Hello carries the policy to
+        # every worker, StatsReply carries eviction counters back.
+        baseline, _ = self._digest(engine="vectorized")
+        evicting, stats = self._digest(
+            engine="sharded",
+            num_shards=2,
+            executor="process",
+            evict_max_rows=2,
+            narrow_dtypes=True,
+        )
+        assert evicting == baseline
+        assert sum(s.evictions for s in stats.shards) > 0
+        assert sum(s.arena_capacity for s in stats.shards) > 0
+
+
+class TestSparseIdCsc:
+    """The CSC bincount must not allocate O(max user id) memory."""
+
+    def test_sparse_ids_use_compressed_counts(self):
+        # A handful of ten-digit user ids: the dense path would ask
+        # for a multi-gigabyte count array.  The compressed path must
+        # agree with the CSR scan exactly.
+        rng = random.Random(17)
+        table = ProfileTable()
+        matrix = LikedMatrix(table)
+        users = [10**12 + i * 10**7 for i in range(40)]
+        expected = {}
+        for uid in users:
+            items = rng.sample(range(30), rng.randrange(1, 12))
+            expected[uid] = set(items)
+            for item in items:
+                table.record(uid, item, 1.0)
+        query_items = list(range(0, 30, 2))
+        query = matrix.known_columns(query_items)
+        # Duplicate candidates exercise the inverse mapping.
+        candidates = users + users[:7]
+        csc = matrix.batch_intersections_csc(
+            query, np.asarray(candidates, dtype=np.int64)
+        )
+        indices, indptr, _ = matrix.gather_liked(candidates)
+        csr = matrix.batch_intersections(query, indices, indptr)
+        assert np.array_equal(csc, csr)
+        assert csc.tolist() == [
+            len(expected[uid] & set(query_items)) for uid in candidates
+        ]
+
+    def test_dense_ids_still_agree(self):
+        rng = random.Random(19)
+        table = ProfileTable()
+        matrix = LikedMatrix(table)
+        for uid in range(300):
+            for item in rng.sample(range(50), rng.randrange(1, 10)):
+                table.record(uid, item, 1.0)
+        query = matrix.known_columns(list(range(0, 50, 3)))
+        candidates = list(range(300))
+        csc = matrix.batch_intersections_csc(
+            query, np.asarray(candidates, dtype=np.int64)
+        )
+        indices, indptr, _ = matrix.gather_liked(candidates)
+        assert np.array_equal(
+            csc, matrix.batch_intersections(query, indices, indptr)
+        )

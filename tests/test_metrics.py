@@ -16,6 +16,7 @@ from repro.metrics import (
     view_similarity_per_user,
 )
 from repro.metrics.recommendation_quality import QualityResult
+from repro.obs.timing import nearest_rank
 
 
 class TestViewSimilarity:
@@ -165,6 +166,31 @@ class TestLatencySummary:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize_latencies([])
+
+    def test_p95_nearest_rank_small_sample(self):
+        # Regression: ``int(0.95 * n)`` lands one past the nearest
+        # rank whenever 0.95 * n is an integer -- for 20 samples it
+        # reported the maximum (index 19) instead of the 19th value.
+        samples = [float(v) for v in range(1, 21)]
+        assert summarize_latencies(samples).p95 == 19.0
+        assert nearest_rank(samples, 0.95) == 19.0
+        # Nearest rank of a single sample is that sample, and an empty
+        # sorted list summarizes to zero rather than indexing past it.
+        assert nearest_rank([7.0], 0.99) == 7.0
+        assert nearest_rank([], 0.5) == 0.0
+
+    def test_nearest_rank_brute_force(self):
+        # Nearest-rank definition: smallest value with >= fraction of
+        # the sample at or below it.
+        for n in range(1, 30):
+            values = [float(v) for v in range(n)]
+            for fraction in (0.5, 0.9, 0.95, 0.99, 1.0):
+                got = nearest_rank(values, fraction)
+                expected = next(
+                    v for v in values
+                    if (values.index(v) + 1) / n >= fraction
+                )
+                assert got == expected, (n, fraction)
 
 
 class TestFormatBytes:

@@ -19,6 +19,15 @@ class TestRequestStats:
         assert stats.mean == pytest.approx(2.5)
         assert stats.p95 == 4.0
 
+    def test_p95_nearest_rank_small_sample(self):
+        # Regression: with 20 samples the p95 is the 19th value, not
+        # the maximum (the old ``int(0.95 * n)`` index hit 19, one
+        # past the nearest rank).
+        stats = RequestStats(
+            response_times=[float(v) for v in range(1, 21)], completed=20
+        )
+        assert stats.p95 == 19.0
+
 
 class TestClosedLoop:
     def test_single_client_sees_service_time(self):

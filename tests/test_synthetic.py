@@ -1,0 +1,180 @@
+"""Tests for the million-user synthetic population and streaming loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HyRecConfig
+from repro.core.system import HyRecSystem
+from repro.core.tables import ProfileTable
+from repro.datasets.synthetic import (
+    StreamingLoader,
+    SyntheticSpec,
+    generate_synthetic,
+    zipf_cdf,
+)
+
+SMALL = SyntheticSpec(
+    num_users=400, catalog=150, total_writes=4000, seed=11
+)
+
+
+def _concat_stream(spec: SyntheticSpec, chunk_size: int):
+    chunks = list(StreamingLoader(spec, chunk_size).chunks())
+    return [
+        np.concatenate([chunk[i] for chunk in chunks]) for i in range(4)
+    ]
+
+
+class TestZipfCdf:
+    def test_shape_and_normalization(self):
+        cdf = zipf_cdf(100, 1.1)
+        assert cdf.size == 100
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_uniform_at_zero_exponent(self):
+        cdf = zipf_cdf(4, 0.0)
+        assert np.allclose(cdf, [0.25, 0.5, 0.75, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_cdf(10, -0.1)
+
+
+class TestSyntheticSpec:
+    def test_validation(self):
+        for bad in (
+            dict(num_users=0),
+            dict(catalog=0),
+            dict(total_writes=0),
+            dict(user_exponent=-1.0),
+            dict(like_rate=1.5),
+        ):
+            with pytest.raises(ValueError):
+                SyntheticSpec(**bad)
+
+    def test_scaled(self):
+        spec = SyntheticSpec(
+            num_users=1000, catalog=500, total_writes=10_000
+        ).scaled(0.1)
+        assert (spec.num_users, spec.catalog, spec.total_writes) == (
+            100,
+            50,
+            1000,
+        )
+        with pytest.raises(ValueError):
+            SMALL.scaled(0.0)
+
+
+class TestStream:
+    def test_deterministic_across_loaders(self):
+        first = _concat_stream(SMALL, 512)
+        second = _concat_stream(SMALL, 512)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_chunk_size_never_changes_the_stream(self):
+        reference = _concat_stream(SMALL, 4096)
+        for chunk_size in (1, 7, 333, 5000):
+            got = _concat_stream(SMALL, chunk_size)
+            assert all(
+                np.array_equal(a, b) for a, b in zip(reference, got)
+            ), f"chunk_size={chunk_size} altered the stream"
+
+    def test_different_seeds_differ(self):
+        a = _concat_stream(SMALL, 1024)
+        b = _concat_stream(
+            SyntheticSpec(
+                num_users=400, catalog=150, total_writes=4000, seed=12
+            ),
+            1024,
+        )
+        assert not np.array_equal(a[0], b[0])
+
+    def test_ids_in_range_and_timestamps_sequential(self):
+        users, items, values, timestamps = _concat_stream(SMALL, 600)
+        assert users.min() >= 0 and users.max() < SMALL.num_users
+        assert items.min() >= 0 and items.max() < SMALL.catalog
+        assert set(np.unique(values)) <= {0.0, 1.0}
+        assert np.array_equal(
+            timestamps, np.arange(SMALL.total_writes, dtype=np.float64)
+        )
+
+    def test_zipf_skew_concentrates_activity(self):
+        skewed = SyntheticSpec(
+            num_users=2000, catalog=100, total_writes=20_000,
+            user_exponent=1.1, seed=5,
+        )
+        flat = SyntheticSpec(
+            num_users=2000, catalog=100, total_writes=20_000,
+            user_exponent=0.0, seed=5,
+        )
+
+        def top_share(spec):
+            users = _concat_stream(spec, 8192)[0]
+            counts = np.sort(np.bincount(users, minlength=spec.num_users))
+            return counts[-20:].sum() / spec.total_writes
+
+        assert top_share(skewed) > 5 * top_share(flat)
+
+    def test_like_rate_respected(self):
+        values = _concat_stream(SMALL, 2048)[2]
+        assert abs(values.mean() - SMALL.like_rate) < 0.05
+
+    def test_activity_decorrelated_from_id_order(self):
+        # The rank->id permutation: the most active users must not
+        # simply be the lowest ids.
+        users = _concat_stream(SMALL, 2048)[0]
+        counts = np.bincount(users, minlength=SMALL.num_users)
+        low_half = counts[: SMALL.num_users // 2].sum()
+        assert 0.25 < low_half / SMALL.total_writes < 0.75
+
+
+class TestLoading:
+    def test_generate_matches_stream(self):
+        users, items, values, timestamps = _concat_stream(SMALL, 1024)
+        trace = generate_synthetic(SMALL)
+        assert len(trace) == SMALL.total_writes
+        got = np.array([[r.timestamp, r.user, r.item, r.value] for r in trace])
+        assert np.array_equal(got[:, 0], timestamps)
+        assert np.array_equal(got[:, 1], users)
+        assert np.array_equal(got[:, 2], items)
+        assert np.array_equal(got[:, 3], values)
+
+    def test_materialize_ceiling(self):
+        huge = SyntheticSpec(
+            num_users=10, catalog=10, total_writes=3_000_000
+        )
+        with pytest.raises(ValueError, match="StreamingLoader"):
+            generate_synthetic(huge)
+
+    def test_load_into_profile_table(self):
+        table = ProfileTable()
+        written = StreamingLoader(SMALL, chunk_size=700).load_into(table)
+        assert written == SMALL.total_writes
+        users, _, values, _ = _concat_stream(SMALL, 700)
+        liked = table.liked_sets()
+        assert set(liked) == set(np.unique(users).tolist())
+        # Spot-check one user's final liked set against the stream.
+        uid = int(users[0])
+        mask = users == uid
+        items = _concat_stream(SMALL, 700)[1]
+        expected = set()
+        for item, value in zip(items[mask].tolist(), values[mask].tolist()):
+            (expected.add if value == 1.0 else expected.discard)(item)
+        assert set(liked[uid]) == expected
+
+    def test_server_sink_agrees_with_table_sink(self):
+        table = ProfileTable()
+        StreamingLoader(SMALL, chunk_size=512).load_into(table)
+        system = HyRecSystem(HyRecConfig(engine="vectorized"), seed=1)
+        StreamingLoader(SMALL, chunk_size=2048).load_into(system)
+        assert system.server.profiles.liked_sets() == table.liked_sets()
+        system.close()
+
+    def test_rejects_sink_without_record_surface(self):
+        with pytest.raises(TypeError, match="record"):
+            StreamingLoader(SMALL).load_into(object())

@@ -147,19 +147,28 @@ class TestRoundTrips:
         num_shards=st.integers(1, 4096),
         num_buckets=small_int,
         map_version=small_int,
+        evict_max_rows=small_int,
+        evict_ttl_ms=small_int,
     )
-    def test_hello(self, shard, num_shards, num_buckets, map_version):
+    def test_hello(
+        self, shard, num_shards, num_buckets, map_version,
+        evict_max_rows, evict_ttl_ms,
+    ):
         decoded = _roundtrip(
             Hello(
                 shard=shard,
                 num_shards=num_shards,
                 num_buckets=num_buckets,
                 map_version=map_version,
+                evict_max_rows=evict_max_rows,
+                evict_ttl_ms=evict_ttl_ms,
             )
         )
         assert decoded.shard == shard and decoded.num_shards == num_shards
         assert decoded.num_buckets == num_buckets
         assert decoded.map_version == map_version
+        assert decoded.evict_max_rows == evict_max_rows
+        assert decoded.evict_ttl_ms == evict_ttl_ms
 
     @given(shard=small_int, pid=small_int)
     def test_ready(self, shard, pid):
@@ -238,7 +247,7 @@ class TestRoundTrips:
         for got, sent in zip(decoded.partials, parts):
             assert _partials_equal(got, sent)
 
-    @given(values=st.lists(small_int, min_size=6, max_size=6))
+    @given(values=st.lists(small_int, min_size=8, max_size=8))
     def test_stats_reply(self, values):
         decoded = _roundtrip(StatsReply(*values))
         assert decoded == StatsReply(*values)
@@ -401,11 +410,13 @@ class TestRejection:
 class TestLivenessFrames:
     """Ping/Pong (protocol v3): the supervisor's active health probe."""
 
-    def test_protocol_version_is_5(self):
+    def test_protocol_version_is_6(self):
         # v3 added Ping/Pong; v4 added the observability frames; v5
-        # added the bucket-space split.  A bump without new frames (or
-        # new frames without a bump) is a protocol bug.
-        assert PROTOCOL_VERSION == 5
+        # added the bucket-space split; v6 widened Hello (memory
+        # policy) and StatsReply (eviction counters).  A bump without
+        # new frames/fields (or new fields without a bump) is a
+        # protocol bug.
+        assert PROTOCOL_VERSION == 6
         assert FrameType.PING in FrameType
         assert FrameType.PONG in FrameType
         assert FrameType.METRICS_REQUEST in FrameType
